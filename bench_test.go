@@ -1,0 +1,136 @@
+// Package superpin's top-level benchmarks regenerate each figure of the
+// SuperPin paper (CGO 2007) at a reduced workload scale, reporting the
+// figure's headline quantities as benchmark metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale regeneration (the numbers recorded in EXPERIMENTS.md) is
+// done with cmd/spbench.
+package superpin
+
+import (
+	"testing"
+
+	"superpin/internal/bench"
+)
+
+// benchConfig is the reduced-scale configuration shared by the figure
+// benchmarks: a representative six-benchmark subset including the gcc and
+// mcf special cases.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = 0.05
+	cfg.TimesliceMSec = 100
+	cfg.Benchmarks = []string{"gcc", "mcf", "gzip", "crafty", "mgrid", "swim"}
+	return cfg
+}
+
+// BenchmarkFig3Icount1Relative regenerates Figure 3 (icount1 runtime
+// under Pin and SuperPin relative to native) and reports the suite
+// averages as pin-pct and superpin-pct.
+func BenchmarkFig3Icount1Relative(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, rs, err := bench.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pinAvg, spAvg, _ := bench.Averages(rs)
+		b.ReportMetric(pinAvg, "pin-pct")
+		b.ReportMetric(spAvg, "superpin-pct")
+	}
+}
+
+// BenchmarkFig4Icount1Speedup regenerates Figure 4 (SuperPin speedup over
+// Pin with icount1) and reports the average and maximum speedups.
+func BenchmarkFig4Icount1Speedup(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, rs, err := bench.Fig4(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, avg := bench.Averages(rs)
+		max := 0.0
+		for _, r := range rs {
+			if r.Speedup > max {
+				max = r.Speedup
+			}
+		}
+		b.ReportMetric(avg, "avg-speedup")
+		b.ReportMetric(max, "max-speedup")
+	}
+}
+
+// BenchmarkFig5Icount2Relative regenerates Figure 5 (icount2 runtime
+// under Pin and SuperPin relative to native).
+func BenchmarkFig5Icount2Relative(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, rs, err := bench.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pinAvg, spAvg, _ := bench.Averages(rs)
+		b.ReportMetric(pinAvg, "pin-pct")
+		b.ReportMetric(spAvg, "superpin-pct")
+	}
+}
+
+// BenchmarkFig6TimesliceSweep regenerates Figure 6 (gcc runtime versus
+// timeslice interval with the native / fork&others / sleep / pipeline
+// decomposition) and reports the best total and its pipeline share.
+func BenchmarkFig6TimesliceSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, rows, err := bench.Fig6(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := rows[0]
+		for _, r := range rows {
+			if r.Total < best.Total {
+				best = r
+			}
+		}
+		b.ReportMetric(best.Total, "best-total-vsec")
+		b.ReportMetric(best.Pipeline, "best-pipeline-vsec")
+	}
+}
+
+// BenchmarkFig7ParallelismSweep regenerates Figure 7 (gcc runtime versus
+// maximum running slices on the hyperthreaded 8-way machine) and reports
+// the 1-slice to 8-slice improvement and the 8-to-16 saturation ratio.
+func BenchmarkFig7ParallelismSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, rows, err := bench.Fig7(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byMP := map[int]float64{}
+		for _, r := range rows {
+			byMP[r.MaxSlices] = r.Seconds
+		}
+		b.ReportMetric(byMP[1]/byMP[8], "speedup-1-to-8")
+		b.ReportMetric(byMP[8]/byMP[16], "speedup-8-to-16")
+	}
+}
+
+// BenchmarkSigDetectionStats regenerates the Section 4.4 statistics and
+// reports the quick-to-full filter rate (the paper reports ~2%).
+func BenchmarkSigDetectionStats(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Benchmarks = []string{"gzip", "mcf", "mgrid"}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := bench.SigStats(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.FullPerQuick
+		}
+		b.ReportMetric(sum/float64(len(rows)), "full-per-quick-pct")
+	}
+}

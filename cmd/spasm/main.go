@@ -1,0 +1,65 @@
+// Command spasm assembles, disassembles and natively runs SVR32 assembly
+// files — the guest-program workbench of the SuperPin reproduction.
+//
+//	spasm file.svasm            # assemble, print a summary
+//	spasm -d file.svasm         # assemble and disassemble
+//	spasm -run file.svasm       # assemble and run natively; prints exit code
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superpin/internal/asm"
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spasm", flag.ContinueOnError)
+	var (
+		disasm = fs.Bool("d", false, "print disassembly")
+		doRun  = fs.Bool("run", false, "run the program natively on the simulated machine")
+		cpus   = fs.Int("cpus", 1, "CPUs of the simulated machine for -run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: spasm [-d] [-run] file.svasm")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("assembled %d bytes in %d segment(s), entry %#08x\n",
+		prog.Size(), len(prog.Segments), prog.Entry)
+	if *disasm {
+		fmt.Print(asm.Disassemble(prog))
+	}
+	if *doRun {
+		cfg := kernel.DefaultConfig()
+		cfg.CPUs = *cpus
+		cfg.MaxCycles = 100_000_000_000
+		res, err := core.RunNative(cfg, prog, 0)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(res.Stdout)
+		fmt.Printf("exit %d after %d instructions (%d cycles, %.3f vsec)\n",
+			res.ExitCode, res.Ins, res.Time, cfg.Cost.Seconds(res.Time))
+	}
+	return nil
+}

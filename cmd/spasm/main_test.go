@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.svasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssembleDisassembleRun(t *testing.T) {
+	path := writeProg(t, "main:\n li r1, 1\n li r2, 3\n syscall\n")
+	if err := run([]string{"-d", "-run", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"/does/not/exist.svasm"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	bad := writeProg(t, "frobnicate r1\n")
+	if err := run([]string{bad}); err == nil {
+		t.Fatal("bad assembly accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Command spbench regenerates the SuperPin paper's evaluation (Section
+// 6): Figures 3-7 and the Section 4.4 signature-detection statistics, as
+// aligned text tables and optionally CSV files.
+//
+//	spbench                      # every experiment at the default scale
+//	spbench -exp fig6 -scale 1   # one experiment, full-size workloads
+//	spbench -csv out/            # also write out/fig3.csv etc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"superpin/internal/bench"
+	"superpin/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
+	var (
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations")
+		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
+		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
+		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
+		benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 26)")
+		csvDir     = fs.String("csv", "", "directory to also write <experiment>.csv files into")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.MaxSlices = *maxSlices
+	if *msec > 0 {
+		cfg.TimesliceMSec = *msec
+	} else {
+		// Keep the slice-count-per-run ratio roughly constant across
+		// scales (the paper uses 2 s slices on minutes-long runs).
+		cfg.TimesliceMSec = 500 * *scale / 0.25
+	}
+	if *benchmarks != "" {
+		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	emit := func(name string, t *report.Table) error {
+		fmt.Println(t)
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*csvDir, name+".csv"), []byte(t.CSV()), 0o644)
+	}
+
+	start := time.Now()
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig3") || want("fig4") {
+		t3, rs, err := bench.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		if want("fig3") {
+			if err := emit("fig3", t3); err != nil {
+				return err
+			}
+			ran = true
+		}
+		if want("fig4") {
+			t4, _, err := bench.Fig4(cfg, rs)
+			if err != nil {
+				return err
+			}
+			if err := emit("fig4", t4); err != nil {
+				return err
+			}
+			ran = true
+		}
+	}
+	if want("fig5") {
+		t5, _, err := bench.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5", t5); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("fig6") {
+		t6, _, err := bench.Fig6(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig6", t6); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("fig7") {
+		t7, _, err := bench.Fig7(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig7", t7); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("sigstats") {
+		ts, _, err := bench.SigStats(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("sigstats", ts); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("ablations") {
+		tq, _, err := bench.AblationQuickCheck(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_quickcheck", tq); err != nil {
+			return err
+		}
+		tr, _, err := bench.AblationSysRecs(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_sysrecs", tr); err != nil {
+			return err
+		}
+		tc, _, err := bench.AblationSharedCache(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_sharedcache", tc); err != nil {
+			return err
+		}
+		tt, _, err := bench.AblationThrottle(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation_throttle", tt); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	fmt.Printf("(scale %.2f, timeslice %.0f ms, elapsed %s)\n", cfg.Scale, cfg.TimesliceMSec, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "sigstats", "-scale", "0.02", "-benchmarks", "gzip", "-csv", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sigstats.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"-exp", "fig3", "-scale", "0.01", "-benchmarks", "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

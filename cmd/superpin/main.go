@@ -1,0 +1,235 @@
+// Command superpin runs an application on the simulated machine under a
+// Pintool, in native, traditional-Pin or SuperPin mode — the analogue of
+// the paper's `pin -t pintool -- application` command line, including the
+// SuperPin switches -sp, -spmsec, -spmp and -spsysrecs.
+//
+// The application is either a benchmark from the built-in synthetic
+// SPEC2000 catalog or an SVR32 assembly file:
+//
+//	superpin -t icount2 -sp 1 -spmsec 500 -- gcc
+//	superpin -t dcache -- mcf
+//	superpin -t icount1 -sp 0 -- path/to/program.svasm
+//
+// Tools: icount1, icount2, dcache, acache (set-associative LRU), itrace,
+// branchprof, opmix, sampler, bbcount, callprof, memprofile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"superpin/internal/asm"
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+	"superpin/internal/tools"
+	"superpin/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "superpin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("superpin", flag.ContinueOnError)
+	var (
+		toolName   = fs.String("t", "icount2", "pintool: icount1|icount2|dcache|acache|itrace|branchprof|opmix|sampler|bbcount|callprof|memprofile")
+		sp         = fs.Int("sp", 1, "1 = SuperPin mode, 0 = traditional Pin mode")
+		spmsec     = fs.Float64("spmsec", 1000, "timeslice interval in virtual milliseconds")
+		spmp       = fs.Int("spmp", 8, "maximum number of running slices")
+		spsysrecs  = fs.Int("spsysrecs", 1000, "max syscall records per slice (0 disables recording)")
+		spmemcheck = fs.Bool("spmemcheck", false, "enable the memory-operand signature extension")
+		cpus       = fs.Int("cpus", 8, "physical CPUs of the simulated machine")
+		ht         = fs.Bool("ht", true, "enable hyperthreading (doubles CPU contexts)")
+		scale      = fs.Float64("scale", 0.2, "workload scale for catalog benchmarks")
+		compare    = fs.Bool("compare", true, "also run natively and report relative runtime")
+		budget     = fs.Int("sampler-budget", 1000, "per-slice instruction budget for the sampler tool")
+		timeline   = fs.Bool("timeline", false, "print an ASCII schedule of the run (paper Figure 1)")
+		detector   = fs.String("detector", "state", "boundary detector: state (paper Section 4.4) | iphistory (the rejected alternative)")
+		threads    = fs.Bool("threads", false, "enable deterministic thread replay for multithreaded guests (Section 8)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "\nbenchmarks:", strings.Join(workload.Names(), " "))
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one application expected, got %d", fs.NArg())
+	}
+	app := fs.Arg(0)
+
+	prog, spec, err := loadApp(app, *scale)
+	if err != nil {
+		return err
+	}
+
+	kcfg := kernel.DefaultConfig()
+	kcfg.CPUs = *cpus
+	kcfg.Hyperthreading = *ht
+	kcfg.MaxCycles = 500_000_000_000
+
+	factory, err := makeTool(*toolName, *budget)
+	if err != nil {
+		return err
+	}
+
+	var nativeTime kernel.Cycles
+	if *compare {
+		nres, err := core.RunNative(kcfg, prog, spec.NativeMemCost)
+		if err != nil {
+			return fmt.Errorf("native run: %w", err)
+		}
+		nativeTime = nres.Time
+		fmt.Printf("native:   %12d cycles (%.2f vsec), %d instructions\n",
+			nres.Time, kcfg.Cost.Seconds(nres.Time), nres.Ins)
+	}
+
+	if *sp == 0 {
+		pcost := pin.DefaultCost()
+		pcost.MemSurcharge = spec.PinMemCost
+		res, err := core.RunPin(kcfg, prog, factory, pcost)
+		if err != nil {
+			return fmt.Errorf("pin run: %w", err)
+		}
+		fmt.Printf("pin:      %12d cycles (%.2f vsec), %d instructions, exit %d\n",
+			res.Time, kcfg.Cost.Seconds(res.Time), res.Ins, res.ExitCode)
+		if nativeTime > 0 {
+			fmt.Printf("relative: %.1f%% of native\n", 100*float64(res.Time)/float64(nativeTime))
+		}
+		return nil
+	}
+
+	opts := core.DefaultOptions()
+	opts.SliceMSec = *spmsec
+	opts.MaxSlices = *spmp
+	opts.MaxSysRecs = *spsysrecs
+	opts.MemCheck = *spmemcheck
+	opts.Threads = *threads
+	switch *detector {
+	case "state":
+		opts.Detector = core.DetectorState
+	case "iphistory":
+		opts.Detector = core.DetectorIPHistory
+	default:
+		return fmt.Errorf("unknown detector %q", *detector)
+	}
+	opts.PinCost.MemSurcharge = spec.SliceMemCost
+	opts.NativeMemSurcharge = spec.NativeMemCost
+	res, err := core.Run(kcfg, prog, factory, opts)
+	if err != nil {
+		return fmt.Errorf("superpin run: %w", err)
+	}
+	fmt.Printf("superpin: %12d cycles (%.2f vsec), master %d ins, %d slices, exit %d\n",
+		res.TotalTime, kcfg.Cost.Seconds(res.TotalTime), res.MasterIns, res.Stats.Forks, res.ExitCode)
+	st := res.Stats
+	fmt.Printf("slices:   %d syscall-bounded, %d timeout-bounded, %d stalls, %d syscall records\n",
+		st.SyscallForks, st.TimeoutForks, st.Stalls, st.SysRecords)
+	fmt.Printf("detect:   %d quick checks, %d full, %d stack (%.2f%% quick->full)\n",
+		st.QuickChecks, st.FullChecks, st.StackChecks,
+		100*safeDiv(float64(st.FullChecks), float64(st.QuickChecks)))
+	if nativeTime > 0 {
+		nat, forkO, sleep, pipe := res.Breakdown(nativeTime)
+		sec := kcfg.Cost.Seconds
+		fmt.Printf("breakdown: native %.2f + fork&others %.2f + sleep %.2f + pipeline %.2f vsec\n",
+			sec(nat), sec(forkO), sec(sleep), sec(pipe))
+		fmt.Printf("relative: %.1f%% of native\n", 100*float64(res.TotalTime)/float64(nativeTime))
+	}
+	if *timeline {
+		fmt.Println()
+		fmt.Print(res.Timeline(100))
+	}
+	if res.Err != nil {
+		return fmt.Errorf("run completed with slice errors: %w", res.Err)
+	}
+	return nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// loadApp resolves a catalog benchmark name or assembles a .svasm file.
+func loadApp(app string, scale float64) (*asm.Program, workload.Spec, error) {
+	if spec, ok := workload.ByName(app); ok {
+		spec = spec.Scaled(scale)
+		prog, err := spec.Build()
+		return prog, spec, err
+	}
+	if strings.HasSuffix(app, ".svasm") {
+		src, err := os.ReadFile(app)
+		if err != nil {
+			return nil, workload.Spec{}, err
+		}
+		prog, err := asm.Assemble(string(src))
+		return prog, workload.Spec{Name: app}, err
+	}
+	return nil, workload.Spec{}, fmt.Errorf("unknown application %q (not a catalog benchmark or .svasm file)", app)
+}
+
+// makeTool builds the named tool's per-process factory.
+func makeTool(name string, samplerBudget int) (core.ToolFactory, error) {
+	switch name {
+	case "icount1":
+		return tools.NewIcount1(os.Stdout).Factory(), nil
+	case "icount2":
+		return tools.NewIcount2(os.Stdout).Factory(), nil
+	case "dcache":
+		return tools.NewDCache(1<<14, 32, os.Stdout).Factory(), nil
+	case "acache":
+		return tools.NewACache(1<<15, 32, 4, os.Stdout).Factory(), nil
+	case "itrace":
+		tl := tools.NewITrace(nil) // keep the trace in memory; print a summary
+		return wrapITrace(tl), nil
+	case "branchprof":
+		return tools.NewBranchProf(os.Stdout).Factory(), nil
+	case "opmix":
+		return tools.NewOpMix(os.Stdout).Factory(), nil
+	case "sampler":
+		return tools.NewSampler(samplerBudget, os.Stdout).Factory(), nil
+	case "bbcount":
+		return tools.NewBBCount(os.Stdout).Factory(), nil
+	case "callprof":
+		return tools.NewCallProf(os.Stdout).Factory(), nil
+	case "memprofile":
+		return tools.NewMemProfile(os.Stdout).Factory(), nil
+	default:
+		return nil, fmt.Errorf("unknown tool %q", name)
+	}
+}
+
+// wrapITrace prints a summary instead of the full (possibly huge) trace.
+func wrapITrace(tl *tools.ITrace) core.ToolFactory {
+	inner := tl.Factory()
+	return func(ctl *core.ToolCtl) core.Tool {
+		t := inner(ctl)
+		if ctl.SliceNum() == -1 {
+			return finiWrapper{Tool: t, fini: func(code uint32) {
+				if f, ok := t.(core.Finisher); ok {
+					f.Fini(code)
+				}
+				fmt.Printf("itrace: %d instructions traced\n", len(tl.Trace()))
+			}}
+		}
+		return t
+	}
+}
+
+// finiWrapper overrides a tool instance's Fini.
+type finiWrapper struct {
+	core.Tool
+	fini func(uint32)
+}
+
+func (w finiWrapper) Fini(code uint32) { w.fini(code) }

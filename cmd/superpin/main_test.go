@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no app
+		{"--", "a", "b"},                    // two apps
+		{"-t", "nosuchtool", "--", "gzip"},  // unknown tool
+		{"--", "nosuchbench"},               // unknown app
+		{"-sp", "1", "--", "missing.svasm"}, // missing file
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestRunCatalogBenchmarkBothModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-t", "icount2", "-scale", "0.01", "-spmsec", "50", "--", "gzip"},
+		{"-t", "icount1", "-sp", "0", "-scale", "0.01", "--", "gzip"},
+		{"-t", "dcache", "-scale", "0.01", "-spmsec", "50", "--", "mcf"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunAssemblyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.svasm")
+	src := `
+	li r10, 0
+	li r11, 50000
+loop:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-t", "icount2", "-spmsec", "100", "--", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeToolAllNames(t *testing.T) {
+	for _, name := range []string{"icount1", "icount2", "dcache", "acache", "itrace",
+		"branchprof", "opmix", "sampler", "bbcount", "callprof", "memprofile"} {
+		if _, err := makeTool(name, 100); err != nil {
+			t.Errorf("makeTool(%q): %v", name, err)
+		}
+	}
+}

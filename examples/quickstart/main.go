@@ -1,0 +1,83 @@
+// Quickstart: the paper's headline experiment on one benchmark.
+//
+// Runs the synthetic gzip benchmark three ways — natively, under
+// traditional serial Pin, and under SuperPin — with the icount2
+// instruction-counting Pintool (paper Figure 2), and shows that all modes
+// agree exactly on the count while SuperPin approaches native speed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+	"superpin/internal/tools"
+	"superpin/internal/workload"
+)
+
+func main() {
+	// The simulated machine from the paper's evaluation: an 8-way SMP
+	// with hyperthreading (16 virtual processors).
+	cfg := kernel.DefaultConfig()
+	cfg.MaxCycles = 100_000_000_000
+
+	spec, ok := workload.ByName("gzip")
+	if !ok {
+		log.Fatal("gzip missing from the workload catalog")
+	}
+	spec = spec.Scaled(0.25)
+	prog, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Native: the uninstrumented baseline.
+	native, err := core.RunNative(cfg, prog, spec.NativeMemCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native:    %10.2f vsec  (%d instructions)\n",
+		cfg.Cost.Seconds(native.Time), native.Ins)
+
+	// 2. Traditional Pin: serial instrumented execution.
+	pinCost := pin.DefaultCost()
+	pinCost.MemSurcharge = spec.PinMemCost
+	serialTool := tools.NewIcount2(nil)
+	pinRes, err := core.RunPin(cfg, prog, serialTool.Factory(), pinCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pin:       %10.2f vsec  (%.1fx native), count %d\n",
+		cfg.Cost.Seconds(pinRes.Time),
+		float64(pinRes.Time)/float64(native.Time), serialTool.Total())
+
+	// 3. SuperPin: the master runs at full speed while instrumented
+	//    timeslices execute in parallel and merge in order.
+	opts := core.DefaultOptions()
+	opts.SliceMSec = 250
+	opts.PinCost.MemSurcharge = spec.SliceMemCost
+	opts.NativeMemSurcharge = spec.NativeMemCost
+	spTool := tools.NewIcount2(nil)
+	spRes, err := core.Run(cfg, prog, spTool.Factory(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if spRes.Err != nil {
+		log.Fatal(spRes.Err)
+	}
+	fmt.Printf("superpin:  %10.2f vsec  (%.1fx native), count %d, %d slices\n",
+		cfg.Cost.Seconds(spRes.TotalTime),
+		float64(spRes.TotalTime)/float64(native.Time), spTool.Total(), spRes.Stats.Forks)
+
+	if serialTool.Total() != native.Ins || spTool.Total() != native.Ins {
+		log.Fatalf("tool outputs disagree: native %d, pin %d, superpin %d",
+			native.Ins, serialTool.Total(), spTool.Total())
+	}
+	fmt.Printf("\nall three modes agree on %d executed instructions\n", native.Ins)
+	fmt.Printf("superpin speedup over pin: %.1fx\n",
+		float64(pinRes.Time)/float64(spRes.TotalTime))
+}

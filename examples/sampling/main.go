@@ -1,0 +1,85 @@
+// Sampling: the SP_EndSlice use case (paper Section 5).
+//
+// The Shadow-Profiler pattern the paper cites performs sampled profiling
+// by instrumenting only a bounded prefix of each timeslice and then
+// calling SP_EndSlice. This example profiles the mgrid benchmark with a
+// 500-instruction budget per slice, compares the cost against full
+// per-instruction profiling, and prints the hottest program counters.
+//
+//	go run ./examples/sampling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/tools"
+	"superpin/internal/workload"
+)
+
+func main() {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxCycles = 100_000_000_000
+
+	spec, ok := workload.ByName("mgrid")
+	if !ok {
+		log.Fatal("mgrid missing from the workload catalog")
+	}
+	spec = spec.Scaled(0.1)
+	prog, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	native, err := core.RunNative(cfg, prog, spec.NativeMemCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.SliceMSec = 100
+	opts.PinCost.MemSurcharge = spec.SliceMemCost
+	opts.NativeMemSurcharge = spec.NativeMemCost
+
+	// Full profiling: every instruction, every slice.
+	full := tools.NewIcount1(nil)
+	fullRes, err := core.Run(cfg, prog, full.Factory(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fullRes.Err != nil {
+		log.Fatal(fullRes.Err)
+	}
+
+	// Sampled profiling: 500 instructions per slice, then SP_EndSlice.
+	sampler := tools.NewSampler(500, nil)
+	sampRes, err := core.Run(cfg, prog, sampler.Factory(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sampRes.Err != nil {
+		log.Fatal(sampRes.Err)
+	}
+
+	fmt.Printf("application:      %d instructions, %.2f vsec native\n",
+		native.Ins, cfg.Cost.Seconds(native.Time))
+	fmt.Printf("full profiling:   %.2f vsec (%.0f%% of native)\n",
+		cfg.Cost.Seconds(fullRes.TotalTime),
+		100*float64(fullRes.TotalTime)/float64(native.Time))
+	fmt.Printf("sampled (500/slice): %.2f vsec (%.0f%% of native), %d samples over %d slices\n",
+		cfg.Cost.Seconds(sampRes.TotalTime),
+		100*float64(sampRes.TotalTime)/float64(native.Time),
+		sampler.Sampled, sampRes.Stats.Forks)
+
+	fmt.Println("\nhottest sampled program counters:")
+	for _, pc := range sampler.Hottest(5) {
+		fmt.Printf("  %#08x: %d samples\n", pc, sampler.Samples()[pc])
+	}
+
+	if sampRes.TotalTime >= fullRes.TotalTime {
+		log.Fatal("sampling was not cheaper than full profiling")
+	}
+	fmt.Printf("\nsampling cost %.1f%% of full profiling's runtime\n",
+		100*float64(sampRes.TotalTime)/float64(fullRes.TotalTime))
+}

@@ -1,0 +1,3 @@
+module superpin
+
+go 1.22

@@ -1,0 +1,275 @@
+// Package asm provides SVR32 program construction: an in-memory Program
+// image, a programmatic Builder used by the synthetic workload generator
+// (internal/workload), and a two-pass text assembler for .svasm files.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// Program is a linked SVR32 program image ready to load into guest memory.
+type Program struct {
+	// Entry is the initial program counter.
+	Entry uint32
+	// Segments hold the image contents, sorted by address, non-overlapping.
+	Segments []Segment
+	// Symbols maps label names to addresses.
+	Symbols map[string]uint32
+}
+
+// Segment is a contiguous run of initialized bytes.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// LoadInto writes the program image into m.
+func (p *Program) LoadInto(m *mem.Memory) {
+	for _, s := range p.Segments {
+		m.WriteBytes(s.Addr, s.Data)
+	}
+}
+
+// Size returns the total number of initialized bytes in the image.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// CodeWords returns the number of instruction words in the image,
+// approximated as the size of all segments below the first data symbol;
+// callers that need an exact count should track it themselves. It is used
+// only for reporting.
+func (p *Program) CodeWords() int { return p.Size() / isa.WordSize }
+
+// fixup records a branch/jump whose immediate must be patched to reach a
+// label once addresses are known.
+type fixup struct {
+	addr  uint32 // address of the instruction to patch
+	label string
+	inst  isa.Inst
+}
+
+// Builder assembles a program image programmatically. The workload
+// generator and tests use it to emit loops, calls and data regions without
+// going through text assembly.
+//
+// All emission methods panic on malformed input (bad registers,
+// out-of-range immediates); builders run at "compile time" of a synthetic
+// workload, where such conditions are programming errors.
+type Builder struct {
+	entry    uint32
+	pc       uint32
+	buf      []byte
+	segStart uint32
+	segments []Segment
+	labels   map[string]uint32
+	fixups   []fixup
+}
+
+// NewBuilder returns a Builder whose first emitted byte lands at base.
+// The program entry point defaults to base.
+func NewBuilder(base uint32) *Builder {
+	return &Builder{
+		entry:    base,
+		pc:       base,
+		segStart: base,
+		labels:   make(map[string]uint32),
+	}
+}
+
+// PC returns the address the next emission will occupy.
+func (b *Builder) PC() uint32 { return b.pc }
+
+// SetEntry sets the program entry point.
+func (b *Builder) SetEntry(addr uint32) { b.entry = addr }
+
+// Org ends the current segment and continues emission at addr.
+func (b *Builder) Org(addr uint32) {
+	b.flushSegment()
+	b.pc = addr
+	b.segStart = addr
+}
+
+func (b *Builder) flushSegment() {
+	if len(b.buf) > 0 {
+		b.segments = append(b.segments, Segment{Addr: b.segStart, Data: b.buf})
+		b.buf = nil
+	}
+}
+
+// Label defines name at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	b.labels[name] = b.pc
+}
+
+// Addr returns the address of a previously defined label.
+func (b *Builder) Addr(name string) uint32 {
+	a, ok := b.labels[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined label %q", name))
+	}
+	return a
+}
+
+// Word emits a raw 32-bit data word.
+func (b *Builder) Word(v uint32) {
+	b.buf = append(b.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	b.pc += 4
+}
+
+// Space emits n zero bytes.
+func (b *Builder) Space(n int) {
+	b.buf = append(b.buf, make([]byte, n)...)
+	b.pc += uint32(n)
+}
+
+// Emit appends one encoded instruction.
+func (b *Builder) Emit(in isa.Inst) {
+	b.Word(isa.MustEncode(in))
+}
+
+// R emits an R-type instruction.
+func (b *Builder) R(op isa.Opcode, rd, rs1, rs2 uint8) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I emits an I-type instruction.
+func (b *Builder) I(op isa.Opcode, rd, rs1 uint8, imm int32) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Branch emits a conditional branch to label (forward references allowed).
+func (b *Builder) Branch(op isa.Opcode, rs1, rs2 uint8, label string) {
+	if !op.IsCondBranch() {
+		panic(fmt.Sprintf("asm: %v is not a conditional branch", op))
+	}
+	b.emitFixup(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jal emits jal rd, label (forward references allowed).
+func (b *Builder) Jal(rd uint8, label string) {
+	b.emitFixup(isa.Inst{Op: isa.OpJAL, Rd: rd}, label)
+}
+
+func (b *Builder) emitFixup(in isa.Inst, label string) {
+	b.fixups = append(b.fixups, fixup{addr: b.pc, label: label, inst: in})
+	b.Word(0) // placeholder
+}
+
+// Syscall emits a syscall instruction.
+func (b *Builder) Syscall() { b.Emit(isa.Inst{Op: isa.OpSYSCALL}) }
+
+// Nop emits addi zero, zero, 0.
+func (b *Builder) Nop() { b.I(isa.OpADDI, isa.RegZero, isa.RegZero, 0) }
+
+// Mv emits rd = rs.
+func (b *Builder) Mv(rd, rs uint8) { b.I(isa.OpADDI, rd, rs, 0) }
+
+// Li loads an arbitrary 32-bit constant into rd (one or two instructions).
+func (b *Builder) Li(rd uint8, v uint32) {
+	if hi := v >> 16; hi != 0 {
+		b.I(isa.OpLUI, rd, 0, int32(hi))
+		if lo := v & 0xffff; lo != 0 {
+			b.I(isa.OpORI, rd, rd, int32(lo))
+		}
+		return
+	}
+	if v <= 0x7fff {
+		b.I(isa.OpADDI, rd, isa.RegZero, int32(v))
+		return
+	}
+	b.I(isa.OpORI, rd, isa.RegZero, int32(v))
+}
+
+// La loads the address of label into rd. The label must resolve at Finish
+// time; forward references are allowed because La always uses the
+// two-instruction lui+ori form, patched at link time.
+func (b *Builder) La(rd uint8, label string) {
+	b.fixups = append(b.fixups, fixup{addr: b.pc, label: label,
+		inst: isa.Inst{Op: isa.OpLUI, Rd: rd}})
+	b.Word(0)
+	b.fixups = append(b.fixups, fixup{addr: b.pc, label: label,
+		inst: isa.Inst{Op: isa.OpORI, Rd: rd, Rs1: rd}})
+	b.Word(0)
+}
+
+// J emits an unconditional jump to label.
+func (b *Builder) J(label string) { b.Jal(isa.RegZero, label) }
+
+// Call emits jal ra, label.
+func (b *Builder) Call(label string) { b.Jal(isa.RegLR, label) }
+
+// Ret emits jalr zero, ra, 0.
+func (b *Builder) Ret() { b.I(isa.OpJALR, isa.RegZero, isa.RegLR, 0) }
+
+// Finish resolves all fixups and returns the completed program.
+func (b *Builder) Finish() (*Program, error) {
+	b.flushSegment()
+	sort.Slice(b.segments, func(i, j int) bool { return b.segments[i].Addr < b.segments[j].Addr })
+	for i := 1; i < len(b.segments); i++ {
+		prev := b.segments[i-1]
+		if prev.Addr+uint32(len(prev.Data)) > b.segments[i].Addr {
+			return nil, fmt.Errorf("asm: segments overlap at %#08x", b.segments[i].Addr)
+		}
+	}
+	p := &Program{Entry: b.entry, Segments: b.segments, Symbols: b.labels}
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", fx.label)
+		}
+		in := fx.inst
+		switch {
+		case in.Op == isa.OpLUI:
+			in.Imm = int32(target >> 16)
+		case in.Op == isa.OpORI:
+			in.Imm = int32(target & 0xffff)
+		default: // pc-relative branch or jal
+			off := (int64(target) - int64(fx.addr) - isa.WordSize) / isa.WordSize
+			in.Imm = int32(off)
+		}
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("asm: fixup for %q at %#08x: %w", fx.label, fx.addr, err)
+		}
+		if !p.patchWord(fx.addr, w) {
+			return nil, fmt.Errorf("asm: fixup address %#08x outside image", fx.addr)
+		}
+	}
+	return p, nil
+}
+
+// MustFinish is Finish that panics on error, for generated code.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Program) patchWord(addr, w uint32) bool {
+	for i := range p.Segments {
+		s := &p.Segments[i]
+		if addr >= s.Addr && addr+4 <= s.Addr+uint32(len(s.Data)) {
+			off := addr - s.Addr
+			s.Data[off] = byte(w)
+			s.Data[off+1] = byte(w >> 8)
+			s.Data[off+2] = byte(w >> 16)
+			s.Data[off+3] = byte(w >> 24)
+			return true
+		}
+	}
+	return false
+}

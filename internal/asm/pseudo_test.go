@@ -1,0 +1,94 @@
+package asm
+
+import "testing"
+
+func TestBranchPseudoOps(t *testing.T) {
+	src := `
+	.entry main
+main:
+	li r1, 5
+	li r2, 3
+	li r20, 0
+	bgt r1, r2, a      ; 5 > 3: taken
+	li r20, 111
+a:
+	ble r2, r1, c      ; 3 <= 5: taken
+	li r20, 222
+c:
+	beqz r20, d        ; r20 == 0: taken
+	li r20, 333
+d:
+	li r3, 1
+	bnez r3, e         ; taken
+	li r20, 444
+e:
+	bgt r2, r1, bad    ; 3 > 5: not taken
+	ble r1, r2, bad    ; 5 <= 3: not taken
+	beqz r3, bad       ; r3 != 0: not taken
+	bnez r20, bad      ; r20 == 0: not taken
+	li r10, 1
+	j fin
+bad:
+	li r10, 0
+fin:
+	syscall
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runNative(t, p, 200)
+	if r.R[10] != 1 || r.R[20] != 0 {
+		t.Fatalf("r10=%d r20=%d; pseudo branches misbehaved", r.R[10], r.R[20])
+	}
+}
+
+func TestSubiNeg(t *testing.T) {
+	src := `
+	li r1, 100
+	subi r2, r1, 42
+	neg r3, r2
+	syscall
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runNative(t, p, 20)
+	if r.R[2] != 58 {
+		t.Fatalf("subi result %d, want 58", r.R[2])
+	}
+	if int32(r.R[3]) != -58 {
+		t.Fatalf("neg result %d, want -58", int32(r.R[3]))
+	}
+}
+
+func TestBranchPseudoNumericTarget(t *testing.T) {
+	src := `
+	li r1, 1
+	bnez r1, 1     ; skip the next instruction
+	li r2, 99
+	syscall
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runNative(t, p, 20)
+	if r.R[2] != 0 {
+		t.Fatalf("numeric-offset pseudo branch not taken: r2=%d", r.R[2])
+	}
+}
+
+func TestPseudoArityErrors(t *testing.T) {
+	for _, src := range []string{
+		"beqz r1\nsyscall",
+		"bgt r1, r2\nsyscall",
+		"subi r1, r2\nsyscall",
+		"neg r1\nsyscall",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}

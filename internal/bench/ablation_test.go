@@ -1,0 +1,72 @@
+package bench
+
+import "testing"
+
+func ablationConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.1
+	cfg.TimesliceMSec = 200
+	return cfg
+}
+
+func TestAblationQuickCheck(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Benchmarks = []string{"gzip", "mgrid"}
+	_, rows, err := AblationQuickCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Detection without the inlined quick check pays a full analysis
+		// call at every boundary-PC arrival, so the run must be slower —
+		// but only modestly (detection is a small share of slice work).
+		if r.Penalty <= 1.0 {
+			t.Fatalf("%s: always-full not slower (%.3f)", r.Name, r.Penalty)
+		}
+		if r.Penalty > 2.0 {
+			t.Fatalf("%s: always-full penalty %.2fx implausibly large", r.Name, r.Penalty)
+		}
+	}
+}
+
+func TestAblationSysRecs(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Benchmarks = []string{"gcc"}
+	_, rows, err := AblationSysRecs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gcc allocates constantly; forking at every syscall must hurt
+	// substantially (the paper's motivation for record-and-playback).
+	if rows[0].Penalty < 1.1 {
+		t.Fatalf("gcc fork-per-syscall penalty only %.2fx", rows[0].Penalty)
+	}
+}
+
+func TestAblationSharedCache(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Benchmarks = []string{"gcc"}
+	_, rows, err := AblationSharedCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gcc is compilation-limited; sharing translations across slices
+	// must be a clear win.
+	if rows[0].Penalty < 1.15 {
+		t.Fatalf("shared cache won only %.2fx on gcc", rows[0].Penalty)
+	}
+}
+
+func TestAblationThrottle(t *testing.T) {
+	cfg := ablationConfig()
+	cfg.Benchmarks = []string{"mgrid"}
+	_, rows, err := AblationThrottle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ThrotPipe >= r.FixedPipe {
+		t.Fatalf("throttle did not shrink pipeline delay: %.2f -> %.2f",
+			r.FixedPipe, r.ThrotPipe)
+	}
+}

@@ -1,0 +1,737 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+)
+
+// workloadSrc builds a test application: a loop with function calls,
+// stack traffic, a memory walk, and periodic system calls whose results
+// feed the exit code — so any slice that misreplays a syscall diverges
+// visibly at its exit-record comparison.
+func workloadSrc(iters int, sysPeriodMask int, sysno uint32) string {
+	return fmt.Sprintf(`
+	.entry main
+leaf:
+	addi sp, sp, -8
+	sw ra, (sp)
+	sw r2, 4(sp)
+	addi r2, r2, 7
+	lw ra, (sp)
+	addi sp, sp, 8
+	ret
+main:
+	li r10, 0
+	li r11, %d
+	la r12, data
+	li r20, 0
+outer:
+	andi r13, r10, 63
+	slli r13, r13, 2
+	add r13, r13, r12
+	lw r14, (r13)
+	add r14, r14, r10
+	sw r14, (r13)
+	add r20, r20, r14
+	mv r2, r10
+	call leaf
+	add r20, r20, r2
+	andi r15, r10, %d
+	bne r15, zero, nosys
+	li r1, %d
+	li r2, 0
+	li r3, 0x9000
+	li r4, 8
+	syscall
+	add r20, r20, r1
+nosys:
+	addi r10, r10, 1
+	blt r10, r11, outer
+	li r1, 1
+	andi r2, r20, 255
+	syscall
+	.org 0x8000
+data:
+	.space 256
+`, iters, sysPeriodMask, sysno)
+}
+
+func buildWorkload(t *testing.T, iters, mask int, sysno uint32) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(workloadSrc(iters, mask, sysno))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testKernelCfg() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxCycles = 2_000_000_000
+	return cfg
+}
+
+// icountTool is the test icount2-style tool: per-instruction counting
+// into a slice-local counter, auto-merged (sum) into the shared area.
+type icountTool struct {
+	local  []uint64
+	shared []uint64
+}
+
+func (t *icountTool) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		n := uint64(bbl.NumIns())
+		bbl.InsertCall(pin.Before, func(*pin.Ctx) { t.local[0] += n })
+	}
+}
+
+// newIcount returns a tool factory and an accessor for the final count.
+func newIcount() (ToolFactory, func() uint64) {
+	var result []uint64
+	factory := func(ctl *ToolCtl) Tool {
+		tl := &icountTool{local: make([]uint64, 1)}
+		tl.shared = ctl.CreateSharedArea(tl.local, MergeSum)
+		if ctl.SliceNum() == -1 {
+			result = tl.shared
+		}
+		return tl
+	}
+	return factory, func() uint64 { return result[0] }
+}
+
+func smallOpts(msec float64) Options {
+	o := DefaultOptions()
+	o.SliceMSec = msec
+	return o
+}
+
+func TestSuperPinIcountMatchesNativeAndPin(t *testing.T) {
+	// SysRand draws from the kernel's deterministic pool in call order,
+	// so its results — unlike time() — are identical across execution
+	// modes and exit codes are comparable.
+	prog := buildWorkload(t, 3000, 31, kernel.SysRand)
+	cfg := testKernelCfg()
+
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinFactory, pinCount := newIcount()
+	pinRes, err := RunPin(cfg, prog, pinFactory, pin.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinCount() != native.Ins {
+		t.Fatalf("pin icount = %d, native ins = %d", pinCount(), native.Ins)
+	}
+	if pinRes.ExitCode != native.ExitCode {
+		t.Fatalf("pin exit = %d, native = %d", pinRes.ExitCode, native.ExitCode)
+	}
+
+	spFactory, spCount := newIcount()
+	res, err := Run(cfg, prog, spFactory, smallOpts(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("superpin errors: %v", res.Err)
+	}
+	if spCount() != native.Ins {
+		t.Fatalf("superpin icount = %d, native ins = %d", spCount(), native.Ins)
+	}
+	if res.ExitCode != native.ExitCode {
+		t.Fatalf("superpin exit = %d, native = %d", res.ExitCode, native.ExitCode)
+	}
+	if res.SliceIns != res.MasterIns {
+		t.Fatalf("slices executed %d ins, master %d", res.SliceIns, res.MasterIns)
+	}
+	if res.Stats.Forks < 3 {
+		t.Fatalf("only %d slices; test should span many timeslices", res.Stats.Forks)
+	}
+	if res.Stats.Divergences != 0 {
+		t.Fatalf("%d divergences", res.Stats.Divergences)
+	}
+}
+
+func TestSuperPinFasterThanPinSlowerThanNative(t *testing.T) {
+	prog := buildWorkload(t, 6000, 63, kernel.SysTime)
+	cfg := testKernelCfg()
+
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// icount1-style heavy instrumentation: per-instruction calls.
+	heavy := func(ctl *ToolCtl) Tool { return &perInsTool{} }
+	pinRes, err := RunPin(cfg, prog, heavy, pin.DefaultCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, prog, heavy, smallOpts(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.TotalTime >= pinRes.Time {
+		t.Fatalf("superpin (%d) not faster than pin (%d)", res.TotalTime, pinRes.Time)
+	}
+	if res.TotalTime <= native.Time {
+		t.Fatalf("superpin (%d) unrealistically faster than native (%d)", res.TotalTime, native.Time)
+	}
+	speedup := float64(pinRes.Time) / float64(res.TotalTime)
+	if speedup < 2 {
+		t.Fatalf("speedup only %.2fx on 8 CPUs", speedup)
+	}
+}
+
+// perInsTool inserts a per-instruction call with no state, for timing
+// tests.
+type perInsTool struct{ n uint64 }
+
+func (t *perInsTool) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			ins.InsertCall(pin.Before, func(*pin.Ctx) { t.n++ })
+		}
+	}
+}
+
+func TestSyscallOnlyBoundaries(t *testing.T) {
+	// -spsysrecs 0: recording disabled, every syscall forces a slice.
+	prog := buildWorkload(t, 2000, 15, kernel.SysRand)
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	opts := smallOpts(1000) // long timeslices: syscalls dominate
+	opts.MaxSysRecs = 0
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if count() != native.Ins {
+		t.Fatalf("icount = %d, want %d", count(), native.Ins)
+	}
+	if res.Stats.SyscallForks == 0 {
+		t.Fatal("no syscall-boundary forks despite -spsysrecs 0")
+	}
+	if res.Stats.SysRecords != 0 {
+		t.Fatalf("recorded %d syscalls with recording disabled", res.Stats.SysRecords)
+	}
+}
+
+func TestRecordBudgetForcesBoundaries(t *testing.T) {
+	prog := buildWorkload(t, 2000, 7, kernel.SysRand) // frequent syscalls
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	opts := smallOpts(1000)
+	opts.MaxSysRecs = 3
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if count() != native.Ins {
+		t.Fatalf("icount = %d, want %d", count(), native.Ins)
+	}
+	if res.Stats.SysRecords == 0 || res.Stats.SyscallForks == 0 {
+		t.Fatalf("want a mix of records and forks, got %d recs, %d forks",
+			res.Stats.SysRecords, res.Stats.SyscallForks)
+	}
+}
+
+func TestReplayedSyscallsSeeMasterValues(t *testing.T) {
+	// rand, time, getpid and read all return values a slice could not
+	// reproduce; the workload folds them into the exit code, and each
+	// slice's replayed exit-record comparison catches any divergence.
+	// time() legitimately returns different values to the native run and
+	// the (ptrace-monitored) master, so its exit code is not compared —
+	// a clean run with no divergences already proves the slices saw the
+	// master's values.
+	for _, sysno := range []uint32{kernel.SysRand, kernel.SysTime, kernel.SysGetPid, kernel.SysRead} {
+		prog := buildWorkload(t, 1500, 15, sysno)
+		cfg := testKernelCfg()
+		native, err := RunNative(cfg, prog, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factory, count := newIcount()
+		res, err := Run(cfg, prog, factory, smallOpts(30))
+		if err != nil {
+			t.Fatalf("sysno %d: %v", sysno, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("sysno %d: %v", sysno, res.Err)
+		}
+		if sysno != kernel.SysTime && res.ExitCode != native.ExitCode {
+			t.Fatalf("sysno %d: exit %d vs native %d", sysno, res.ExitCode, native.ExitCode)
+		}
+		if count() != native.Ins {
+			t.Fatalf("sysno %d: icount %d vs %d", sysno, count(), native.Ins)
+		}
+	}
+}
+
+func TestConsoleOutputNotDuplicated(t *testing.T) {
+	src := `
+	.entry main
+main:
+	li r10, 0
+	li r11, 2000
+loop:
+	andi r13, r10, 255
+	bne r13, zero, skip
+	la r3, msg
+	li r1, 2
+	li r2, 1
+	li r4, 3
+	syscall
+skip:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	li r2, 0
+	syscall
+	.org 0x6000
+msg:
+	.word 0x00636261   ; "abc"
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, _ := newIcount()
+	res, err := Run(cfg, prog, factory, smallOpts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if string(res.Stdout) != string(native.Stdout) {
+		t.Fatalf("superpin stdout %q != native %q", res.Stdout, native.Stdout)
+	}
+	if len(res.Stdout) != 8*3 {
+		t.Fatalf("stdout length %d, want 24", len(res.Stdout))
+	}
+}
+
+func TestMergeOrderIsSliceOrder(t *testing.T) {
+	prog := buildWorkload(t, 3000, 31, kernel.SysTime)
+	var order []int
+	factory := func(ctl *ToolCtl) Tool {
+		return &orderTool{ctl: ctl, order: &order}
+	}
+	res, err := Run(testKernelCfg(), prog, factory, smallOpts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(order) != res.Stats.Forks {
+		t.Fatalf("%d merges for %d slices", len(order), res.Stats.Forks)
+	}
+	for i, n := range order {
+		if n != i+1 {
+			t.Fatalf("merge order %v not slice order", order)
+		}
+	}
+}
+
+// orderTool records SliceBegin/SliceEnd ordering.
+type orderTool struct {
+	ctl   *ToolCtl
+	order *[]int
+	began bool
+}
+
+func (t *orderTool) Instrument(*pin.Trace) {}
+func (t *orderTool) SliceBegin(n int)      { t.began = true }
+func (t *orderTool) SliceEnd(n int) {
+	if !t.began {
+		panic("SliceEnd before SliceBegin")
+	}
+	*t.order = append(*t.order, n)
+}
+
+func TestMaxSlicesOneSerializes(t *testing.T) {
+	prog := buildWorkload(t, 1500, 63, kernel.SysTime)
+	cfg := testKernelCfg()
+	factory, count := newIcount()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(20)
+	opts.MaxSlices = 1
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if count() != native.Ins {
+		t.Fatalf("icount = %d, want %d", count(), native.Ins)
+	}
+	if res.Stats.Stalls == 0 {
+		t.Fatal("MaxSlices=1 run never stalled the master")
+	}
+	if res.MasterSleep == 0 {
+		t.Fatal("no master sleep time recorded")
+	}
+}
+
+func TestMoreSlicesRunFaster(t *testing.T) {
+	prog := buildWorkload(t, 6000, 255, kernel.SysTime)
+	cfg := testKernelCfg()
+	run := func(maxSlices int) kernel.Cycles {
+		opts := smallOpts(50)
+		opts.MaxSlices = maxSlices
+		factory := func(ctl *ToolCtl) Tool { return &perInsTool{} }
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.TotalTime
+	}
+	t1 := run(1)
+	t4 := run(4)
+	t8 := run(8)
+	if !(t8 < t4 && t4 < t1) {
+		t.Fatalf("parallelism scaling violated: 1->%d 4->%d 8->%d", t1, t4, t8)
+	}
+}
+
+func TestSignatureStatsLookReasonable(t *testing.T) {
+	prog := buildWorkload(t, 8000, 4095, kernel.SysTime) // few syscalls: timeout slices
+	factory, _ := newIcount()
+	res, err := Run(testKernelCfg(), prog, factory, smallOpts(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := res.Stats
+	if st.TimeoutForks == 0 {
+		t.Fatal("no timeout forks")
+	}
+	if st.QuickChecks == 0 {
+		t.Fatal("no quick checks executed")
+	}
+	if st.FullChecks > st.QuickChecks {
+		t.Fatalf("full checks (%d) exceed quick checks (%d)", st.FullChecks, st.QuickChecks)
+	}
+	// The quick check exists to filter: full checks should be a small
+	// fraction of quick checks (the paper reports ~2%).
+	frac := float64(st.FullChecks) / float64(st.QuickChecks)
+	if frac > 0.25 {
+		t.Fatalf("quick check filters poorly: full/quick = %.2f", frac)
+	}
+	if st.StackChecks == 0 {
+		t.Fatal("no stack checks")
+	}
+}
+
+func TestFalsePositiveWithoutMemCheckFixedWithIt(t *testing.T) {
+	// Paper Section 4.4: a loop that advances only a memory-resident
+	// counter, with all registers and stack identical at the loop head
+	// every iteration. Without the memory-operand extension the
+	// signature matches on the first arrival and the slice ends early
+	// (lost coverage); with MemCheck the probe disambiguates.
+	src := `
+	.entry main
+main:
+	la r5, counter
+	li r8, 60000
+loop:
+	lw r6, (r5)
+	addi r6, r6, 1
+	sw r6, (r5)
+	blt r6, r8, cont
+	li r1, 1
+	li r2, 0
+	syscall
+cont:
+	li r6, 0
+	j loop
+	.org 0x7000
+counter:
+	.word 0
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	factory, count := newIcount()
+	opts := smallOpts(30)
+	opts.MemCheck = false
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostWithout := native.Ins - count()
+	if res.Stats.TimeoutForks == 0 {
+		t.Fatal("test needs timeout boundaries")
+	}
+	if lostWithout == 0 {
+		t.Skip("false positive did not trigger at this timeslice setting; adjust workload")
+	}
+
+	factory2, count2 := newIcount()
+	opts.MemCheck = true
+	res2, err := Run(cfg, prog, factory2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if count2() != native.Ins {
+		t.Fatalf("with MemCheck: icount %d, want %d (probes=%d)",
+			count2(), native.Ins, res2.Stats.MemProbes)
+	}
+	if res2.Stats.MemProbes == 0 {
+		t.Fatal("MemCheck run recorded no probes")
+	}
+}
+
+func TestEndSliceSampling(t *testing.T) {
+	// A Shadow-Profiler-style tool: each slice samples only its first
+	// 200 instructions then calls SP_EndSlice.
+	prog := buildWorkload(t, 4000, 1023, kernel.SysTime)
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampled uint64
+	factory := func(ctl *ToolCtl) Tool {
+		return &samplerTool{ctl: ctl, sampled: &sampled, budget: 200}
+	}
+	res, err := Run(cfg, prog, factory, smallOpts(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if sampled == 0 {
+		t.Fatal("sampler saw nothing")
+	}
+	if sampled >= native.Ins {
+		t.Fatalf("sampler saw %d of %d instructions; sampling had no effect", sampled, native.Ins)
+	}
+	// Slices end early, so total slice instructions < master's.
+	if res.SliceIns >= res.MasterIns {
+		t.Fatalf("slices executed %d >= master %d despite EndSlice", res.SliceIns, res.MasterIns)
+	}
+}
+
+type samplerTool struct {
+	ctl     *ToolCtl
+	sampled *uint64
+	budget  int
+	seen    int
+}
+
+func (t *samplerTool) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			ins.InsertCall(pin.Before, func(*pin.Ctx) {
+				t.seen++
+				*t.sampled++
+				if t.seen >= t.budget {
+					t.ctl.EndSlice()
+				}
+			})
+		}
+	}
+}
+
+func TestBreakdownComponentsSum(t *testing.T) {
+	prog := buildWorkload(t, 4000, 127, kernel.SysTime)
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(ctl *ToolCtl) Tool { return &perInsTool{} }
+	opts := smallOpts(50)
+	opts.MaxSlices = 2 // force stalls so all components are non-zero
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, forkOthers, sleep, pipeline := res.Breakdown(native.Time)
+	sum := nat + forkOthers + sleep + pipeline
+	if sum != res.TotalTime {
+		t.Fatalf("breakdown sums to %d, total %d (n=%d f=%d s=%d p=%d)",
+			sum, res.TotalTime, nat, forkOthers, sleep, pipeline)
+	}
+	if pipeline == 0 {
+		t.Fatal("no pipeline delay")
+	}
+	if sleep == 0 {
+		t.Fatal("no master sleep despite MaxSlices=2 and heavy tool")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := buildWorkload(t, 2500, 31, kernel.SysRand)
+	factory1, c1 := newIcount()
+	r1, err := Run(testKernelCfg(), prog, factory1, smallOpts(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory2, c2 := newIcount()
+	r2, err := Run(testKernelCfg(), prog, factory2, smallOpts(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalTime != r2.TotalTime || c1() != c2() || r1.Stats != r2.Stats {
+		t.Fatalf("nondeterministic runs:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestAdaptiveThrottleShrinksTailSlices(t *testing.T) {
+	prog := buildWorkload(t, 8000, 4095, kernel.SysTime)
+	cfg := testKernelCfg()
+	factory := func(ctl *ToolCtl) Tool { return &perInsTool{} }
+
+	base := smallOpts(100)
+	resBase, err := Run(cfg, prog, factory, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tell the throttle the app's approximate native length.
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(100)
+	opts.ExpectedAppMSec = 1000 * cfg.Cost.Seconds(native.Time)
+	resAd, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAd.Err != nil {
+		t.Fatal(resAd.Err)
+	}
+	// The throttle spawns more, shorter slices near the end, shrinking
+	// the pipeline tail.
+	if resAd.Stats.Forks <= resBase.Stats.Forks {
+		t.Fatalf("throttle did not create more slices: %d vs %d",
+			resAd.Stats.Forks, resBase.Stats.Forks)
+	}
+	_, _, _, pipeBase := resBase.Breakdown(native.Time)
+	_, _, _, pipeAd := resAd.Breakdown(native.Time)
+	if pipeAd >= pipeBase {
+		t.Fatalf("adaptive pipeline delay %d not below base %d", pipeAd, pipeBase)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{SliceMSec: 0, MaxSlices: 8},
+		{SliceMSec: 100, MaxSlices: 0},
+		{SliceMSec: 100, MaxSlices: 8, MaxSysRecs: -1},
+	}
+	prog := buildWorkload(t, 10, 1, kernel.SysTime)
+	factory, _ := newIcount()
+	for _, o := range bad {
+		if _, err := Run(testKernelCfg(), prog, factory, o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+}
+
+func TestPinModeSharedAreaIsLocal(t *testing.T) {
+	prog := buildWorkload(t, 500, 63, kernel.SysTime)
+	var ctlSeen *ToolCtl
+	factory := func(ctl *ToolCtl) Tool {
+		ctlSeen = ctl
+		tl := &icountTool{local: make([]uint64, 1)}
+		tl.shared = ctl.CreateSharedArea(tl.local, MergeSum)
+		if &tl.shared[0] != &tl.local[0] {
+			t.Error("pin mode CreateSharedArea did not return local data")
+		}
+		return tl
+	}
+	if _, err := RunPin(testKernelCfg(), prog, factory, pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	if ctlSeen.SuperPin() {
+		t.Error("SuperPin() true in pin mode")
+	}
+	if ctlSeen.SliceNum() != -1 {
+		t.Error("SliceNum != -1 in pin mode")
+	}
+}
+
+func TestSliceInfoCoverage(t *testing.T) {
+	prog := buildWorkload(t, 3000, 31, kernel.SysTime)
+	factory, _ := newIcount()
+	res, err := Run(testKernelCfg(), prog, factory, smallOpts(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slices) != res.Stats.Forks {
+		t.Fatalf("%d slice infos for %d forks", len(res.Slices), res.Stats.Forks)
+	}
+	var total uint64
+	for i, si := range res.Slices {
+		if si.Num != i+1 {
+			t.Fatalf("slice %d numbered %d", i, si.Num)
+		}
+		if si.Boundary == "open" {
+			t.Fatalf("slice %d still open at end", si.Num)
+		}
+		if si.End < si.Start {
+			t.Fatalf("slice %d ends before it starts", si.Num)
+		}
+		total += si.Ins
+	}
+	if total != res.SliceIns {
+		t.Fatalf("slice info ins sum %d != SliceIns %d", total, res.SliceIns)
+	}
+	last := res.Slices[len(res.Slices)-1]
+	if last.Boundary != "exit" {
+		t.Fatalf("last slice boundary %q, want exit", last.Boundary)
+	}
+}

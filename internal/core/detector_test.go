@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/kernel"
+)
+
+// aperiodicSrc builds a workload whose control flow is driven by a
+// xorshift PRNG register, so the instruction-pointer stream never repeats
+// periodically — the case where IP-history detection is sound.
+func aperiodicSrc(iters int) string {
+	return fmt.Sprintf(`
+	.entry main
+main:
+	li r9, 0x12345
+	li r10, 0
+	li r11, %d
+	li r20, 0
+loop:
+	slli r13, r9, 13
+	xor r9, r9, r13
+	srli r13, r9, 17
+	xor r9, r9, r13
+	slli r13, r9, 5
+	xor r9, r9, r13
+	andi r13, r9, 1
+	beq r13, zero, skip
+	addi r20, r20, 3
+	add r20, r20, r9
+skip:
+	andi r13, r9, 6
+	beq r13, zero, skip2
+	xor r20, r20, r9
+skip2:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	andi r2, r20, 255
+	syscall
+`, iters)
+}
+
+// periodicSrc builds a loop whose branch outcomes depend only on the low
+// bits of the induction variable, so the last-N-IP window repeats exactly
+// across iterations — the false-positive class of IP-history detection.
+func periodicSrc(iters int) string {
+	return fmt.Sprintf(`
+	.entry main
+main:
+	li r10, 0
+	li r11, %d
+	li r20, 0
+loop:
+	andi r13, r10, 7
+	beq r13, zero, skip
+	addi r20, r20, 1
+skip:
+	add r20, r20, r10
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	andi r2, r20, 255
+	syscall
+`, iters)
+}
+
+func TestIPHistoryDetectorExactOnAperiodicCode(t *testing.T) {
+	prog, err := asm.Assemble(aperiodicSrc(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	opts := smallOpts(50)
+	opts.Detector = DetectorIPHistory
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.TimeoutForks < 3 {
+		t.Fatalf("want several timeout boundaries, got %d", res.Stats.TimeoutForks)
+	}
+	if count() != native.Ins {
+		t.Fatalf("IP-history icount %d, native %d", count(), native.Ins)
+	}
+}
+
+// TestIPHistoryDetectorFalsePositiveOnPeriodicCode documents why the
+// paper rejected the last-N-instruction-pointers approach: perfectly
+// periodic control flow produces identical IP windows on every loop
+// period regardless of window length, so the previous slice terminates at
+// the first window match and coverage is lost. The state signature has no
+// such problem here because the induction register differs each
+// iteration.
+func TestIPHistoryDetectorFalsePositiveOnPeriodicCode(t *testing.T) {
+	prog, err := asm.Assemble(periodicSrc(120000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ipFactory, ipCount := newIcount()
+	opts := smallOpts(50)
+	opts.Detector = DetectorIPHistory
+	opts.IPHistoryLen = 128
+	if _, err := Run(cfg, prog, ipFactory, opts); err != nil {
+		t.Fatal(err)
+	}
+	if ipCount() >= native.Ins {
+		t.Skip("IP windows did not collide at this configuration")
+	}
+
+	stFactory, stCount := newIcount()
+	opts.Detector = DetectorState
+	res, err := Run(cfg, prog, stFactory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if stCount() != native.Ins {
+		t.Fatalf("state detector lost coverage too: %d vs %d", stCount(), native.Ins)
+	}
+}
+
+// TestIPHistoryDetectorCostsMore quantifies the rejection rationale: the
+// IP-history detector monitors every instruction in the master (branch
+// tracing) and in the slices (ring maintenance), so the run is slower
+// than with the state signature.
+func TestIPHistoryDetectorCostsMore(t *testing.T) {
+	prog, err := asm.Assemble(aperiodicSrc(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testKernelCfg()
+	run := func(d DetectorKind) kernel.Cycles {
+		factory, _ := newIcount()
+		opts := smallOpts(50)
+		opts.Detector = d
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.TotalTime
+	}
+	state := run(DetectorState)
+	ipHist := run(DetectorIPHistory)
+	if ipHist <= state {
+		t.Fatalf("IP-history (%d) not slower than state signature (%d)", ipHist, state)
+	}
+}

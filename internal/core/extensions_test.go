@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"superpin/internal/kernel"
+)
+
+// TestSharedCodeCacheExactAndFaster covers the Section 8 shared code
+// cache: results stay exact, and a compile-heavy workload gets faster
+// because slices reuse each other's translations.
+func TestSharedCodeCacheExactAndFaster(t *testing.T) {
+	// A workload with a larger code footprint: many syscall-free loop
+	// iterations over a sizeable body make per-slice compilation matter.
+	prog := buildWorkload(t, 8000, 4095, kernel.SysTime)
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(shared bool) (uint64, kernel.Cycles) {
+		factory, count := newIcount()
+		opts := smallOpts(20)
+		opts.SharedCodeCache = shared
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return count(), res.TotalTime
+	}
+
+	countOff, timeOff := run(false)
+	countOn, timeOn := run(true)
+	if countOff != native.Ins || countOn != native.Ins {
+		t.Fatalf("icounts: off=%d on=%d native=%d", countOff, countOn, native.Ins)
+	}
+	if timeOn >= timeOff {
+		t.Fatalf("shared code cache did not help: %d vs %d", timeOn, timeOff)
+	}
+}
+
+// TestSharedCodeCacheWithTimeoutBoundaries checks the SplitPC interaction:
+// a slice must not adopt a shared translation that crosses its boundary
+// PC, or block-granularity counting would go inexact. The exactness
+// assertion is the proof.
+func TestSharedCodeCacheWithTimeoutBoundaries(t *testing.T) {
+	prog := buildWorkload(t, 6000, 4095, kernel.SysTime) // timeout-dominated
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	opts := smallOpts(15)
+	opts.SharedCodeCache = true
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.TimeoutForks < 3 {
+		t.Fatalf("want several timeout boundaries, got %d", res.Stats.TimeoutForks)
+	}
+	if count() != native.Ins {
+		t.Fatalf("icount %d, native %d", count(), native.Ins)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	prog := buildWorkload(t, 3000, 31, kernel.SysTime)
+	factory, _ := newIcount()
+	res, err := Run(testKernelCfg(), prog, factory, smallOpts(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline(60)
+	lines := strings.Split(tl, "\n")
+	if !strings.HasPrefix(lines[0], "master") {
+		t.Fatalf("first row %q", lines[0])
+	}
+	// One row per slice plus master plus legend.
+	sliceRows := 0
+	sawSleep, sawRun := false, false
+	for _, ln := range lines[1:] {
+		if strings.HasPrefix(ln, "S") {
+			sliceRows++
+			if strings.Contains(ln, "z") {
+				sawSleep = true
+			}
+			if strings.Contains(ln, "#") {
+				sawRun = true
+			}
+		}
+	}
+	if sliceRows != res.Stats.Forks {
+		t.Fatalf("%d slice rows for %d slices:\n%s", sliceRows, res.Stats.Forks, tl)
+	}
+	if !sawSleep || !sawRun {
+		t.Fatalf("timeline missing sleep or run phases:\n%s", tl)
+	}
+	// The master row must show the drained pipeline at the end.
+	if !strings.Contains(lines[0], "_") {
+		t.Fatalf("master row shows no pipeline drain:\n%s", tl)
+	}
+}
+
+func TestTimelineEmptyAndNarrow(t *testing.T) {
+	r := &Result{}
+	if got := r.Timeline(5); !strings.Contains(got, "empty") {
+		t.Fatalf("empty run rendering: %q", got)
+	}
+}
+
+// TestAlwaysFullCheckStillExact verifies the ablation mode is a pure
+// performance change.
+func TestAlwaysFullCheckStillExact(t *testing.T) {
+	prog := buildWorkload(t, 4000, 4095, kernel.SysTime)
+	cfg := testKernelCfg()
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	opts := smallOpts(20)
+	opts.AlwaysFullCheck = true
+	res, err := Run(cfg, prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if count() != native.Ins {
+		t.Fatalf("icount %d, native %d", count(), native.Ins)
+	}
+	if res.Stats.QuickChecks != 0 {
+		t.Fatalf("quick checks ran in AlwaysFullCheck mode: %d", res.Stats.QuickChecks)
+	}
+	if res.Stats.FullChecks == 0 {
+		t.Fatal("no full checks ran")
+	}
+}

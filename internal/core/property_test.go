@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+)
+
+// genProgram emits a random-but-valid guest program from a seeded source:
+// nested loops with register counters, random ALU work, random memory
+// traffic within a window, calls, and randomized syscall placement. It is
+// the generator behind the exactness property tests.
+func genProgram(t *testing.T, seed int64) *asm.Program {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder(0x1000)
+	b.J("main")
+
+	// A few leaf functions with varying stack use.
+	nLeaf := 1 + r.Intn(3)
+	for f := 0; f < nLeaf; f++ {
+		b.Label(leafName(f))
+		b.I(isa.OpADDI, isa.RegSP, isa.RegSP, -8)
+		b.I(isa.OpSW, isa.RegLR, isa.RegSP, 0)
+		for i := 0; i < 1+r.Intn(5); i++ {
+			b.I(isa.OpADDI, 2, 2, int32(r.Intn(50)))
+		}
+		b.I(isa.OpLW, isa.RegLR, isa.RegSP, 0)
+		b.I(isa.OpADDI, isa.RegSP, isa.RegSP, 8)
+		b.Ret()
+	}
+
+	b.Label("main")
+	iters := 2000 + r.Intn(4000)
+	b.Li(10, 0)
+	b.Li(11, uint32(iters))
+	b.Li(12, 0x0040_0000) // data window
+	b.Label("loop")
+	// Random body.
+	for i := 0; i < 3+r.Intn(8); i++ {
+		switch r.Intn(6) {
+		case 0:
+			b.R(isa.OpADD, 20, 20, 10)
+		case 1:
+			b.R(isa.OpXOR, 21, 21, 20)
+		case 2:
+			b.I(isa.OpANDI, 13, 10, int32(r.Intn(255)))
+			b.I(isa.OpSLLI, 13, 13, 2)
+			b.R(isa.OpADD, 13, 13, 12)
+			if r.Intn(2) == 0 {
+				b.I(isa.OpLW, 14, 13, 0)
+				b.R(isa.OpADD, 20, 20, 14)
+			} else {
+				b.I(isa.OpSW, 20, 13, 0)
+			}
+		case 3:
+			b.Mv(2, 10)
+			b.Call(leafName(r.Intn(nLeaf)))
+			b.R(isa.OpADD, 20, 20, 2)
+		case 4:
+			lbl := uniqueLabel(b)
+			b.I(isa.OpANDI, 15, 10, int32(1<<uint(r.Intn(3))))
+			b.Branch(isa.OpBEQ, 15, isa.RegZero, lbl)
+			b.I(isa.OpADDI, 20, 20, int32(1+r.Intn(9)))
+			b.Label(lbl)
+		case 5:
+			if r.Intn(3) == 0 { // occasional syscall
+				sysno := []uint32{kernel.SysTime, kernel.SysRand, kernel.SysBrk, kernel.SysGetPid}[r.Intn(4)]
+				b.Li(isa.RegSys, sysno)
+				b.Li(isa.RegArg0, 0)
+				b.Syscall()
+				b.R(isa.OpADD, 20, 20, isa.RegSys)
+			}
+		}
+	}
+	b.I(isa.OpADDI, 10, 10, 1)
+	b.Branch(isa.OpBLT, 10, 11, "loop")
+	b.Li(isa.RegSys, kernel.SysExit)
+	b.I(isa.OpANDI, isa.RegArg0, 20, 0xff)
+	b.Syscall()
+
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	prog.Entry = prog.Symbols["main"]
+	return prog
+}
+
+func leafName(i int) string { return string(rune('f'+i)) + "_leaf" }
+
+var labelCounter int
+
+func uniqueLabel(b *asm.Builder) string {
+	labelCounter++
+	return "pl" + itoa(labelCounter)
+}
+
+// TestExactnessProperty is the repository's central invariant run as a
+// randomized property: for arbitrary programs and SuperPin
+// configurations, the merged icount equals the native instruction count,
+// every master instruction is covered by exactly one slice, and no slice
+// diverges.
+func TestExactnessProperty(t *testing.T) {
+	cfg := testKernelCfg()
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		prog := genProgram(t, int64(trial*7+1))
+		native, err := RunNative(cfg, prog, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		opts := DefaultOptions()
+		opts.SliceMSec = []float64{10, 25, 60, 150}[r.Intn(4)]
+		opts.MaxSlices = 1 + r.Intn(8)
+		opts.MaxSysRecs = []int{0, 2, 1000}[r.Intn(3)]
+		opts.MemCheck = r.Intn(2) == 0
+
+		factory, count := newIcount()
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatalf("trial %d (opts %+v): %v", trial, opts, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("trial %d (opts %+v): %v", trial, opts, res.Err)
+		}
+		if count() != native.Ins {
+			t.Fatalf("trial %d (opts %+v): icount %d, native %d",
+				trial, opts, count(), native.Ins)
+		}
+		if res.SliceIns != res.MasterIns {
+			t.Fatalf("trial %d: slice coverage %d != master %d",
+				trial, res.SliceIns, res.MasterIns)
+		}
+		if res.Stats.Divergences != 0 {
+			t.Fatalf("trial %d: %d divergences", trial, res.Stats.Divergences)
+		}
+	}
+}
+
+// TestTinyProgramSingleSlice exercises the degenerate path: the program
+// exits almost immediately, before any timer or syscall boundary, so the
+// single start-of-execution slice covers everything and ends at the exit
+// record.
+func TestTinyProgramSingleSlice(t *testing.T) {
+	prog, err := asm.Assemble(`
+	li r1, 1
+	li r2, 9
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, count := newIcount()
+	res, err := Run(testKernelCfg(), prog, factory, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.Forks != 1 {
+		t.Fatalf("%d slices for a 3-instruction program", res.Stats.Forks)
+	}
+	if res.Slices[0].Boundary != "exit" {
+		t.Fatalf("boundary %q", res.Slices[0].Boundary)
+	}
+	if count() != 3 || res.ExitCode != 9 {
+		t.Fatalf("count=%d exit=%d", count(), res.ExitCode)
+	}
+}
+
+// TestMergeMaxMin covers the remaining auto-merge kinds.
+func TestMergeMaxMin(t *testing.T) {
+	prog := buildWorkload(t, 2500, 31, kernel.SysTime)
+	var maxArea, minArea []uint64
+	factory := func(ctl *ToolCtl) Tool {
+		tl := &extremaTool{
+			localMax: make([]uint64, 1),
+			localMin: []uint64{^uint64(0)},
+		}
+		tl.sharedMax = ctl.CreateSharedArea(tl.localMax, MergeMax)
+		tl.sharedMin = ctl.CreateSharedArea(tl.localMin, MergeMin)
+		if ctl.SliceNum() == -1 {
+			maxArea, minArea = tl.sharedMax, tl.sharedMin
+			// The master instance must not poison the min merge.
+			tl.localMin[0] = ^uint64(0)
+		}
+		return tl
+	}
+	res, err := Run(testKernelCfg(), prog, factory, smallOpts(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.Forks < 3 {
+		t.Fatal("need several slices")
+	}
+	// Max must be the largest per-slice count; min the smallest; and
+	// they must bracket the average.
+	if maxArea[0] == 0 || minArea[0] == ^uint64(0) {
+		t.Fatalf("merge extremes untouched: max=%d min=%d", maxArea[0], minArea[0])
+	}
+	if minArea[0] > maxArea[0] {
+		t.Fatalf("min %d > max %d", minArea[0], maxArea[0])
+	}
+	var largest uint64
+	for _, si := range res.Slices {
+		if si.Ins > largest {
+			largest = si.Ins
+		}
+	}
+	if maxArea[0] != largest {
+		t.Fatalf("MergeMax area %d, want largest slice %d", maxArea[0], largest)
+	}
+}
+
+// extremaTool counts per-slice instructions into both a MergeMax and a
+// MergeMin area.
+type extremaTool struct {
+	localMax, sharedMax []uint64
+	localMin, sharedMin []uint64
+	n                   uint64
+}
+
+func (t *extremaTool) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		k := uint64(bbl.NumIns())
+		bbl.InsertCall(pin.Before, func(*pin.Ctx) {
+			t.n += k
+			t.localMax[0] = t.n
+			t.localMin[0] = t.n
+		})
+	}
+}
+
+// TestSharedAreaSizeMismatchPanics guards the CreateSharedArea contract.
+func TestSharedAreaSizeMismatchPanics(t *testing.T) {
+	prog := buildWorkload(t, 500, 31, kernel.SysTime)
+	first := true
+	factory := func(ctl *ToolCtl) Tool {
+		size := 2
+		if !first {
+			size = 3 // violates the same-order-same-size contract
+		}
+		first = false
+		tl := &icountTool{local: make([]uint64, size)}
+		tl.shared = ctl.CreateSharedArea(tl.local, MergeSum)
+		return tl
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	_, _ = Run(testKernelCfg(), prog, factory, smallOpts(10))
+}
+
+// TestBubbleReservation checks the Section 4.1 memory-bubble bookkeeping:
+// the bubble is reserved before any application mmap, so master and slice
+// mmap results stay identical.
+func TestBubbleReservation(t *testing.T) {
+	prog := buildWorkload(t, 1000, 31, kernel.SysMmap)
+	factory, _ := newIcount()
+	opts := smallOpts(25)
+	opts.BubblePages = 64
+	res, err := Run(testKernelCfg(), prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err) // an mmap address mismatch would diverge
+	}
+	if res.Stats.BubbleAddr == 0 {
+		t.Fatal("no bubble reserved")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"superpin/internal/asm"
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/jit"
+	"superpin/internal/kernel"
+	"superpin/internal/mem"
+	"superpin/internal/pin"
+)
+
+// NativeResult is the outcome of an uninstrumented baseline run.
+type NativeResult struct {
+	Time     kernel.Cycles
+	Ins      uint64
+	Syscalls uint64
+	ExitCode uint32
+	Stdout   []byte
+}
+
+// RunNative executes program natively (no instrumentation, no monitoring)
+// on a fresh kernel — the "native" bar of the paper's figures.
+func RunNative(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycles) (*NativeResult, error) {
+	k := kernel.New(cfg)
+	m := mem.New()
+	program.LoadInto(m)
+	regs := cpu.Regs{PC: program.Entry}
+	regs.R[isa.RegSP] = DefaultStackTop
+	p := k.Spawn("native", m, regs, kernel.NativeRunner{MemSurcharge: memSurcharge})
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	res := &NativeResult{
+		Time:     p.EndTime - p.StartTime,
+		ExitCode: p.ExitCode,
+		Stdout:   k.Stdout,
+	}
+	// Multithreaded applications: account the whole thread group.
+	for _, q := range k.Procs() {
+		if q.Group() == p.Group() {
+			res.Ins += q.InsCount
+			res.Syscalls += q.SyscallCount
+			if q.EndTime > p.StartTime && q.EndTime-p.StartTime > res.Time {
+				res.Time = q.EndTime - p.StartTime
+			}
+		}
+	}
+	return res, nil
+}
+
+// PinResult is the outcome of a traditional serial Pin run.
+type PinResult struct {
+	Time     kernel.Cycles
+	Ins      uint64
+	ExitCode uint32
+	Engine   pin.Stats
+	Cache    jit.CacheStats
+	Stdout   []byte
+}
+
+// RunPin executes program serially under the instrumentation engine with
+// the given tool — traditional Pin mode, the paper's baseline. The tool
+// factory receives a ToolCtl outside SuperPin mode (SuperPin() reports
+// false, CreateSharedArea returns the local data), so the same tool code
+// runs unchanged, exactly as in the paper's Figure 2 example.
+func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost pin.CostModel) (*PinResult, error) {
+	k := kernel.New(cfg)
+	m := mem.New()
+	program.LoadInto(m)
+	regs := cpu.Regs{PC: program.Entry}
+	regs.R[isa.RegSP] = DefaultStackTop
+
+	e := pin.NewEngine(cost)
+	ctl := &ToolCtl{sliceNum: -1} // EndSlice is a no-op outside SuperPin
+	tool := factory(ctl)
+	e.AddTraceInstrumenter(tool.Instrument)
+
+	// Threads each get their own engine (their own code cache and
+	// execution state), all instrumented by the same tool instance —
+	// like real Pin, where the Pintool is process-wide.
+	k.ThreadRunner = func(*kernel.Proc) kernel.Runner {
+		te := pin.NewEngine(cost)
+		te.AddTraceInstrumenter(tool.Instrument)
+		return te
+	}
+
+	p := k.Spawn("pin", m, regs, e)
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	if fin, ok := tool.(Finisher); ok {
+		fin.Fini(p.ExitCode)
+	}
+	res := &PinResult{
+		Time:     p.EndTime - p.StartTime,
+		ExitCode: p.ExitCode,
+		Engine:   e.Stats(),
+		Cache:    e.CacheStats(),
+		Stdout:   k.Stdout,
+	}
+	for _, q := range k.Procs() {
+		if q.Group() == p.Group() {
+			res.Ins += q.InsCount
+			if q.EndTime > p.StartTime && q.EndTime-p.StartTime > res.Time {
+				res.Time = q.EndTime - p.StartTime
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+	"superpin/internal/mem"
+)
+
+// Signature uniquely identifies a timeslice boundary that falls at an
+// arbitrary (timeout-chosen) program location, per paper Section 4.4: the
+// full architectural register state plus the top StackWords words of the
+// stack, recorded by the new slice when it is created. The previous slice
+// detects the boundary by comparing against this signature every time it
+// reaches PC.
+type Signature struct {
+	// PC is the boundary program counter.
+	PC uint32
+	// Regs is the full architectural register file at the boundary.
+	Regs [isa.NumRegs]uint32
+	// SP is the recorded stack pointer; Stack holds the words at
+	// [SP, SP+4*len(Stack)).
+	SP    uint32
+	Stack []uint32
+
+	// QuickRegs are the two registers most likely to change across loop
+	// iterations, checked first by the inlined quick detector.
+	QuickRegs [2]uint8
+	// Defaulted reports that the recorder could not identify changing
+	// registers within its block budget and fell back to defaults.
+	Defaulted bool
+
+	// Probe, when non-nil, extends the signature with the result of a
+	// memory operation — the paper's proposed fix for code that advances
+	// only a memory-resident loop counter.
+	Probe *MemProbe
+
+	// IPs is the recent instruction-pointer history at the boundary
+	// (oldest first), used only by DetectorIPHistory.
+	IPs []uint32
+}
+
+// MemProbe is a single guest memory word included in a signature.
+type MemProbe struct {
+	Addr uint32
+	Want uint32
+}
+
+// defaultQuickRegs are used when recording mode finds no discriminating
+// registers (paper: "then default registers are used").
+var defaultQuickRegs = [2]uint8{isa.RegSys, isa.RegSP}
+
+// sigCostModel groups the cycle costs of signature work, charged to the
+// recording slice's virtual time.
+type sigCostModel struct {
+	perStackWord kernel.Cycles
+	perScanIns   kernel.Cycles
+}
+
+var defaultSigCost = sigCostModel{perStackWord: 1, perScanIns: 1}
+
+// recordSignature captures a boundary signature from the given machine
+// state and runs the recording-mode scan to select the quick-check
+// registers (and, with memCheck, a memory probe). src is the memory image
+// the scan reads through; the scan executes on a throwaway fork so the
+// recorded state is untouched. It returns the signature and the cycle
+// cost of recording.
+func recordSignature(src *mem.Memory, regs cpu.Regs, opts *Options) (*Signature, kernel.Cycles) {
+	sig := &Signature{PC: regs.PC, Regs: regs.R, SP: regs.R[isa.RegSP]}
+	cost := kernel.Cycles(0)
+
+	if sig.SP%4 == 0 {
+		if words, fault := src.ReadWords(sig.SP, opts.StackWords); fault == nil {
+			sig.Stack = words
+			cost += kernel.Cycles(opts.StackWords) * defaultSigCost.perStackWord
+		}
+	}
+
+	quick, probe, scanned := pickQuickRegs(src, regs, opts)
+	sig.QuickRegs = quick
+	sig.Defaulted = quick == defaultQuickRegs
+	if opts.MemCheck {
+		sig.Probe = probe
+	}
+	cost += kernel.Cycles(scanned) * defaultSigCost.perScanIns
+	return sig, cost
+}
+
+// pickQuickRegs runs the new slice's recording-mode scan: execute up to
+// opts.RegPickIns instructions on a scratch copy of the state, and each
+// time execution revisits the boundary PC, note which registers differ
+// from the recorded state. The two registers that differ at the earliest
+// revisits become the quick-check registers. If revisits show no register
+// changes (the paper's false-positive scenario), the scan looks for a
+// memory word written during the scan whose value changed, for use as a
+// probe. Returns the chosen registers, an optional probe, and the number
+// of instructions scanned (for cost accounting).
+func pickQuickRegs(src *mem.Memory, regs cpu.Regs, opts *Options) ([2]uint8, *MemProbe, int) {
+	scratch := src.Fork()
+	defer scratch.Release()
+
+	start := regs
+	r := regs
+	var hits [isa.NumRegs]int
+	revisits := 0
+	scanned := 0
+
+	// Track a bounded set of store targets for the memory probe.
+	const maxProbes = 32
+	var storeAddrs []uint32
+	origWord := func(addr uint32) (uint32, bool) {
+		if addr%4 != 0 {
+			return 0, false
+		}
+		v, fault := src.LoadWord(addr)
+		return v, fault == nil
+	}
+
+	for scanned < opts.RegPickIns {
+		ev, in, err := cpu.Step(&r, scratch)
+		if err != nil || ev == cpu.EvSyscall {
+			// A syscall's outcome is not reproducible in a scratch run;
+			// stop the scan there.
+			break
+		}
+		scanned++
+		if in.Op.IsStore() && len(storeAddrs) < maxProbes {
+			ea := r.R[in.Rs1] + uint32(in.Imm) // note: rs1 may have changed; recompute conservatively
+			storeAddrs = append(storeAddrs, ea&^3)
+		}
+		if r.PC == start.PC {
+			revisits++
+			for i := 0; i < isa.NumRegs; i++ {
+				if r.R[i] != start.R[i] {
+					hits[i]++
+				}
+			}
+			if revisits >= 4 {
+				break
+			}
+		}
+	}
+
+	if revisits == 0 {
+		return defaultQuickRegs, nil, scanned
+	}
+
+	// Choose the two registers that changed at the most revisits,
+	// breaking ties toward lower register numbers for determinism.
+	best, second := -1, -1
+	for i := 1; i < isa.NumRegs; i++ { // r0 never changes
+		switch {
+		case best == -1 || hits[i] > hits[best]:
+			second = best
+			best = i
+		case second == -1 || hits[i] > hits[second]:
+			second = i
+		}
+	}
+	if best == -1 || hits[best] == 0 {
+		// Registers identical at every revisit: the pathological
+		// memory-only loop. Find a changed memory word for the probe.
+		var probe *MemProbe
+		for _, addr := range storeAddrs {
+			origV, ok := origWord(addr)
+			if !ok {
+				continue
+			}
+			if cur, fault := scratch.LoadWord(addr); fault == nil && cur != origV {
+				probe = &MemProbe{Addr: addr, Want: origV}
+				break
+			}
+		}
+		return defaultQuickRegs, probe, scanned
+	}
+	quick := [2]uint8{uint8(best), uint8(best)}
+	if second != -1 && hits[second] > 0 {
+		quick[1] = uint8(second)
+	}
+	return quick, nil, scanned
+}
+
+// quickMatch is the inlined two-register check (InsertIfCall body).
+func (s *Signature) quickMatch(r *cpu.Regs) bool {
+	return r.R[s.QuickRegs[0]] == s.Regs[s.QuickRegs[0]] &&
+		r.R[s.QuickRegs[1]] == s.Regs[s.QuickRegs[1]]
+}
+
+// fullMatch is the complete architectural check (InsertThenCall body):
+// all registers, then — only if they match — the stack window and the
+// optional memory probe. It reports whether the boundary is reached and
+// whether the (expensive) stack comparison ran, for the Section 4.4
+// statistics.
+func (s *Signature) fullMatch(r *cpu.Regs, m *mem.Memory) (match, stackChecked bool) {
+	if r.R != s.Regs {
+		return false, false
+	}
+	if s.Stack != nil {
+		stackChecked = true
+		for i, want := range s.Stack {
+			v, fault := m.LoadWord(s.SP + uint32(i)*4)
+			if fault != nil || v != want {
+				return false, true
+			}
+		}
+	}
+	if s.Probe != nil {
+		v, fault := m.LoadWord(s.Probe.Addr)
+		if fault != nil || v != s.Probe.Want {
+			return false, stackChecked
+		}
+	}
+	return true, stackChecked
+}

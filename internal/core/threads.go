@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"superpin/internal/cpu"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+)
+
+// This file implements the paper's final future-work item (Section 8):
+// "we would like to provide multithreading support to our implementation.
+// Though this will require deterministic replay of threads…" — enabled
+// with Options.Threads (off by default; without it SuperPin aborts on
+// thread creation, like the shipped system).
+//
+// The mechanism is deterministic schedule replay. The simulated kernel
+// serializes the memory-visible interleaving of a thread group into
+// bursts (thread T executed N instructions), which the control process
+// records per timeslice alongside the syscall records. A slice replays
+// the burst log: it runs each thread's context for exactly the recorded
+// instruction count under instrumentation, switching contexts between
+// bursts, with system calls satisfied from the records. A slice's
+// boundary is simply the end of its burst log — no signature detection is
+// needed, because the log identifies the master's exact stopping point.
+//
+// Exactness: per-instruction tools (icount1-style) are exact. Bursts can
+// end mid-basic-block, so block-granularity tools (icount2-style) may
+// double-count the block fragments around a context switch; threaded runs
+// should use instruction-granularity insertion.
+
+// burst is one schedule-log entry: thread tid executed n instructions.
+type burst struct {
+	Tid kernel.PID
+	N   uint64
+}
+
+// contextSwitchCost is the cycle cost a slice pays to switch replayed
+// thread contexts.
+const contextSwitchCost kernel.Cycles = 20
+
+// addBurst appends to the current interval's schedule log, merging
+// consecutive bursts of the same thread.
+func (e *Engine) addBurst(tid kernel.PID, n uint64) {
+	if last := len(e.curBursts) - 1; last >= 0 && e.curBursts[last].Tid == tid {
+		e.curBursts[last].N += n
+		return
+	}
+	e.curBursts = append(e.curBursts, burst{Tid: tid, N: n})
+}
+
+// registerThread wires a newly spawned master thread into the control
+// process: syscall tracing is inherited; burst recording must be added.
+func (e *Engine) registerThread(child *kernel.Proc) {
+	e.group = append(e.group, child)
+	tid := child.PID
+	child.BurstHook = func(n uint64) { e.addBurst(tid, n) }
+}
+
+// groupSleep stalls every runnable master thread (the -spmp stall).
+func (e *Engine) groupSleep() {
+	for _, q := range e.group {
+		e.k.SleepProc(q)
+	}
+}
+
+// groupWake resumes the stalled master threads.
+func (e *Engine) groupWake() {
+	for _, q := range e.group {
+		e.k.Wake(q)
+	}
+}
+
+// captureContexts snapshots the register state of every live master
+// thread at a fork point.
+func (e *Engine) captureContexts() map[kernel.PID]cpu.Regs {
+	ctxs := make(map[kernel.PID]cpu.Regs, len(e.group))
+	for _, q := range e.group {
+		if !q.Exited() {
+			ctxs[q.PID] = q.Regs
+		}
+	}
+	return ctxs
+}
+
+// threadedRunner replays a slice's schedule log under instrumentation:
+// kernel.Runner over a multiplexed set of thread contexts.
+type threadedRunner struct {
+	e   *Engine
+	sl  *slice
+	eng *pin.Engine
+
+	contexts map[kernel.PID]cpu.Regs
+	active   kernel.PID // 0: no context loaded into the proc yet
+	cursor   int        // next burst index
+	left     uint64     // instructions remaining in the current burst
+}
+
+// Run implements kernel.Runner.
+func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
+	var used kernel.Cycles
+	for {
+		if r.left == 0 {
+			if r.cursor >= len(r.sl.bursts) {
+				// Log fully replayed: this is the slice boundary.
+				if r.active != 0 {
+					r.contexts[r.active] = p.Regs
+				}
+				return used, kernel.StopExit
+			}
+			b := r.sl.bursts[r.cursor]
+			r.cursor++
+			r.left = b.N
+			if r.active != b.Tid {
+				if r.active != 0 {
+					r.contexts[r.active] = p.Regs
+				}
+				ctx, ok := r.contexts[b.Tid]
+				if !ok {
+					r.sl.err = fmt.Errorf("core: slice %d replay references unknown thread %d",
+						r.sl.num, b.Tid)
+					r.e.stats.Divergences++
+					return used, kernel.StopExit
+				}
+				p.Regs = ctx
+				r.active = b.Tid
+				r.eng.ResetPosition()
+				used += contextSwitchCost
+			}
+		}
+		if used >= budget {
+			return used, kernel.StopBudget
+		}
+
+		r.eng.InsLimit = p.InsCount + r.left
+		before := p.InsCount
+		u, stop := r.eng.Run(k, p, budget-used)
+		used += u
+		executed := p.InsCount - before
+		if executed > r.left {
+			r.sl.err = fmt.Errorf("core: slice %d overran a burst of thread %d", r.sl.num, r.active)
+			r.e.stats.Divergences++
+			return used, kernel.StopExit
+		}
+		r.left -= executed
+
+		switch stop {
+		case kernel.StopBudget:
+			if r.left == 0 {
+				continue // burst complete; advance the log
+			}
+			if used >= budget {
+				return used, kernel.StopBudget
+			}
+			// Engine paused without finishing the burst or the budget:
+			// loop and resume.
+		case kernel.StopExit:
+			// SP_EndSlice or a playback-detected divergence.
+			return used, kernel.StopExit
+		case kernel.StopError:
+			return used, kernel.StopError
+		case kernel.StopSyscall:
+			r.sl.err = fmt.Errorf("core: slice %d syscall escaped playback at %#08x",
+				r.sl.num, p.Regs.PC)
+			r.e.stats.Divergences++
+			return used, kernel.StopExit
+		}
+	}
+}
+
+// threadedPlaybackFilter satisfies a threaded slice's system calls from
+// the records: outcomes are applied verbatim, spawn records create the
+// new thread's replay context, and the thread identity of every call is
+// verified against the recording.
+func (sl *slice) threadedPlaybackFilter(e *Engine, r *threadedRunner) pin.SyscallFilter {
+	return func(k *kernel.Kernel, p *kernel.Proc) (bool, kernel.Cycles, kernel.StopReason) {
+		sysno, args := kernel.SyscallArgs(p)
+		if sl.nextRec >= len(sl.records) {
+			sl.err = fmt.Errorf("core: slice %d diverged: unexpected %s past %d records",
+				sl.num, kernel.SyscallName(sysno), len(sl.records))
+			e.stats.Divergences++
+			return true, 0, kernel.StopExit
+		}
+		rec := sl.records[sl.nextRec]
+		if sysno != rec.Sysno || args != rec.Args || rec.Tid != r.active {
+			sl.err = fmt.Errorf("core: slice %d diverged: thread %d replayed %s(%v), master recorded %s(%v) on thread %d",
+				sl.num, r.active, kernel.SyscallName(sysno), args,
+				kernel.SyscallName(rec.Sysno), rec.Args, rec.Tid)
+			e.stats.Divergences++
+			return true, 0, kernel.StopExit
+		}
+		sl.nextRec++
+		kernel.ApplyOutcome(p, rec.Out)
+		p.SyscallCount++
+		if sysno == kernel.SysSpawn && rec.Out.Ret != ^uint32(0) {
+			// Materialize the new thread's replay context exactly as the
+			// kernel would have built it.
+			var regs cpu.Regs
+			regs.PC = args[0] &^ 3
+			regs.R[29] = args[1] // sp
+			regs.R[2] = args[2]  // arg
+			r.contexts[kernel.PID(rec.Out.Ret)] = regs
+		}
+		return true, playbackCost, kernel.StopBudget
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"superpin/internal/kernel"
+)
+
+// Timeline renders the run as an ASCII schedule in the style of the
+// paper's Figure 1: the master application's row on top, then one row per
+// instrumented slice showing its fork point, its sleeping phase (waiting
+// for the next slice to record its signature), and its detection-mode
+// execution until completion.
+//
+//	master  ########################________
+//	S1+     rrrr....................
+//	S2+     .zzzz#####..............
+//	S3+     ......zzz######.........
+//
+//	#  executing    z  sleeping (waiting for end signature)
+//	.  not alive    _  master exited, pipeline draining
+//
+// width is the number of character cells the total runtime is scaled to
+// (minimum 20). The rendering is approximate at one cell's resolution.
+func (r *Result) Timeline(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	total := r.TotalTime
+	if total == 0 {
+		return "(empty run)\n"
+	}
+	cell := func(t kernel.Cycles) int {
+		c := int(uint64(t) * uint64(width) / uint64(total))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	label := fmt.Sprintf("%-8s", "master")
+	row := make([]byte, width)
+	for i := range row {
+		switch {
+		case i <= cell(r.MasterEnd):
+			row[i] = '#'
+		default:
+			row[i] = '_'
+		}
+	}
+	sb.WriteString(label)
+	sb.Write(row)
+	sb.WriteByte('\n')
+
+	for _, si := range r.Slices {
+		for i := range row {
+			row[i] = '.'
+		}
+		start, woke, end := cell(si.Start), cell(si.Woke), cell(si.End)
+		for i := start; i <= end && i < width; i++ {
+			switch {
+			case i < woke:
+				row[i] = 'z'
+			default:
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "%-8s", fmt.Sprintf("S%d+", si.Num))
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\n#  executing    z  sleeping (awaiting end signature)\n")
+	sb.WriteString(".  not alive    _  master exited, pipeline draining\n")
+	return sb.String()
+}

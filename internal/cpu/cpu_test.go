@@ -1,0 +1,255 @@
+package cpu
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+func exec1(t *testing.T, r *Regs, in isa.Inst) Event {
+	t.Helper()
+	m := mem.New()
+	ev, err := Exec(r, m, in)
+	if err != nil {
+		t.Fatalf("Exec(%v): %v", in, err)
+	}
+	return ev
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		in     isa.Inst
+		r1, r2 uint32
+		want   uint32
+	}{
+		{isa.Inst{Op: isa.OpADD, Rd: 3, Rs1: 1, Rs2: 2}, 5, 7, 12},
+		{isa.Inst{Op: isa.OpSUB, Rd: 3, Rs1: 1, Rs2: 2}, 5, 7, 0xfffffffe},
+		{isa.Inst{Op: isa.OpMUL, Rd: 3, Rs1: 1, Rs2: 2}, 6, 7, 42},
+		{isa.Inst{Op: isa.OpDIV, Rd: 3, Rs1: 1, Rs2: 2}, 42, 5, 8},
+		{isa.Inst{Op: isa.OpDIV, Rd: 3, Rs1: 1, Rs2: 2}, 42, 0, 0xffffffff},
+		{isa.Inst{Op: isa.OpDIV, Rd: 3, Rs1: 1, Rs2: 2}, 0x80000000, 0xffffffff, 0x80000000},
+		{isa.Inst{Op: isa.OpREM, Rd: 3, Rs1: 1, Rs2: 2}, 43, 5, 3},
+		{isa.Inst{Op: isa.OpREM, Rd: 3, Rs1: 1, Rs2: 2}, 43, 0, 43},
+		{isa.Inst{Op: isa.OpREM, Rd: 3, Rs1: 1, Rs2: 2}, 0x80000000, 0xffffffff, 0},
+		{isa.Inst{Op: isa.OpAND, Rd: 3, Rs1: 1, Rs2: 2}, 0xff00, 0x0ff0, 0x0f00},
+		{isa.Inst{Op: isa.OpOR, Rd: 3, Rs1: 1, Rs2: 2}, 0xff00, 0x0ff0, 0xfff0},
+		{isa.Inst{Op: isa.OpXOR, Rd: 3, Rs1: 1, Rs2: 2}, 0xff00, 0x0ff0, 0xf0f0},
+		{isa.Inst{Op: isa.OpSLL, Rd: 3, Rs1: 1, Rs2: 2}, 1, 4, 16},
+		{isa.Inst{Op: isa.OpSLL, Rd: 3, Rs1: 1, Rs2: 2}, 1, 33, 2}, // shift mod 32
+		{isa.Inst{Op: isa.OpSRL, Rd: 3, Rs1: 1, Rs2: 2}, 0x80000000, 4, 0x08000000},
+		{isa.Inst{Op: isa.OpSRA, Rd: 3, Rs1: 1, Rs2: 2}, 0x80000000, 4, 0xf8000000},
+		{isa.Inst{Op: isa.OpSLT, Rd: 3, Rs1: 1, Rs2: 2}, 0xffffffff, 0, 1}, // -1 < 0 signed
+		{isa.Inst{Op: isa.OpSLTU, Rd: 3, Rs1: 1, Rs2: 2}, 0xffffffff, 0, 0},
+	}
+	for _, c := range cases {
+		r := &Regs{}
+		r.R[1], r.R[2] = c.r1, c.r2
+		exec1(t, r, c.in)
+		if r.R[3] != c.want {
+			t.Errorf("%v with r1=%#x r2=%#x: got %#x, want %#x", c.in, c.r1, c.r2, r.R[3], c.want)
+		}
+		if r.PC != 4 {
+			t.Errorf("%v: PC = %d, want 4", c.in, r.PC)
+		}
+	}
+}
+
+func TestImmediateOps(t *testing.T) {
+	cases := []struct {
+		in   isa.Inst
+		r1   uint32
+		want uint32
+	}{
+		{isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 1, Imm: -5}, 10, 5},
+		{isa.Inst{Op: isa.OpANDI, Rd: 3, Rs1: 1, Imm: 0xff}, 0x1234, 0x34},
+		{isa.Inst{Op: isa.OpORI, Rd: 3, Rs1: 1, Imm: 0xf000}, 0x0001, 0xf001},
+		{isa.Inst{Op: isa.OpXORI, Rd: 3, Rs1: 1, Imm: 0xffff}, 0xffff, 0},
+		{isa.Inst{Op: isa.OpSLLI, Rd: 3, Rs1: 1, Imm: 8}, 1, 256},
+		{isa.Inst{Op: isa.OpSRLI, Rd: 3, Rs1: 1, Imm: 8}, 0x80000000, 0x00800000},
+		{isa.Inst{Op: isa.OpSRAI, Rd: 3, Rs1: 1, Imm: 8}, 0x80000000, 0xff800000},
+		{isa.Inst{Op: isa.OpSLTI, Rd: 3, Rs1: 1, Imm: 0}, 0xffffffff, 1},
+		{isa.Inst{Op: isa.OpSLTIU, Rd: 3, Rs1: 1, Imm: 1}, 0, 1},
+		{isa.Inst{Op: isa.OpLUI, Rd: 3, Imm: 0x1234}, 0, 0x12340000},
+	}
+	for _, c := range cases {
+		r := &Regs{}
+		r.R[1] = c.r1
+		exec1(t, r, c.in)
+		if r.R[3] != c.want {
+			t.Errorf("%v with r1=%#x: got %#x, want %#x", c.in, c.r1, r.R[3], c.want)
+		}
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	r := &Regs{}
+	r.R[1] = 99
+	exec1(t, r, isa.Inst{Op: isa.OpADDI, Rd: isa.RegZero, Rs1: 1, Imm: 3})
+	if r.R[isa.RegZero] != 0 {
+		t.Fatalf("r0 = %d after write, want 0", r.R[0])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	m := mem.New()
+	r := &Regs{}
+	r.R[1] = 0x1000
+
+	st := isa.Inst{Op: isa.OpSW, Rd: 2, Rs1: 1, Imm: 8}
+	r.R[2] = 0xcafef00d
+	if _, err := Exec(r, m, st); err != nil {
+		t.Fatal(err)
+	}
+	ld := isa.Inst{Op: isa.OpLW, Rd: 3, Rs1: 1, Imm: 8}
+	if _, err := Exec(r, m, ld); err != nil {
+		t.Fatal(err)
+	}
+	if r.R[3] != 0xcafef00d {
+		t.Fatalf("loaded %#x", r.R[3])
+	}
+
+	// Byte ops with sign extension.
+	r.R[2] = 0x80
+	if _, err := Exec(r, m, isa.Inst{Op: isa.OpSB, Rd: 2, Rs1: 1, Imm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(r, m, isa.Inst{Op: isa.OpLB, Rd: 3, Rs1: 1, Imm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if r.R[3] != 0xffffff80 {
+		t.Fatalf("lb = %#x, want sign-extended 0xffffff80", r.R[3])
+	}
+	if _, err := Exec(r, m, isa.Inst{Op: isa.OpLBU, Rd: 3, Rs1: 1, Imm: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if r.R[3] != 0x80 {
+		t.Fatalf("lbu = %#x, want 0x80", r.R[3])
+	}
+
+	// Misaligned word access reports a wrapped fault.
+	r.R[1] = 0x1001
+	if _, err := Exec(r, m, ld); err == nil {
+		t.Fatal("misaligned lw did not error")
+	}
+}
+
+func TestBranches(t *testing.T) {
+	cases := []struct {
+		op     isa.Opcode
+		r1, r2 uint32
+		taken  bool
+	}{
+		{isa.OpBEQ, 4, 4, true},
+		{isa.OpBEQ, 4, 5, false},
+		{isa.OpBNE, 4, 5, true},
+		{isa.OpBNE, 4, 4, false},
+		{isa.OpBLT, 0xffffffff, 0, true}, // -1 < 0
+		{isa.OpBLT, 0, 0xffffffff, false},
+		{isa.OpBGE, 0, 0xffffffff, true},
+		{isa.OpBGE, 0xffffffff, 0, false},
+		{isa.OpBLTU, 0, 0xffffffff, true},
+		{isa.OpBLTU, 0xffffffff, 0, false},
+		{isa.OpBGEU, 0xffffffff, 0, true},
+		{isa.OpBGEU, 0, 0xffffffff, false},
+	}
+	for _, c := range cases {
+		r := &Regs{PC: 100}
+		r.R[1], r.R[2] = c.r1, c.r2
+		in := isa.Inst{Op: c.op, Rs1: 1, Rs2: 2, Imm: 5}
+		exec1(t, r, in)
+		wantPC := uint32(104)
+		if c.taken {
+			wantPC = 104 + 5*4
+		}
+		if r.PC != wantPC {
+			t.Errorf("%v r1=%#x r2=%#x: PC=%d, want %d", in, c.r1, c.r2, r.PC, wantPC)
+		}
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	r := &Regs{PC: 100}
+	r.R[1], r.R[2] = 1, 1
+	exec1(t, r, isa.Inst{Op: isa.OpBEQ, Rs1: 1, Rs2: 2, Imm: -10})
+	if r.PC != 104-40 {
+		t.Fatalf("PC = %d, want %d", r.PC, 104-40)
+	}
+}
+
+func TestJumps(t *testing.T) {
+	r := &Regs{PC: 100}
+	exec1(t, r, isa.Inst{Op: isa.OpJAL, Rd: isa.RegLR, Imm: 25})
+	if r.R[isa.RegLR] != 104 {
+		t.Fatalf("jal link = %d, want 104", r.R[isa.RegLR])
+	}
+	if r.PC != 104+25*4 {
+		t.Fatalf("jal PC = %d", r.PC)
+	}
+
+	r = &Regs{PC: 100}
+	r.R[5] = 0x2002 // unaligned bits must be cleared
+	exec1(t, r, isa.Inst{Op: isa.OpJALR, Rd: isa.RegLR, Rs1: 5, Imm: 6})
+	if r.PC != 0x2008 {
+		t.Fatalf("jalr PC = %#x, want 0x2008", r.PC)
+	}
+	if r.R[isa.RegLR] != 104 {
+		t.Fatalf("jalr link = %d", r.R[isa.RegLR])
+	}
+}
+
+func TestJalrLinkThenJumpUsesOldRs1(t *testing.T) {
+	// jalr rd == rs1 must jump to the old rs1 value.
+	r := &Regs{PC: 100}
+	r.R[5] = 0x3000
+	exec1(t, r, isa.Inst{Op: isa.OpJALR, Rd: 5, Rs1: 5, Imm: 0})
+	if r.PC != 0x3000 {
+		t.Fatalf("PC = %#x, want 0x3000", r.PC)
+	}
+	if r.R[5] != 104 {
+		t.Fatalf("link = %d, want 104", r.R[5])
+	}
+}
+
+func TestSyscallEvent(t *testing.T) {
+	r := &Regs{PC: 40}
+	ev := exec1(t, r, isa.Inst{Op: isa.OpSYSCALL})
+	if ev != EvSyscall {
+		t.Fatalf("event = %v, want EvSyscall", ev)
+	}
+	if r.PC != 44 {
+		t.Fatalf("PC = %d, want 44 (past the syscall)", r.PC)
+	}
+}
+
+func TestStepFetchesAndExecutes(t *testing.T) {
+	m := mem.New()
+	w := isa.MustEncode(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 77})
+	m.StoreWord(0x100, w)
+	r := &Regs{PC: 0x100}
+	ev, in, err := Step(r, m)
+	if err != nil || ev != EvNone {
+		t.Fatalf("Step: ev=%v err=%v", ev, err)
+	}
+	if in.Op != isa.OpADDI || r.R[1] != 77 || r.PC != 0x104 {
+		t.Fatalf("Step result: in=%v r1=%d pc=%#x", in, r.R[1], r.PC)
+	}
+}
+
+func TestStepDecodeError(t *testing.T) {
+	m := mem.New()
+	m.StoreWord(0, 0xffffffff)
+	r := &Regs{}
+	if _, _, err := Step(r, m); err == nil {
+		t.Fatal("Step on garbage did not error")
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	r := &Regs{}
+	r.R[4] = 0x1000
+	in := isa.Inst{Op: isa.OpLW, Rd: 1, Rs1: 4, Imm: -8}
+	if got := EffAddr(r, in); got != 0xff8 {
+		t.Fatalf("EffAddr = %#x, want 0xff8", got)
+	}
+}

@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// TestALUModelProperty cross-checks Exec's ALU semantics against directly
+// written Go expressions over random operands (model-based testing with
+// testing/quick).
+func TestALUModelProperty(t *testing.T) {
+	type model struct {
+		op isa.Opcode
+		f  func(a, b uint32) uint32
+	}
+	models := []model{
+		{isa.OpADD, func(a, b uint32) uint32 { return a + b }},
+		{isa.OpSUB, func(a, b uint32) uint32 { return a - b }},
+		{isa.OpMUL, func(a, b uint32) uint32 { return a * b }},
+		{isa.OpAND, func(a, b uint32) uint32 { return a & b }},
+		{isa.OpOR, func(a, b uint32) uint32 { return a | b }},
+		{isa.OpXOR, func(a, b uint32) uint32 { return a ^ b }},
+		{isa.OpSLL, func(a, b uint32) uint32 { return a << (b & 31) }},
+		{isa.OpSRL, func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{isa.OpSRA, func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+		{isa.OpSLT, func(a, b uint32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSLTU, func(a, b uint32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpDIV, func(a, b uint32) uint32 {
+			switch {
+			case b == 0:
+				return ^uint32(0)
+			case int32(a) == -1<<31 && int32(b) == -1:
+				return a
+			default:
+				return uint32(int32(a) / int32(b))
+			}
+		}},
+		{isa.OpREM, func(a, b uint32) uint32 {
+			switch {
+			case b == 0:
+				return a
+			case int32(a) == -1<<31 && int32(b) == -1:
+				return 0
+			default:
+				return uint32(int32(a) % int32(b))
+			}
+		}},
+	}
+	m := mem.New()
+	for _, mod := range models {
+		mod := mod
+		prop := func(a, b uint32) bool {
+			r := &Regs{}
+			r.R[1], r.R[2] = a, b
+			if _, err := Exec(r, m, isa.Inst{Op: mod.op, Rd: 3, Rs1: 1, Rs2: 2}); err != nil {
+				return false
+			}
+			return r.R[3] == mod.f(a, b)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", mod.op, err)
+		}
+	}
+}
+
+// TestBranchModelProperty cross-checks conditional-branch outcomes.
+func TestBranchModelProperty(t *testing.T) {
+	type model struct {
+		op isa.Opcode
+		f  func(a, b uint32) bool
+	}
+	models := []model{
+		{isa.OpBEQ, func(a, b uint32) bool { return a == b }},
+		{isa.OpBNE, func(a, b uint32) bool { return a != b }},
+		{isa.OpBLT, func(a, b uint32) bool { return int32(a) < int32(b) }},
+		{isa.OpBGE, func(a, b uint32) bool { return int32(a) >= int32(b) }},
+		{isa.OpBLTU, func(a, b uint32) bool { return a < b }},
+		{isa.OpBGEU, func(a, b uint32) bool { return a >= b }},
+	}
+	m := mem.New()
+	for _, mod := range models {
+		mod := mod
+		prop := func(a, b uint32, off int16) bool {
+			r := &Regs{PC: 0x1000}
+			r.R[1], r.R[2] = a, b
+			in := isa.Inst{Op: mod.op, Rs1: 1, Rs2: 2, Imm: int32(off)}
+			if _, err := Exec(r, m, in); err != nil {
+				return false
+			}
+			want := uint32(0x1004)
+			if mod.f(a, b) {
+				want = 0x1004 + uint32(int32(off))*4
+			}
+			return r.PC == want
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", mod.op, err)
+		}
+	}
+}
+
+// TestStoreLoadRoundTripProperty: a store followed by a load of the same
+// width at the same address returns the stored value (with the width's
+// truncation/extension).
+func TestStoreLoadRoundTripProperty(t *testing.T) {
+	m := mem.New()
+	prop := func(addr, v uint32) bool {
+		addr &^= 3
+		r := &Regs{}
+		r.R[1], r.R[2] = addr, v
+		if _, err := Exec(r, m, isa.Inst{Op: isa.OpSW, Rd: 2, Rs1: 1}); err != nil {
+			return false
+		}
+		r.PC = 0
+		if _, err := Exec(r, m, isa.Inst{Op: isa.OpLW, Rd: 3, Rs1: 1}); err != nil {
+			return false
+		}
+		if r.R[3] != v {
+			return false
+		}
+		// Byte round trip with zero- and sign-extension.
+		r.PC = 0
+		if _, err := Exec(r, m, isa.Inst{Op: isa.OpSB, Rd: 2, Rs1: 1}); err != nil {
+			return false
+		}
+		r.PC = 0
+		if _, err := Exec(r, m, isa.Inst{Op: isa.OpLBU, Rd: 4, Rs1: 1}); err != nil {
+			return false
+		}
+		r.PC = 0
+		if _, err := Exec(r, m, isa.Inst{Op: isa.OpLB, Rd: 5, Rs1: 1}); err != nil {
+			return false
+		}
+		return r.R[4] == v&0xff && r.R[5] == uint32(int32(int8(v)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

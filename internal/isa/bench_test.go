@@ -1,0 +1,23 @@
+package isa
+
+import "testing"
+
+func BenchmarkDecode(b *testing.B) {
+	w := MustEncode(Inst{Op: OpADDI, Rd: 3, Rs1: 4, Imm: -12})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	in := Inst{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package isa
+
+import "fmt"
+
+// Instruction encoding layout (32 bits):
+//
+//	bits 31..26  opcode
+//	R-type:      rd 25..21 | rs1 20..16 | rs2 15..11 | 0
+//	I-type:      rd 25..21 | rs1 20..16 | imm16 15..0
+//	J-type:      rd 25..21 | imm21 20..0 (signed word offset)
+//	S-type:      unused
+//
+// Conditional branches are encoded as I-type with Rs1 in the rd field and
+// Rs2 in the rs1 field. Stores place the data register (Rd) in the rd
+// field, exactly like loads place their destination there.
+const (
+	opShift  = 26
+	rdShift  = 21
+	rs1Shift = 16
+	rs2Shift = 11
+
+	regFieldMask = 0x1f
+	imm16Mask    = 0xffff
+	imm21Mask    = 0x1fffff
+
+	// MaxImm16 and MinImm16 bound signed 16-bit immediates.
+	MaxImm16 = 1<<15 - 1
+	MinImm16 = -(1 << 15)
+	// MaxImm21 and MinImm21 bound signed 21-bit jump offsets.
+	MaxImm21 = 1<<20 - 1
+	MinImm21 = -(1 << 20)
+)
+
+// EncodeError describes an instruction that cannot be encoded.
+type EncodeError struct {
+	Inst   Inst
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.Inst, e.Reason)
+}
+
+// DecodeError describes a word that is not a valid instruction.
+type DecodeError struct {
+	Word   uint32
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode %#08x: %s", e.Word, e.Reason)
+}
+
+// Encode converts in to its 32-bit machine encoding.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, &EncodeError{in, "invalid opcode"}
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, &EncodeError{in, "register out of range"}
+	}
+	w := uint32(in.Op) << opShift
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd)<<rdShift | uint32(in.Rs1)<<rs1Shift | uint32(in.Rs2)<<rs2Shift
+	case FormatI:
+		var lo, hi uint8
+		if in.Op.IsCondBranch() {
+			lo, hi = in.Rs1, in.Rs2
+		} else {
+			lo, hi = in.Rd, in.Rs1
+		}
+		if in.Op.ZeroExtImm() {
+			if in.Imm < 0 || in.Imm > imm16Mask {
+				return 0, &EncodeError{in, "immediate out of unsigned 16-bit range"}
+			}
+		} else if in.Imm < MinImm16 || in.Imm > MaxImm16 {
+			return 0, &EncodeError{in, "immediate out of signed 16-bit range"}
+		}
+		w |= uint32(lo)<<rdShift | uint32(hi)<<rs1Shift | uint32(in.Imm)&imm16Mask
+	case FormatJ:
+		if in.Imm < MinImm21 || in.Imm > MaxImm21 {
+			return 0, &EncodeError{in, "jump offset out of signed 21-bit range"}
+		}
+		w |= uint32(in.Rd)<<rdShift | uint32(in.Imm)&imm21Mask
+	case FormatS:
+		// no operands
+	}
+	return w, nil
+}
+
+// MustEncode is like Encode but panics on error. It is intended for use by
+// code generators emitting instructions from validated templates.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode converts a 32-bit machine word to a decoded instruction.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> opShift)
+	if !op.Valid() {
+		return Inst{}, &DecodeError{w, "undefined opcode"}
+	}
+	in := Inst{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = uint8(w>>rdShift) & regFieldMask
+		in.Rs1 = uint8(w>>rs1Shift) & regFieldMask
+		in.Rs2 = uint8(w>>rs2Shift) & regFieldMask
+	case FormatI:
+		lo := uint8(w>>rdShift) & regFieldMask
+		hi := uint8(w>>rs1Shift) & regFieldMask
+		if op.IsCondBranch() {
+			in.Rs1, in.Rs2 = lo, hi
+		} else {
+			in.Rd, in.Rs1 = lo, hi
+		}
+		imm := w & imm16Mask
+		if op.ZeroExtImm() {
+			in.Imm = int32(imm)
+		} else {
+			in.Imm = int32(int16(imm))
+		}
+	case FormatJ:
+		in.Rd = uint8(w>>rdShift) & regFieldMask
+		imm := w & imm21Mask
+		// Sign-extend from 21 bits.
+		in.Imm = int32(imm<<11) >> 11
+	case FormatS:
+		// no operands
+	}
+	return in, nil
+}
+
+// RegName returns the assembler name of register r ("r7"), using the
+// conventional aliases for zero, sp, fp and ra.
+func RegName(r uint8) string {
+	switch r {
+	case RegZero:
+		return "zero"
+	case RegSP:
+		return "sp"
+	case RegFP:
+		return "fp"
+	case RegLR:
+		return "ra"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// String renders in in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FormatI:
+		switch {
+		case in.Op.IsMem():
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		case in.Op.IsCondBranch():
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+		case in.Op == OpLUI:
+			return fmt.Sprintf("%s %s, %d", in.Op, RegName(in.Rd), in.Imm)
+		case in.Op == OpJALR:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+		}
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", in.Op, RegName(in.Rd), in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

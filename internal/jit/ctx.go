@@ -1,0 +1,56 @@
+package jit
+
+import (
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// Ctx is the analysis-time view of the instrumented process's
+// architectural state, passed to every analysis routine. A single Ctx is
+// reused across calls by the engine, so analysis routines must not retain
+// it past their own invocation.
+type Ctx struct {
+	// Regs is the live register state of the instrumented process.
+	// Instrumentation is transparent: analysis routines should treat this
+	// as read-only unless they are deliberately intervening (as
+	// SuperPin's playback engine does).
+	Regs *cpu.Regs
+	// Mem is the live guest memory of the instrumented process.
+	Mem *mem.Memory
+	// PC is the address of the instrumented instruction.
+	PC uint32
+	// Inst is the instrumented instruction.
+	Inst isa.Inst
+
+	// Stop is set by RequestStop.
+	stopRequested bool
+}
+
+// MemEA returns the effective address of the current memory instruction.
+// It is meaningful only for instructions where Inst.Op.IsMem() is true,
+// and only at IPOINT_BEFORE (registers may have changed after).
+func (c *Ctx) MemEA() uint32 { return cpu.EffAddr(c.Regs, c.Inst) }
+
+// IsMemRead reports whether the current instruction reads data memory.
+func (c *Ctx) IsMemRead() bool { return c.Inst.Op.IsLoad() }
+
+// IsMemWrite reports whether the current instruction writes data memory.
+func (c *Ctx) IsMemWrite() bool { return c.Inst.Op.IsStore() }
+
+// MemSize returns the access size of the current memory instruction.
+func (c *Ctx) MemSize() int { return c.Inst.Op.MemSize() }
+
+// RequestStop asks the engine to stop executing the current process
+// before the current instruction executes (when called from an
+// IPOINT_BEFORE routine) or before the next instruction (from After).
+// SuperPin's signature-detection and SP_EndSlice are built on this.
+func (c *Ctx) RequestStop() { c.stopRequested = true }
+
+// StopRequested reports and clears the stop flag. It is for the engine's
+// use.
+func (c *Ctx) StopRequested() bool {
+	s := c.stopRequested
+	c.stopRequested = false
+	return s
+}

@@ -1,0 +1,298 @@
+// Package jit implements the trace-based just-in-time translation layer
+// of the Pin-workalike engine: basic-block and trace construction over
+// guest code, the instrumented-trace representation, and the code cache.
+//
+// Mirroring Pin's VM (paper Section 2.2), execution units are traces — a
+// straight-line sequence of basic blocks entered at the top, extended
+// through the fall-through edges of conditional branches, and ended at an
+// unconditional control transfer, a system call, or a size limit. The
+// dispatcher (internal/pin) looks traces up in the code cache and invokes
+// compilation on a miss; compilation is where instrumentation is woven in.
+package jit
+
+import (
+	"fmt"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// Limits on trace construction, matching the spirit of Pin's trace
+// selection heuristics.
+const (
+	MaxTraceBbls = 8
+	MaxTraceIns  = 64
+)
+
+// BBL is a decoded basic block: straight-line instructions ending at the
+// first control transfer (or at the trace size limit).
+type BBL struct {
+	// Addr is the address of the first instruction.
+	Addr uint32
+	// Ins are the decoded instructions; instruction i is at Addr + 4i.
+	Ins []isa.Inst
+}
+
+// NumIns returns the number of instructions in the block.
+func (b *BBL) NumIns() int { return len(b.Ins) }
+
+// InsAddr returns the address of instruction i.
+func (b *BBL) InsAddr(i int) uint32 { return b.Addr + uint32(i)*isa.WordSize }
+
+// Trace is a single-entry multiple-exit sequence of basic blocks.
+type Trace struct {
+	Addr   uint32
+	Bbls   []*BBL
+	NumIns int
+}
+
+// BuildTrace decodes a trace starting at pc from guest memory. It never
+// fails on size grounds; it fails only if the first instruction cannot be
+// decoded (executing from a non-code address). An undecodable word later
+// in the trace simply ends the trace early — the bad word might never be
+// reached at run time, and if it is, execution faults there.
+func BuildTrace(m *mem.Memory, pc uint32) (*Trace, error) {
+	return BuildTraceSplit(m, pc, 0)
+}
+
+// BuildTraceSplit is BuildTrace with a forced trace boundary: when split
+// is non-zero, any trace that would flow into address split ends just
+// before it, so split is always a trace (and basic-block) leader.
+// SuperPin slices compile with their end-signature PC as the split point,
+// which keeps basic-block-granularity tools exact across slice
+// boundaries: the partial block before the boundary is its own block, and
+// the instructions from the boundary onward are counted only by the next
+// slice.
+func BuildTraceSplit(m *mem.Memory, pc, split uint32) (*Trace, error) {
+	tr := &Trace{Addr: pc}
+	cur := pc
+	for len(tr.Bbls) < MaxTraceBbls && tr.NumIns < MaxTraceIns {
+		bbl := &BBL{Addr: cur}
+		for tr.NumIns < MaxTraceIns {
+			if split != 0 && cur == split && tr.NumIns > 0 {
+				return endTrace(tr, bbl), nil
+			}
+			w, fault := m.LoadWord(cur)
+			if fault != nil {
+				if tr.NumIns == 0 {
+					return nil, fmt.Errorf("jit: trace at %#08x: %w", pc, fault)
+				}
+				return endTrace(tr, bbl), nil
+			}
+			in, err := isa.Decode(w)
+			if err != nil {
+				if tr.NumIns == 0 {
+					return nil, fmt.Errorf("jit: trace at %#08x: %w", pc, err)
+				}
+				return endTrace(tr, bbl), nil
+			}
+			bbl.Ins = append(bbl.Ins, in)
+			tr.NumIns++
+			cur += isa.WordSize
+			if in.Op.EndsBlock() {
+				tr.Bbls = append(tr.Bbls, bbl)
+				if in.Op.IsUncondBranch() || in.Op == isa.OpSYSCALL {
+					return tr, nil // trace ends at unconditional transfer
+				}
+				// Conditional branch: extend the trace along the
+				// fall-through edge with a new block.
+				bbl = nil
+				break
+			}
+		}
+		if bbl != nil { // size limit hit mid-block
+			if len(bbl.Ins) > 0 {
+				tr.Bbls = append(tr.Bbls, bbl)
+			}
+			return tr, nil
+		}
+	}
+	return tr, nil
+}
+
+func endTrace(tr *Trace, bbl *BBL) *Trace {
+	if len(bbl.Ins) > 0 {
+		tr.Bbls = append(tr.Bbls, bbl)
+	}
+	return tr
+}
+
+// AnalysisFn is an analysis routine inserted by a tool. The context
+// argument exposes the architectural state of the instrumented process at
+// the instrumentation point.
+type AnalysisFn func(ctx *Ctx)
+
+// PredicateFn is an inlined conditional analysis routine (InsertIfCall):
+// cheap, and guarding a full AnalysisFn (InsertThenCall).
+type PredicateFn func(ctx *Ctx) bool
+
+// Call is one analysis-call site attached to an instruction.
+// Either Fn is set (a plain InsertCall), or If/Then are set (an inlined
+// InsertIfCall guarding an InsertThenCall; Then may be nil for a bare if).
+type Call struct {
+	Fn   AnalysisFn
+	If   PredicateFn
+	Then AnalysisFn
+}
+
+// CompiledIns is one guest instruction in a compiled trace together with
+// its woven-in instrumentation.
+type CompiledIns struct {
+	Addr   uint32
+	Inst   isa.Inst
+	Before []Call // run before the instruction executes
+	After  []Call // run after it executes
+}
+
+// CompiledTrace is the code-cache resident, instrumented form of a trace.
+type CompiledTrace struct {
+	Addr uint32
+	Ins  []CompiledIns
+}
+
+// NumIns returns the number of guest instructions in the compiled trace.
+func (ct *CompiledTrace) NumIns() int { return len(ct.Ins) }
+
+// Compile lowers a trace into its executable compiled form (without
+// instrumentation; the pin engine's instrumentation pass fills in the
+// call lists afterwards).
+func Compile(tr *Trace) *CompiledTrace {
+	ct := &CompiledTrace{Addr: tr.Addr, Ins: make([]CompiledIns, 0, tr.NumIns)}
+	for _, b := range tr.Bbls {
+		for i, in := range b.Ins {
+			ct.Ins = append(ct.Ins, CompiledIns{Addr: b.InsAddr(i), Inst: in})
+		}
+	}
+	return ct
+}
+
+// ContainsBeyondHead reports whether pc is the address of an instruction
+// inside the trace other than its entry. SuperPin slices must not use a
+// shared translation that crosses their boundary PC (the boundary must be
+// a block leader for exact block-granularity instrumentation), so they
+// check this before adopting a shared trace.
+func (t *Trace) ContainsBeyondHead(pc uint32) bool {
+	if pc == 0 || pc == t.Addr {
+		return false
+	}
+	for _, b := range t.Bbls {
+		if pc >= b.Addr && pc < b.Addr+uint32(b.NumIns())*isa.WordSize &&
+			(pc-b.Addr)%isa.WordSize == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceCacheStats are cumulative shared-translation-cache statistics.
+type TraceCacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// TraceCache is a translation cache shared across engines — the paper's
+// Section 8 future-work idea of sharing the code cache across all
+// timeslices. It stores *uninstrumented* built traces: translation (the
+// expensive part of compilation) happens once, while each engine still
+// weaves its own instrumentation, since analysis calls are bound to
+// per-slice tool state.
+//
+// Like everything in the simulation it is used from a single goroutine
+// and needs no locking.
+type TraceCache struct {
+	traces map[uint32]*Trace
+	stats  TraceCacheStats
+}
+
+// NewTraceCache creates an empty shared translation cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{traces: make(map[uint32]*Trace)}
+}
+
+// Lookup returns the shared trace entered at pc, if present.
+func (tc *TraceCache) Lookup(pc uint32) (*Trace, bool) {
+	tr, ok := tc.traces[pc]
+	if ok {
+		tc.stats.Hits++
+	} else {
+		tc.stats.Misses++
+	}
+	return tr, ok
+}
+
+// Insert publishes a built trace for other engines to reuse. Re-inserting
+// an existing entry keeps the first (all engines build identical traces
+// from the same code).
+func (tc *TraceCache) Insert(tr *Trace) {
+	if _, dup := tc.traces[tr.Addr]; !dup {
+		tc.traces[tr.Addr] = tr
+	}
+}
+
+// Stats returns cumulative statistics.
+func (tc *TraceCache) Stats() TraceCacheStats { return tc.stats }
+
+// CacheStats are cumulative code-cache statistics.
+type CacheStats struct {
+	Lookups     uint64
+	Misses      uint64
+	Compiles    uint64
+	CompiledIns uint64
+	Flushes     uint64
+}
+
+// CodeCache maps trace entry addresses to compiled traces, with a
+// capacity measured in compiled instructions. Like Pin, exceeding the
+// capacity flushes the entire cache; applications whose code footprint
+// exceeds the cache recompile continually (the paper's gcc).
+type CodeCache struct {
+	// Capacity is the maximum resident compiled instructions; <= 0 means
+	// unlimited.
+	Capacity int
+
+	traces   map[uint32]*CompiledTrace
+	resident int
+	stats    CacheStats
+}
+
+// NewCodeCache creates a cache holding up to capacity compiled
+// instructions (<= 0 for unlimited).
+func NewCodeCache(capacity int) *CodeCache {
+	return &CodeCache{Capacity: capacity, traces: make(map[uint32]*CompiledTrace)}
+}
+
+// Lookup returns the compiled trace entered at pc, or nil on a miss.
+func (c *CodeCache) Lookup(pc uint32) *CompiledTrace {
+	c.stats.Lookups++
+	ct := c.traces[pc]
+	if ct == nil {
+		c.stats.Misses++
+	}
+	return ct
+}
+
+// Insert adds a compiled trace, flushing the cache first if it would
+// exceed capacity.
+func (c *CodeCache) Insert(ct *CompiledTrace) {
+	n := ct.NumIns()
+	if c.Capacity > 0 && c.resident+n > c.Capacity && len(c.traces) > 0 {
+		c.Flush()
+	}
+	c.traces[ct.Addr] = ct
+	c.resident += n
+	c.stats.Compiles++
+	c.stats.CompiledIns += uint64(n)
+}
+
+// Flush discards every compiled trace.
+func (c *CodeCache) Flush() {
+	c.traces = make(map[uint32]*CompiledTrace)
+	c.resident = 0
+	c.stats.Flushes++
+}
+
+// Resident returns the number of compiled instructions currently cached.
+func (c *CodeCache) Resident() int { return c.resident }
+
+// Stats returns cumulative cache statistics.
+func (c *CodeCache) Stats() CacheStats { return c.stats }

@@ -1,0 +1,190 @@
+package jit
+
+import (
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+func loadSrc(t *testing.T, src string) (*mem.Memory, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	return m, p
+}
+
+func TestTraceEndsAtUnconditionalJump(t *testing.T) {
+	m, p := loadSrc(t, `
+main:
+	addi r1, r1, 1
+	addi r2, r2, 2
+	j main
+`)
+	tr, err := BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Bbls) != 1 || tr.NumIns != 3 {
+		t.Fatalf("bbls=%d ins=%d, want 1 bbl of 3", len(tr.Bbls), tr.NumIns)
+	}
+	last := tr.Bbls[0].Ins[2]
+	if last.Op != isa.OpJAL {
+		t.Fatalf("last op = %v", last.Op)
+	}
+}
+
+func TestTraceExtendsThroughConditionalBranches(t *testing.T) {
+	m, p := loadSrc(t, `
+main:
+	addi r1, r1, 1
+	beq r1, r2, main    ; bbl 1 ends here
+	addi r3, r3, 1
+	bne r1, r3, main    ; bbl 2 ends here
+	addi r4, r4, 1
+	syscall             ; bbl 3 ends here, trace ends
+`)
+	tr, err := BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Bbls) != 3 {
+		t.Fatalf("bbls = %d, want 3", len(tr.Bbls))
+	}
+	if tr.NumIns != 6 {
+		t.Fatalf("ins = %d, want 6", tr.NumIns)
+	}
+	if tr.Bbls[1].Addr != p.Entry+8 {
+		t.Fatalf("bbl1 addr = %#x", tr.Bbls[1].Addr)
+	}
+	if tr.Bbls[2].Ins[1].Op != isa.OpSYSCALL {
+		t.Fatal("trace did not end at syscall")
+	}
+}
+
+func TestTraceSizeLimits(t *testing.T) {
+	// A long run of straight-line code must stop at MaxTraceIns.
+	src := ""
+	for i := 0; i < 200; i++ {
+		src += "addi r1, r1, 1\n"
+	}
+	src += "syscall\n"
+	m, p := loadSrc(t, src)
+	tr, err := BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIns != MaxTraceIns {
+		t.Fatalf("ins = %d, want %d", tr.NumIns, MaxTraceIns)
+	}
+
+	// Many tiny blocks must stop at MaxTraceBbls.
+	src = ""
+	for i := 0; i < 20; i++ {
+		src += "beq r1, r2, done\n"
+	}
+	src += "done: syscall\n"
+	m, p = loadSrc(t, src)
+	tr, err = BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Bbls) != MaxTraceBbls {
+		t.Fatalf("bbls = %d, want %d", len(tr.Bbls), MaxTraceBbls)
+	}
+}
+
+func TestTraceStopsBeforeUndecodableWord(t *testing.T) {
+	m, p := loadSrc(t, `
+main:
+	addi r1, r1, 1
+	.word 0xffffffff
+`)
+	tr, err := BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIns != 1 {
+		t.Fatalf("ins = %d, want 1 (stop before garbage)", tr.NumIns)
+	}
+}
+
+func TestTraceAtGarbageFails(t *testing.T) {
+	m := mem.New()
+	m.StoreWord(0x100, 0xffffffff)
+	if _, err := BuildTrace(m, 0x100); err == nil {
+		t.Fatal("BuildTrace on garbage succeeded")
+	}
+}
+
+func TestCompilePreservesAddresses(t *testing.T) {
+	m, p := loadSrc(t, `
+main:
+	addi r1, r1, 1
+	beq r1, r2, main
+	addi r3, r3, 1
+	syscall
+`)
+	tr, err := BuildTrace(m, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := Compile(tr)
+	if ct.NumIns() != tr.NumIns {
+		t.Fatalf("compiled %d ins, want %d", ct.NumIns(), tr.NumIns)
+	}
+	for i, ci := range ct.Ins {
+		want := p.Entry + uint32(i)*4
+		if ci.Addr != want {
+			t.Fatalf("ins %d addr = %#x, want %#x", i, ci.Addr, want)
+		}
+	}
+}
+
+func TestCodeCacheFlushAtCapacity(t *testing.T) {
+	c := NewCodeCache(10)
+	mk := func(addr uint32, n int) *CompiledTrace {
+		ct := &CompiledTrace{Addr: addr}
+		for i := 0; i < n; i++ {
+			ct.Ins = append(ct.Ins, CompiledIns{Addr: addr + uint32(4*i)})
+		}
+		return ct
+	}
+	c.Insert(mk(0x100, 6))
+	c.Insert(mk(0x200, 6)) // exceeds 10: flush, then insert
+	if c.Stats().Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", c.Stats().Flushes)
+	}
+	if c.Lookup(0x100) != nil {
+		t.Fatal("trace survived flush")
+	}
+	if c.Lookup(0x200) == nil {
+		t.Fatal("trace inserted after flush missing")
+	}
+	if c.Resident() != 6 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+	st := c.Stats()
+	if st.Compiles != 2 || st.CompiledIns != 12 || st.Lookups != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCodeCacheUnlimited(t *testing.T) {
+	c := NewCodeCache(0)
+	for i := uint32(0); i < 100; i++ {
+		ct := &CompiledTrace{Addr: i * 0x100, Ins: make([]CompiledIns, 50)}
+		c.Insert(ct)
+	}
+	if c.Stats().Flushes != 0 {
+		t.Fatal("unlimited cache flushed")
+	}
+	if c.Resident() != 5000 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+}

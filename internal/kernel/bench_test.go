@@ -1,0 +1,76 @@
+package kernel
+
+import (
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// benchProg returns a loop long enough that b.N instructions can be
+// interpreted without the process exiting.
+func benchProg(b *testing.B) (*mem.Memory, cpu.Regs) {
+	b.Helper()
+	p, err := asm.Assemble(`
+	li r10, 0
+	li r11, 2000000000
+loop:
+	addi r10, r10, 1
+	add r12, r12, r10
+	blt r10, r11, loop
+	li r1, 1
+	syscall
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	regs := cpu.Regs{PC: p.Entry}
+	regs.R[isa.RegSP] = 0x00f0_0000
+	return m, regs
+}
+
+// BenchmarkNativeInterp measures raw interpreter throughput through the
+// kernel's NativeRunner.
+func BenchmarkNativeInterp(b *testing.B) {
+	k := New(DefaultConfig())
+	m, regs := benchProg(b)
+	p := k.Spawn("bench", m, regs, NativeRunner{})
+	r := NativeRunner{}
+	b.ResetTimer()
+	for p.InsCount < uint64(b.N) {
+		if _, stop := r.Run(k, p, Cycles(b.N)-Cycles(p.InsCount)); stop == StopError {
+			b.Fatal(p.Err)
+		}
+	}
+	b.ReportMetric(float64(p.InsCount)/b.Elapsed().Seconds(), "guest-ins/s")
+}
+
+// BenchmarkScheduler8Procs measures full discrete-event scheduling
+// overhead with 8 concurrent CPU-bound processes on 8 cores.
+func BenchmarkScheduler8Procs(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Hyperthreading = false
+	cfg.MaxCycles = Cycles(b.N)*8 + 1_000_000
+	k := New(cfg)
+	for i := 0; i < 8; i++ {
+		m, regs := benchProg(b)
+		k.Spawn("w", m, regs, NativeRunner{})
+	}
+	b.ResetTimer()
+	quantum := cfg.Cost.Quantum
+	var total uint64
+	for total < uint64(b.N) {
+		k.fireTimers()
+		k.runQuantum(quantum)
+		k.Now += quantum
+		total = 0
+		for _, p := range k.Procs() {
+			total += p.InsCount
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "guest-ins/s")
+}

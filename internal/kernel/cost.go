@@ -1,0 +1,88 @@
+package kernel
+
+// Cycles is the unit of virtual time. Everything in the simulation — guest
+// execution, fork overhead, syscall latency, scheduling — is accounted in
+// cycles, and wall-clock results are reported as cycles or converted to
+// virtual seconds via CostModel.CPS. Virtual time is deterministic: a run
+// produces identical timings on any host.
+type Cycles uint64
+
+// CostModel holds the calibrated cycle costs of the simulated machine and
+// operating system. The defaults are tuned so the instrumentation engines
+// built on top reproduce the overhead structure reported in the SuperPin
+// paper (Pin icount1 ~12X, fork/COW overhead visible at sub-second
+// timeslices, hyperthreaded sharing slower than a dedicated core).
+type CostModel struct {
+	// CPS is cycles per virtual second. It only scales reporting and the
+	// interpretation of millisecond-denominated switches like -spmsec.
+	CPS Cycles
+
+	// Quantum is the scheduling quantum. Events (timers, forks, wakes)
+	// take effect at quantum boundaries; syscalls are handled exactly.
+	Quantum Cycles
+
+	// InterpCost is the cycle cost of one natively executed guest
+	// instruction.
+	InterpCost Cycles
+
+	// SyscallBase is the kernel-side cost of any system call.
+	SyscallBase Cycles
+
+	// PtraceStop is the extra cost charged to a traced process for each
+	// syscall-stop delivered to its tracer (the paper measures this under
+	// "Ptrace Overhead" as less than a few tenths of a percent).
+	PtraceStop Cycles
+
+	// ForkBase is the fixed cost of fork, charged to the parent.
+	ForkBase Cycles
+
+	// ForkPerPage is the per-materialized-page cost of duplicating the
+	// page table at fork, charged to the parent.
+	ForkPerPage Cycles
+
+	// PageCopy is the cost of one copy-on-write page copy, charged to the
+	// process whose write triggered it.
+	PageCopy Cycles
+
+	// TrampolineCost models SuperPin's slice-spawn trampoline (redirect
+	// PC, switch to a private stack, enter the VM).
+	TrampolineCost Cycles
+
+	// HTFactor is the throughput factor applied to each of two processes
+	// sharing one physical core via hyperthreading.
+	HTFactor float64
+
+	// SMPAlpha is the per-extra-busy-CPU slowdown coefficient modeling
+	// memory-subsystem contention: with R busy CPUs each runs at
+	// 1/(1+SMPAlpha*(R-1)) of full speed. The paper verifies this effect
+	// by loading the machine with N native copies of a benchmark
+	// ("SMP Scalability Issues", Section 6.3).
+	SMPAlpha float64
+}
+
+// DefaultCost returns the calibrated default cost model.
+func DefaultCost() CostModel {
+	return CostModel{
+		CPS:            100_000,
+		Quantum:        200,
+		InterpCost:     1,
+		SyscallBase:    30,
+		PtraceStop:     8,
+		ForkBase:       300,
+		ForkPerPage:    2,
+		PageCopy:       40,
+		TrampolineCost: 80,
+		HTFactor:       0.62,
+		SMPAlpha:       0.015,
+	}
+}
+
+// MSec converts virtual milliseconds to cycles under this model.
+func (c CostModel) MSec(ms float64) Cycles {
+	return Cycles(ms * float64(c.CPS) / 1000)
+}
+
+// Seconds converts a cycle count to virtual seconds under this model.
+func (c CostModel) Seconds(cy Cycles) float64 {
+	return float64(cy) / float64(c.CPS)
+}

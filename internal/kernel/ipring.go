@@ -1,0 +1,75 @@
+package kernel
+
+// IPRing is a fixed-size ring buffer of recently executed instruction
+// pointers. It backs the SuperPin reproduction's alternative boundary
+// detector — the "last N instruction pointers" signature the paper says
+// it examined before settling on the architectural-state signature.
+// Maintaining it costs work on every instruction, which is precisely the
+// reason the paper rejected the approach; the cost model reflects that.
+type IPRing struct {
+	buf []uint32
+	pos int
+	n   int // valid entries (saturates at len(buf))
+}
+
+// NewIPRing creates a ring holding the last size instruction pointers.
+func NewIPRing(size int) *IPRing {
+	if size <= 0 {
+		size = 1
+	}
+	return &IPRing{buf: make([]uint32, size)}
+}
+
+// Push appends an executed instruction pointer.
+func (r *IPRing) Push(pc uint32) {
+	r.buf[r.pos] = pc
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Snapshot returns the ring contents oldest-first.
+func (r *IPRing) Snapshot() []uint32 {
+	out := make([]uint32, 0, r.n)
+	if r.n == len(r.buf) {
+		out = append(out, r.buf[r.pos:]...)
+		out = append(out, r.buf[:r.pos]...)
+	} else {
+		out = append(out, r.buf[:r.n]...)
+	}
+	return out
+}
+
+// Seed initializes the ring contents (oldest-first), as if the ips had
+// been pushed in order.
+func (r *IPRing) Seed(ips []uint32) {
+	r.pos, r.n = 0, 0
+	if len(ips) > len(r.buf) {
+		ips = ips[len(ips)-len(r.buf):]
+	}
+	for _, pc := range ips {
+		r.Push(pc)
+	}
+}
+
+// MatchesSnapshot reports whether the ring's current contents equal the
+// given oldest-first snapshot.
+func (r *IPRing) MatchesSnapshot(want []uint32) bool {
+	if r.n != len(want) {
+		return false
+	}
+	start := 0
+	if r.n == len(r.buf) {
+		start = r.pos
+	}
+	for i, w := range want {
+		if r.buf[(start+i)%len(r.buf)] != w {
+			return false
+		}
+	}
+	return true
+}

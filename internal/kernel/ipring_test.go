@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIPRingPushAndSnapshot(t *testing.T) {
+	r := NewIPRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring snapshot %v", got)
+	}
+	for i := uint32(1); i <= 3; i++ {
+		r.Push(i)
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("snapshot %v", got)
+	}
+	r.Push(4)
+	r.Push(5) // overwrites 1
+	want := []uint32{2, 3, 4, 5}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v", got, want)
+		}
+	}
+	if !r.MatchesSnapshot(want) {
+		t.Fatal("MatchesSnapshot false for own snapshot")
+	}
+	if r.MatchesSnapshot([]uint32{2, 3, 4, 6}) {
+		t.Fatal("MatchesSnapshot true for wrong contents")
+	}
+	if r.MatchesSnapshot([]uint32{3, 4, 5}) {
+		t.Fatal("MatchesSnapshot true for wrong length")
+	}
+}
+
+func TestIPRingSeed(t *testing.T) {
+	r := NewIPRing(3)
+	r.Seed([]uint32{10, 20, 30, 40, 50}) // longer than capacity: keep newest
+	want := []uint32{30, 40, 50}
+	if !r.MatchesSnapshot(want) {
+		t.Fatalf("seeded ring %v, want %v", r.Snapshot(), want)
+	}
+	r.Seed([]uint32{7})
+	if !r.MatchesSnapshot([]uint32{7}) {
+		t.Fatalf("re-seeded ring %v", r.Snapshot())
+	}
+}
+
+// TestIPRingSnapshotRoundTripProperty: seeding a ring from any snapshot
+// and pushing the same suffix must reproduce MatchesSnapshot semantics of
+// a reference slice window.
+func TestIPRingSnapshotRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		size := 1 + rng.Intn(8)
+		n := rng.Intn(30)
+		r := NewIPRing(size)
+		var all []uint32
+		for i := 0; i < n; i++ {
+			v := uint32(rng.Intn(100))
+			r.Push(v)
+			all = append(all, v)
+		}
+		// Reference window: last min(n, size) values.
+		start := 0
+		if len(all) > size {
+			start = len(all) - size
+		}
+		want := all[start:]
+		if !r.MatchesSnapshot(want) {
+			t.Fatalf("size=%d n=%d: ring %v does not match window %v", size, n, r.Snapshot(), want)
+		}
+		// And the snapshot must equal the window.
+		got := r.Snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("snapshot %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("snapshot %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestIPRingZeroSize(t *testing.T) {
+	r := NewIPRing(0) // clamps to 1
+	r.Push(9)
+	if !r.MatchesSnapshot([]uint32{9}) {
+		t.Fatal("size-0 ring broken")
+	}
+}

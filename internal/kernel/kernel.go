@@ -1,0 +1,532 @@
+// Package kernel implements the deterministic discrete-event operating
+// system and multiprocessor that the SuperPin reproduction runs on.
+//
+// The simulated machine stands in for the paper's 8-way hyperthreaded
+// Xeon MP running Linux. It provides exactly the OS facilities SuperPin
+// depends on:
+//
+//   - processes with copy-on-write fork (internal/mem)
+//   - an N-CPU scheduler with optional hyperthreading and an SMP
+//     memory-contention model
+//   - ptrace-style syscall-stop hooks for the control process
+//   - sleep/wake, interval timers, and per-process accounting
+//   - a small deterministic syscall table (exit, write, read, brk, mmap,
+//     munmap, time, getpid, rand, yield, spawn), including thread groups
+//     with shared memory
+//
+// Time is virtual: the kernel advances a global cycle clock in fixed
+// quanta, running each scheduled process's Runner for a budget of cycles
+// scaled by the current contention factors. All results are bit-for-bit
+// reproducible on any host, regardless of host parallelism.
+package kernel
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// CPUs is the number of physical cores (default 8).
+	CPUs int
+	// Hyperthreading doubles the number of schedulable contexts; two
+	// processes sharing a core each run at Cost.HTFactor speed.
+	Hyperthreading bool
+	// Cost is the machine's cycle-cost model.
+	Cost CostModel
+	// Seed initializes the kernel's deterministic entropy pool (the
+	// read-input stream and the rand syscall).
+	Seed uint64
+	// MaxCycles aborts the simulation if the clock passes it (0 = none).
+	MaxCycles Cycles
+}
+
+// DefaultConfig returns the paper's evaluation machine: 8 physical cores
+// with hyperthreading (16 contexts).
+func DefaultConfig() Config {
+	return Config{CPUs: 8, Hyperthreading: true, Cost: DefaultCost(), Seed: 1}
+}
+
+// Kernel is the simulated operating system instance.
+type Kernel struct {
+	cfg Config
+
+	// ThreadRunner, when non-nil, builds the Runner for threads created
+	// with the spawn syscall; by default the child reuses the parent's
+	// Runner value (correct for the stateless NativeRunner, wrong for
+	// stateful engines, which must install a factory).
+	ThreadRunner func(parent *Proc) Runner
+
+	// ThreadHook, when non-nil, observes every spawn-created thread.
+	// SuperPin's control process uses it to notice that the traced
+	// application became multithreaded.
+	ThreadHook func(parent, child *Proc)
+
+	// Now is the current virtual time.
+	Now Cycles
+
+	// Stdout accumulates bytes written to the console by guest processes.
+	Stdout []byte
+
+	procs     []*Proc
+	runq      []*Proc
+	timers    timerHeap
+	nextPID   PID
+	liveProcs int
+	randState uint64
+	guestErrs []error
+}
+
+// New creates a kernel for the given machine configuration.
+func New(cfg Config) *Kernel {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 8
+	}
+	if cfg.Cost.CPS == 0 {
+		cfg.Cost = DefaultCost()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Kernel{cfg: cfg, nextPID: 1, randState: seed}
+}
+
+// Config returns the kernel's configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Contexts returns the number of schedulable CPU contexts.
+func (k *Kernel) Contexts() int {
+	if k.cfg.Hyperthreading {
+		return 2 * k.cfg.CPUs
+	}
+	return k.cfg.CPUs
+}
+
+// Procs returns all processes ever spawned, in PID order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// Spawn creates a runnable process with the given memory image, initial
+// registers and runner.
+func (k *Kernel) Spawn(name string, m *mem.Memory, regs cpu.Regs, r Runner) *Proc {
+	p := &Proc{
+		PID:       k.nextPID,
+		Name:      name,
+		Regs:      regs,
+		Mem:       m,
+		Runner:    r,
+		StartTime: k.Now,
+		Brk:       0x0800_0000,
+		MmapTop:   0x4000_0000,
+	}
+	k.nextPID++
+	k.procs = append(k.procs, p)
+	k.liveProcs++
+	k.enqueue(p)
+	return p
+}
+
+// Fork clones parent into a new process running r, with copy-on-write
+// memory, charging the parent the fork and page-table costs. If runnable
+// is false the child starts sleeping (SuperPin slices sleep until the
+// following slice records its signature).
+func (k *Kernel) Fork(parent *Proc, name string, r Runner, runnable bool) *Proc {
+	cost := k.cfg.Cost
+	fc := cost.ForkBase + Cycles(parent.Mem.Pages())*cost.ForkPerPage
+	parent.ForkCost += fc
+	parent.debt += fc
+
+	child := &Proc{
+		PID:       k.nextPID,
+		Name:      name,
+		Regs:      parent.Regs,
+		Mem:       parent.Mem.Fork(),
+		Runner:    r,
+		StartTime: k.Now,
+		Brk:       parent.Brk,
+		MmapTop:   parent.MmapTop,
+	}
+	k.nextPID++
+	k.procs = append(k.procs, child)
+	k.liveProcs++
+	if runnable {
+		k.enqueue(child)
+	} else {
+		child.State = StateSleeping
+		child.sleepSince = k.Now
+	}
+	return child
+}
+
+// SpawnThread creates a thread in parent's group: a runnable process
+// sharing parent's memory image, starting at entry with the given stack
+// pointer and arg in r2. It backs the spawn system call.
+func (k *Kernel) SpawnThread(parent *Proc, entry, sp, arg uint32) *Proc {
+	var r Runner
+	if k.ThreadRunner != nil {
+		r = k.ThreadRunner(parent)
+	} else {
+		r = parent.Runner
+	}
+	if parent.memShare == nil {
+		n := 1
+		parent.memShare = &n
+	}
+	*parent.memShare++
+
+	var regs cpu.Regs
+	regs.PC = entry &^ 3
+	regs.R[isa.RegSP] = sp
+	regs.R[isa.RegArg0] = arg
+
+	child := &Proc{
+		PID:       k.nextPID,
+		Name:      fmt.Sprintf("%s.t%d", parent.Name, k.nextPID),
+		Regs:      regs,
+		Mem:       parent.Mem,
+		Runner:    r,
+		StartTime: k.Now,
+		Brk:       parent.Brk,
+		MmapTop:   parent.MmapTop,
+		TGID:      parent.Group(),
+		memShare:  parent.memShare,
+		Hook:      parent.Hook,
+	}
+	k.nextPID++
+	k.procs = append(k.procs, child)
+	k.liveProcs++
+	k.enqueue(child)
+	if k.ThreadHook != nil {
+		k.ThreadHook(parent, child)
+	}
+	return child
+}
+
+// Charge adds cy cycles of pending work debt to p, deducted from its
+// future scheduling budgets. SuperPin uses it to bill host-level work
+// performed on a process's behalf (signature recording, the spawn
+// trampoline) to that process's virtual time.
+func (k *Kernel) Charge(p *Proc, cy Cycles) { p.debt += cy }
+
+// OnExit registers fn to run when p exits.
+func (k *Kernel) OnExit(p *Proc, fn func(*Proc)) {
+	p.exitFns = append(p.exitFns, fn)
+}
+
+// SleepProc moves a runnable process to the sleeping state. It takes
+// effect immediately; if the process is mid-quantum its runner loop stops
+// at the next stop point.
+func (k *Kernel) SleepProc(p *Proc) {
+	if p.State != StateRunnable {
+		return
+	}
+	p.State = StateSleeping
+	p.sleepSince = k.Now
+	k.dequeue(p)
+}
+
+// Wake makes a sleeping process runnable again.
+func (k *Kernel) Wake(p *Proc) {
+	if p.State != StateSleeping {
+		return
+	}
+	p.SleepTime += k.Now - p.sleepSince
+	p.State = StateRunnable
+	k.enqueue(p)
+}
+
+// Exit terminates p with the given exit code. Like exit_group(2), it
+// terminates every thread in p's group; the shared memory image is
+// released when the last sharer exits.
+func (k *Kernel) Exit(p *Proc, code uint32) {
+	if p.State == StateExited {
+		return
+	}
+	k.exitOne(p, code)
+	group := p.Group()
+	for _, q := range k.procs {
+		if q != p && !q.Exited() && q.Group() == group {
+			k.exitOne(q, code)
+		}
+	}
+}
+
+func (k *Kernel) exitOne(p *Proc, code uint32) {
+	if p.State == StateSleeping {
+		p.SleepTime += k.Now - p.sleepSince
+	}
+	p.State = StateExited
+	p.ExitCode = code
+	p.EndTime = k.Now
+	if p.memShare == nil {
+		p.Mem.Release()
+	} else {
+		*p.memShare--
+		if *p.memShare == 0 {
+			p.Mem.Release()
+		}
+	}
+	k.dequeue(p)
+	k.liveProcs--
+	for _, fn := range p.exitFns {
+		fn(p)
+	}
+}
+
+func (k *Kernel) enqueue(p *Proc) {
+	p.State = StateRunnable
+	k.runq = append(k.runq, p)
+}
+
+func (k *Kernel) dequeue(p *Proc) {
+	for i, q := range k.runq {
+		if q == p {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// Timer is a pending one-shot timer.
+type Timer struct {
+	expiry    Cycles
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the timer from firing if it has not fired yet.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int           { return len(h) }
+func (h timerHeap) Less(i, j int) bool { return h[i].expiry < h[j].expiry }
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *timerHeap) Push(x any)        { t := x.(*Timer); t.index = len(*h); *h = append(*h, t) }
+func (h *timerHeap) Pop() any          { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// AddTimer schedules fn to run at the first quantum boundary at least
+// delay cycles in the future. Timer callbacks run at host level (they are
+// the simulation's equivalent of SuperPin's timer process) and may fork,
+// wake or sleep processes.
+func (k *Kernel) AddTimer(delay Cycles, fn func()) *Timer {
+	t := &Timer{expiry: k.Now + delay, fn: fn}
+	heap.Push(&k.timers, t)
+	return t
+}
+
+// ErrDeadlock is returned by Run when sleeping processes remain but
+// nothing can ever wake them.
+var ErrDeadlock = errors.New("kernel: deadlock: sleeping processes with no pending timers")
+
+// ErrMaxCycles is returned when the configured cycle limit is exceeded.
+var ErrMaxCycles = errors.New("kernel: MaxCycles exceeded")
+
+// Run advances the simulation until every process has exited. Guest
+// faults terminate the faulting process and are reported (joined) in the
+// returned error; deadlock and the MaxCycles safety limit abort the run.
+func (k *Kernel) Run() error {
+	quantum := k.cfg.Cost.Quantum
+	for k.liveProcs > 0 {
+		if k.cfg.MaxCycles != 0 && k.Now > k.cfg.MaxCycles {
+			return fmt.Errorf("%w at t=%d", ErrMaxCycles, k.Now)
+		}
+		k.fireTimers()
+		if len(k.runq) == 0 {
+			if k.liveProcs == 0 {
+				break
+			}
+			next, ok := k.nextTimerExpiry()
+			if !ok {
+				return fmt.Errorf("%w (t=%d, %d live)", ErrDeadlock, k.Now, k.liveProcs)
+			}
+			if next > k.Now {
+				k.Now = next
+			} else {
+				k.Now += quantum
+			}
+			continue
+		}
+		k.runQuantum(quantum)
+		k.Now += quantum
+	}
+	k.fireTimers() // flush anything scheduled exactly at the end
+	return errors.Join(k.guestErrs...)
+}
+
+func (k *Kernel) nextTimerExpiry() (Cycles, bool) {
+	for len(k.timers) > 0 && k.timers[0].cancelled {
+		heap.Pop(&k.timers)
+	}
+	if len(k.timers) == 0 {
+		return 0, false
+	}
+	return k.timers[0].expiry, true
+}
+
+func (k *Kernel) fireTimers() {
+	for len(k.timers) > 0 {
+		t := k.timers[0]
+		if t.cancelled {
+			heap.Pop(&k.timers)
+			continue
+		}
+		if t.expiry > k.Now {
+			return
+		}
+		heap.Pop(&k.timers)
+		t.fn()
+	}
+}
+
+// runQuantum schedules up to Contexts() processes for one quantum.
+func (k *Kernel) runQuantum(quantum Cycles) {
+	ctxs := k.Contexts()
+	n := len(k.runq)
+	if n > ctxs {
+		n = ctxs
+	}
+	running := make([]*Proc, n)
+	copy(running, k.runq[:n])
+
+	// Contention factors: with R processes on P physical cores, every
+	// busy core suffers SMP memory contention; beyond P, pairs share
+	// cores via hyperthreading at HTFactor speed. The *last* 2(R-P)
+	// processes in queue order share, and the queue rotates each quantum,
+	// so sharing is spread fairly.
+	cost := k.cfg.Cost
+	p := k.cfg.CPUs
+	busyCores := n
+	if busyCores > p {
+		busyCores = p
+	}
+	smp := 1.0 / (1.0 + cost.SMPAlpha*float64(busyCores-1))
+	sharedFrom := n // index from which processes share a core
+	if n > p {
+		sharedFrom = 2*p - n
+	}
+
+	for i, proc := range running {
+		factor := smp
+		if i >= sharedFrom {
+			factor *= cost.HTFactor
+		}
+		budget := Cycles(float64(quantum) * factor)
+		if budget == 0 {
+			budget = 1
+		}
+		k.runProc(proc, budget)
+	}
+
+	// Charge wait time to runnable processes that did not get a context,
+	// then rotate the queue (processes that ran move to the back) so
+	// scheduling and HT pairing are fair. The run queue may have shrunk
+	// or grown during the quantum (exits, forks, wakes), so work from the
+	// current queue contents.
+	ranSet := make(map[*Proc]bool, len(running))
+	for _, proc := range running {
+		ranSet[proc] = true
+	}
+	var front, back []*Proc
+	for _, proc := range k.runq {
+		if ranSet[proc] {
+			back = append(back, proc)
+		} else {
+			proc.WaitTime += quantum
+			front = append(front, proc)
+		}
+	}
+	k.runq = append(front, back...)
+}
+
+// runProc gives p up to budget cycles of guest work, servicing syscalls
+// exactly as they occur so no budget is lost to quantum rounding.
+func (k *Kernel) runProc(p *Proc, budget Cycles) {
+	if p.debt >= budget {
+		p.debt -= budget
+		p.CPUTime += budget
+		return
+	}
+	budget -= p.debt
+	p.CPUTime += p.debt
+	p.debt = 0
+
+	for budget > 0 && p.State == StateRunnable {
+		insMark := p.InsCount
+		used, stop := p.Runner.Run(k, p, budget)
+		if p.BurstHook != nil && p.InsCount > insMark {
+			p.BurstHook(p.InsCount - insMark)
+		}
+		if used > budget {
+			p.debt += used - budget
+			p.CPUTime += budget
+			budget = 0
+		} else {
+			p.CPUTime += used
+			budget -= used
+		}
+		switch stop {
+		case StopBudget:
+			return
+		case StopSyscall:
+			c := k.handleSyscall(p)
+			if c > budget {
+				p.debt += c - budget
+				p.CPUTime += budget
+				budget = 0
+			} else {
+				p.CPUTime += c
+				budget -= c
+			}
+		case StopExit:
+			k.Exit(p, p.ExitCode)
+		case StopSleep:
+			k.SleepProc(p)
+		case StopError:
+			k.guestErrs = append(k.guestErrs,
+				fmt.Errorf("kernel: pid %d (%s) died: %w", p.PID, p.Name, p.Err))
+			k.Exit(p, ^uint32(0))
+		}
+	}
+}
+
+// handleSyscall services a trapped system call for p, including ptrace
+// hook delivery, returning the cycle cost to charge.
+func (k *Kernel) handleSyscall(p *Proc) Cycles {
+	sysno, args := SyscallArgs(p)
+	p.SyscallCount++
+	var total Cycles
+	if p.Hook != nil {
+		total += k.cfg.Cost.PtraceStop
+		if handled, out := p.Hook.Entry(k, p, sysno, args); handled {
+			ApplyOutcome(p, out)
+			total += out.Cost
+			if out.Exited {
+				k.Exit(p, out.Ret)
+			}
+			return total
+		}
+	}
+	out := k.serviceSyscall(p, sysno, args)
+	ApplyOutcome(p, out)
+	total += out.Cost
+	if p.Hook != nil {
+		p.Hook.Exit(k, p, sysno, args, out)
+	}
+	if out.Exited && p.State != StateExited {
+		k.Exit(p, out.Ret)
+	}
+	return total
+}
+
+// SortProcsByPID sorts a process slice by PID, for deterministic reports.
+func SortProcsByPID(ps []*Proc) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].PID < ps[j].PID })
+}

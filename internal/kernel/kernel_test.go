@@ -1,0 +1,584 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// buildProg assembles src and returns a loaded memory image plus entry regs.
+func buildProg(t *testing.T, src string) (*mem.Memory, cpu.Regs) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	regs := cpu.Regs{PC: p.Entry}
+	regs.R[isa.RegSP] = 0x00f0_0000
+	return m, regs
+}
+
+// exitProg is a program that runs n loop iterations then exits with code.
+func loopExit(n int, code int) string {
+	return `
+	li r10, 0
+	li r11, ` + itoa(n) + `
+loop:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1        ; SysExit
+	li r2, ` + itoa(code) + `
+	syscall
+`
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}
+
+func TestRunToExit(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100, 42))
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exited() || p.ExitCode != 42 {
+		t.Fatalf("state=%v code=%d", p.State, p.ExitCode)
+	}
+	// 2 setup + 100 iterations * 2 + 3 exit-setup-ish instructions.
+	if p.InsCount < 200 || p.InsCount > 220 {
+		t.Fatalf("InsCount = %d", p.InsCount)
+	}
+	if p.CPUTime == 0 || p.EndTime == 0 {
+		t.Fatalf("accounting missing: cpu=%d end=%d", p.CPUTime, p.EndTime)
+	}
+}
+
+func TestWriteSyscallReachesStdout(t *testing.T) {
+	k := New(smallConfig())
+	src := `
+	.entry main
+main:
+	la r3, msg
+	li r1, 2      ; SysWrite
+	li r2, 1      ; fd
+	li r4, 5      ; len
+	syscall
+	li r1, 1
+	li r2, 0
+	syscall
+	.org 0x3000
+msg:
+	.word 0x6c6c6568, 0x0000006f  ; "hello"
+`
+	m, regs := buildProg(t, src)
+	k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(k.Stdout); got != "hello" {
+		t.Fatalf("stdout = %q", got)
+	}
+}
+
+func TestReadIsDeterministicAcrossKernels(t *testing.T) {
+	src := `
+	li r1, 3      ; SysRead
+	li r2, 0
+	li r3, 0x5000 ; buf
+	li r4, 16
+	syscall
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	run := func() []byte {
+		k := New(smallConfig())
+		m, regs := buildProg(t, src)
+		p := k.Spawn("app", m, regs, NativeRunner{})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_ = p
+		// Memory is released at exit; capture via a hook instead.
+		return nil
+	}
+	_ = run
+	// Capture the buffer before exit using a syscall hook.
+	capture := func(seed uint64) []byte {
+		cfg := smallConfig()
+		cfg.Seed = seed
+		k := New(cfg)
+		m, regs := buildProg(t, src)
+		p := k.Spawn("app", m, regs, NativeRunner{})
+		var got []byte
+		p.Hook = hookFuncs{
+			exit: func(_ *Kernel, p *Proc, sysno uint32, _ [4]uint32, _ SyscallOutcome) {
+				if sysno == SysRead {
+					got = make([]byte, 16)
+					p.Mem.ReadBytes(0x5000, got)
+				}
+			},
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a := capture(7)
+	b := capture(7)
+	c := capture(8)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different input streams")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical input streams")
+	}
+	if len(a) != 16 || a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0 {
+		t.Fatalf("suspicious input bytes: %v", a)
+	}
+}
+
+// hookFuncs adapts plain functions to the SyscallHook interface.
+type hookFuncs struct {
+	entry func(*Kernel, *Proc, uint32, [4]uint32) (bool, SyscallOutcome)
+	exit  func(*Kernel, *Proc, uint32, [4]uint32, SyscallOutcome)
+}
+
+func (h hookFuncs) Entry(k *Kernel, p *Proc, sysno uint32, args [4]uint32) (bool, SyscallOutcome) {
+	if h.entry == nil {
+		return false, SyscallOutcome{}
+	}
+	return h.entry(k, p, sysno, args)
+}
+
+func (h hookFuncs) Exit(k *Kernel, p *Proc, sysno uint32, args [4]uint32, out SyscallOutcome) {
+	if h.exit != nil {
+		h.exit(k, p, sysno, args, out)
+	}
+}
+
+func TestBrkAndMmap(t *testing.T) {
+	k := New(smallConfig())
+	src := `
+	li r1, 4      ; brk(0) query
+	li r2, 0
+	syscall
+	mv r20, r1
+	li r1, 5      ; mmap(0x2000)
+	li r2, 0x2000
+	syscall
+	mv r21, r1
+	li r1, 5      ; mmap(0x2000) again: must be different
+	li r2, 0x2000
+	syscall
+	mv r22, r1
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	m, regs := buildProg(t, src)
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	var r20, r21, r22 uint32
+	p.Hook = hookFuncs{
+		entry: func(_ *Kernel, p *Proc, sysno uint32, _ [4]uint32) (bool, SyscallOutcome) {
+			if sysno == SysExit {
+				// All three results have been moved to r20..r22 by now.
+				r20, r21, r22 = p.Regs.R[20], p.Regs.R[21], p.Regs.R[22]
+			}
+			return false, SyscallOutcome{}
+		},
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r20
+	if r21 == 0 || r22 != r21+0x2000 {
+		t.Fatalf("mmap results: %#x then %#x", r21, r22)
+	}
+}
+
+func TestHookEntryCanOverrideSyscall(t *testing.T) {
+	k := New(smallConfig())
+	src := `
+	li r1, 8      ; getpid
+	syscall
+	mv r20, r1
+	li r1, 1
+	mv r2, r20
+	syscall
+`
+	m, regs := buildProg(t, src)
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	p.Hook = hookFuncs{
+		entry: func(_ *Kernel, _ *Proc, sysno uint32, _ [4]uint32) (bool, SyscallOutcome) {
+			if sysno == SysGetPid {
+				return true, SyscallOutcome{Ret: 777}
+			}
+			return false, SyscallOutcome{}
+		},
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 777 {
+		t.Fatalf("exit code = %d, want hook-injected 777", p.ExitCode)
+	}
+}
+
+func TestForkChargesParentAndIsolates(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(1000, 0))
+	parent := k.Spawn("parent", m, regs, NativeRunner{})
+	// Touch some pages so the page-table charge is visible.
+	for i := uint32(0); i < 50; i++ {
+		parent.Mem.StoreWord(0x0010_0000+i*mem.PageSize, i)
+	}
+	child := k.Fork(parent, "child", NativeRunner{}, true)
+	if parent.ForkCost == 0 {
+		t.Fatal("fork cost not charged")
+	}
+	if child.Regs != parent.Regs {
+		t.Fatal("child regs differ from parent")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !child.Exited() || !parent.Exited() {
+		t.Fatal("processes did not both exit")
+	}
+	if child.InsCount != parent.InsCount {
+		t.Fatalf("child executed %d instructions, parent %d", child.InsCount, parent.InsCount)
+	}
+}
+
+func TestCowChargedToWriter(t *testing.T) {
+	k := New(smallConfig())
+	// Program writes 20 pages then exits.
+	src := `
+	li r10, 0
+	li r11, 20
+	li r12, 0x00200000
+loop:
+	sw r10, (r12)
+	lui r13, 1      ; 0x10000 = 16 pages... use addi of 0x1000
+	addi r12, r12, 0x1000
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	m, regs := buildProg(t, src)
+	parent := k.Spawn("parent", m, regs, NativeRunner{})
+	// Pre-touch the pages in the parent so the child's writes are COW.
+	for i := uint32(0); i < 20; i++ {
+		parent.Mem.StoreWord(0x0020_0000+i*0x1000, 0)
+	}
+	child := k.Fork(parent, "child", NativeRunner{}, true)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if child.CowCost == 0 {
+		t.Fatal("child COW writes not charged")
+	}
+	// Parent and child run the same store loop concurrently; whichever
+	// writes a shared page first pays for its copy, so the 20 copies are
+	// split between them but must total at least 20.
+	cost := k.Config().Cost
+	wantMin := Cycles(20) * cost.PageCopy
+	if total := child.CowCost + parent.CowCost; total < wantMin {
+		t.Fatalf("total CowCost = %d, want >= %d", total, wantMin)
+	}
+}
+
+func TestSleepWakeAndTimers(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100000, 0))
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	k.SleepProc(p)
+	if p.State != StateSleeping {
+		t.Fatal("proc not sleeping")
+	}
+	delay := k.Config().Cost.MSec(100)
+	var wokeAt Cycles
+	k.AddTimer(delay, func() {
+		wokeAt = k.Now
+		k.Wake(p)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt < delay {
+		t.Fatalf("timer fired at %d, want >= %d", wokeAt, delay)
+	}
+	if p.SleepTime < delay-k.Config().Cost.Quantum {
+		t.Fatalf("SleepTime = %d, want about %d", p.SleepTime, delay)
+	}
+	if !p.Exited() {
+		t.Fatal("proc did not finish after wake")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(1000, 0))
+	k.Spawn("app", m, regs, NativeRunner{})
+	fired := false
+	tm := k.AddTimer(10, func() { fired = true })
+	tm.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(10, 0))
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	k.SleepProc(p)
+	err := k.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestMaxCyclesAborts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxCycles = 1000
+	k := New(cfg)
+	m, regs := buildProg(t, loopExit(10_000_000, 0))
+	k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestGuestFaultKillsProcess(t *testing.T) {
+	k := New(smallConfig())
+	m := mem.New()
+	m.StoreWord(0, 0xffffffff) // garbage instruction
+	regs := cpu.Regs{PC: 0}
+	p := k.Spawn("bad", m, regs, NativeRunner{})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("guest fault not reported")
+	}
+	if !p.Exited() {
+		t.Fatal("faulting proc still live")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestParallelismSpeedsUpWallClock is the core scheduler property: N
+// independent CPU-bound processes on N CPUs finish in about the time of
+// one (modulo SMP contention), while on 1 CPU they serialize.
+func TestParallelismSpeedsUpWallClock(t *testing.T) {
+	run := func(cpus, procs int) Cycles {
+		cfg := smallConfig()
+		cfg.CPUs = cpus
+		cfg.Hyperthreading = false
+		cfg.Cost.SMPAlpha = 0 // isolate pure scheduling
+		k := New(cfg)
+		for i := 0; i < procs; i++ {
+			m, regs := buildProg(t, loopExit(20000, 0))
+			k.Spawn("w", m, regs, NativeRunner{})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now
+	}
+	serial := run(1, 4)
+	parallel := run(4, 4)
+	if parallel >= serial {
+		t.Fatalf("4-CPU run (%d) not faster than 1-CPU run (%d)", parallel, serial)
+	}
+	ratio := float64(serial) / float64(parallel)
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Fatalf("speedup = %.2f, want ~4", ratio)
+	}
+}
+
+func TestSMPContentionSlowsBusyCores(t *testing.T) {
+	run := func(procs int) Cycles {
+		cfg := smallConfig()
+		cfg.CPUs = 8
+		cfg.Hyperthreading = false
+		k := New(cfg)
+		for i := 0; i < procs; i++ {
+			m, regs := buildProg(t, loopExit(20000, 0))
+			k.Spawn("w", m, regs, NativeRunner{})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now
+	}
+	alone := run(1)
+	loaded := run(8)
+	if loaded <= alone {
+		t.Fatalf("8 busy cores (%d) not slower than 1 (%d)", loaded, alone)
+	}
+	// With SMPAlpha=0.015 the loaded factor is 1/(1+0.015*7) ~ 0.905.
+	ratio := float64(loaded) / float64(alone)
+	if ratio < 1.05 || ratio > 1.25 {
+		t.Fatalf("contention ratio = %.3f, want ~1.10", ratio)
+	}
+}
+
+func TestHyperthreadingSharesCores(t *testing.T) {
+	run := func(ht bool, procs int) Cycles {
+		cfg := smallConfig()
+		cfg.CPUs = 2
+		cfg.Hyperthreading = ht
+		cfg.Cost.SMPAlpha = 0
+		k := New(cfg)
+		for i := 0; i < procs; i++ {
+			m, regs := buildProg(t, loopExit(20000, 0))
+			k.Spawn("w", m, regs, NativeRunner{})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now
+	}
+	// 4 procs on 2 cores: HT runs them all concurrently at reduced speed;
+	// without HT they timeshare. HT should still be a bit faster overall
+	// because 2*HTFactor > 1.
+	noHT := run(false, 4)
+	ht := run(true, 4)
+	if ht >= noHT {
+		t.Fatalf("HT run (%d) not faster than non-HT (%d)", ht, noHT)
+	}
+	// But HT must be slower than 4 dedicated cores would be.
+	cfg4 := smallConfig()
+	cfg4.CPUs = 4
+	cfg4.Hyperthreading = false
+	cfg4.Cost.SMPAlpha = 0
+	k := New(cfg4)
+	for i := 0; i < 4; i++ {
+		m, regs := buildProg(t, loopExit(20000, 0))
+		k.Spawn("w", m, regs, NativeRunner{})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dedicated := k.Now
+	if ht <= dedicated {
+		t.Fatalf("HT run (%d) unrealistically fast vs dedicated (%d)", ht, dedicated)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (Cycles, uint64) {
+		k := New(smallConfig())
+		for i := 0; i < 3; i++ {
+			m, regs := buildProg(t, loopExit(5000+i*100, 0))
+			k.Spawn("w", m, regs, NativeRunner{})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var totalIns uint64
+		for _, p := range k.Procs() {
+			totalIns += p.InsCount
+		}
+		return k.Now, totalIns
+	}
+	t1, i1 := run()
+	t2, i2 := run()
+	if t1 != t2 || i1 != i2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", t1, i1, t2, i2)
+	}
+}
+
+func TestWaitTimeAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CPUs = 1
+	cfg.Hyperthreading = false
+	k := New(cfg)
+	var procs []*Proc
+	for i := 0; i < 2; i++ {
+		m, regs := buildProg(t, loopExit(10000, 0))
+		procs = append(procs, k.Spawn("w", m, regs, NativeRunner{}))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if procs[0].WaitTime+procs[1].WaitTime == 0 {
+		t.Fatal("no wait time recorded for 2 procs on 1 CPU")
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	if SyscallName(SysExit) != "exit" || SyscallName(SysMmap) != "mmap" || SyscallName(999) != "sys999" {
+		t.Fatal("SyscallName wrong")
+	}
+}
+
+func TestTimeSyscallAdvances(t *testing.T) {
+	k := New(smallConfig())
+	src := `
+	li r1, 7
+	syscall
+	mv r20, r1
+	li r10, 0
+	li r11, 50000
+loop:
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 7
+	syscall
+	mv r21, r1
+	li r1, 1
+	sub r2, r21, r20
+	syscall
+`
+	m, regs := buildProg(t, src)
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 100k instructions at CPS 100k =~ 1000 ms.
+	if p.ExitCode < 500 || p.ExitCode > 1500 {
+		t.Fatalf("elapsed virtual ms = %d, want ~1000", p.ExitCode)
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import "testing"
+
+func TestSpawnThreadSharesMemory(t *testing.T) {
+	k := New(smallConfig())
+	// main: spawn(worker, stack, 0); store 7 at 0x5000; spin until worker
+	// stores 9 at 0x5004; exit(sum).
+	src := `
+	.entry main
+worker:
+	li r5, 0x5000
+	lw r6, (r5)       ; read main's store
+	addi r6, r6, 2
+	sw r6, 4(r5)      ; 9
+spin:
+	li r1, 10
+	syscall
+	j spin
+main:
+	li r5, 0x5000
+	li r6, 7
+	sw r6, (r5)
+	li r1, 11         ; spawn
+	la r2, worker
+	li r3, 0x00e00000
+	li r4, 0
+	syscall
+	mv r20, r1        ; child tid
+wait:
+	li r1, 10
+	syscall
+	li r5, 0x5000
+	lw r7, 4(r5)
+	beq r7, zero, wait
+	li r1, 1
+	mv r2, r7
+	syscall
+`
+	m, regs := buildProg(t, src)
+	main := k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if main.ExitCode != 9 {
+		t.Fatalf("exit %d, want 9 (worker saw main's store)", main.ExitCode)
+	}
+	// The worker thread must exist, share the group, and have been
+	// terminated by the group exit.
+	procs := k.Procs()
+	if len(procs) != 2 {
+		t.Fatalf("%d procs, want 2", len(procs))
+	}
+	worker := procs[1]
+	if worker.Group() != main.Group() || worker.TGID != main.PID {
+		t.Fatalf("worker group %d, main %d", worker.Group(), main.Group())
+	}
+	if !worker.Exited() {
+		t.Fatal("worker survived group exit")
+	}
+	if worker.Mem != main.Mem {
+		t.Fatal("worker does not share memory")
+	}
+}
+
+func TestThreadHookObservesSpawn(t *testing.T) {
+	k := New(smallConfig())
+	var hooked []PID
+	k.ThreadHook = func(parent, child *Proc) {
+		hooked = append(hooked, child.PID)
+	}
+	src := `
+	.entry main
+worker:
+spin:
+	li r1, 10
+	syscall
+	j spin
+main:
+	li r1, 11
+	la r2, worker
+	li r3, 0x00e00000
+	li r4, 0
+	syscall
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	m, regs := buildProg(t, src)
+	k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 1 {
+		t.Fatalf("hook saw %d spawns, want 1", len(hooked))
+	}
+}
+
+func TestThreadRunnerFactory(t *testing.T) {
+	k := New(smallConfig())
+	factoryCalls := 0
+	k.ThreadRunner = func(parent *Proc) Runner {
+		factoryCalls++
+		return NativeRunner{}
+	}
+	src := `
+	.entry main
+worker:
+spin:
+	li r1, 10
+	syscall
+	j spin
+main:
+	li r1, 11
+	la r2, worker
+	li r3, 0x00e00000
+	li r4, 0
+	syscall
+	li r1, 1
+	li r2, 0
+	syscall
+`
+	m, regs := buildProg(t, src)
+	k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if factoryCalls != 1 {
+		t.Fatalf("ThreadRunner called %d times", factoryCalls)
+	}
+}
+
+func TestForkOfThreadSnapshotsSharedImage(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100000, 0))
+	main := k.Spawn("app", m, regs, NativeRunner{})
+	child := k.SpawnThread(main, regs.PC, 0x00e0_0000, 0)
+	main.Mem.StoreWord(0x6000, 42)
+
+	// A fork (slice) taken now must see 42 but not later stores.
+	slice := k.Fork(main, "slice", NativeRunner{}, true)
+	main.Mem.StoreWord(0x6000, 99)
+	if v, _ := slice.Mem.LoadWord(0x6000); v != 42 {
+		t.Fatalf("slice sees %d, want snapshot 42", v)
+	}
+	// Threads still share the live image.
+	if v, _ := child.Mem.LoadWord(0x6000); v != 99 {
+		t.Fatalf("thread sees %d, want live 99", v)
+	}
+	k.Exit(main, 0)
+	k.Exit(slice, 0)
+	if !child.Exited() {
+		t.Fatal("group exit missed the thread")
+	}
+}

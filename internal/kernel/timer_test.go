@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"testing"
+)
+
+func TestMultipleTimersFireInExpiryOrder(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(200000, 0))
+	k.Spawn("app", m, regs, NativeRunner{})
+
+	var order []int
+	ms := k.Config().Cost.MSec
+	k.AddTimer(ms(300), func() { order = append(order, 3) })
+	k.AddTimer(ms(100), func() { order = append(order, 1) })
+	k.AddTimer(ms(200), func() { order = append(order, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("timer order %v", order)
+	}
+}
+
+func TestTimerRescheduleFromCallback(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(200000, 0))
+	k.Spawn("app", m, regs, NativeRunner{})
+
+	fires := 0
+	var arm func()
+	arm = func() {
+		k.AddTimer(k.Config().Cost.MSec(100), func() {
+			fires++
+			if fires < 5 {
+				arm()
+			}
+		})
+	}
+	arm()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 5 {
+		t.Fatalf("periodic timer fired %d times, want 5", fires)
+	}
+}
+
+func TestTimerAfterAllProcsExitDoesNotFire(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(10, 0))
+	k.Spawn("app", m, regs, NativeRunner{})
+	fired := false
+	// Far beyond the program's lifetime.
+	k.AddTimer(k.Config().Cost.MSec(60_000), func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("timer fired after the last process exited")
+	}
+}
+
+func TestWakeNonSleepingIsNoOp(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100, 0))
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	k.Wake(p) // runnable: no-op
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Wake(p) // exited: no-op
+	if p.State != StateExited {
+		t.Fatal("Wake resurrected an exited proc")
+	}
+}
+
+func TestSleepExitedIsNoOp(t *testing.T) {
+	k := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100, 0))
+	p := k.Spawn("app", m, regs, NativeRunner{})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.SleepProc(p)
+	if p.State != StateExited {
+		t.Fatal("SleepProc changed an exited proc")
+	}
+	k.Exit(p, 1) // double-exit: no-op
+	if p.ExitCode != 0 {
+		t.Fatal("double Exit changed the exit code")
+	}
+}

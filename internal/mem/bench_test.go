@@ -1,0 +1,31 @@
+package mem
+
+import "testing"
+
+func BenchmarkStoreLoadWord(b *testing.B) {
+	m := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i*4) & 0xffff
+		m.StoreWord(addr, uint32(i))
+		if v, _ := m.LoadWord(addr); v != uint32(i) {
+			b.Fatal("bad read")
+		}
+	}
+}
+
+func BenchmarkForkCOW(b *testing.B) {
+	parent := New()
+	for i := uint32(0); i < 64; i++ {
+		parent.StoreWord(i*PageSize, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := parent.Fork()
+		// Touch 8 of the 64 shared pages.
+		for j := uint32(0); j < 8; j++ {
+			child.StoreWord(j*PageSize+8, uint32(i))
+		}
+		child.Release()
+	}
+}

@@ -1,0 +1,211 @@
+// Package mem implements the paged guest memory used by the simulated
+// kernel (internal/kernel) and the instrumentation engines built on it.
+//
+// The central feature is copy-on-write Fork, mirroring the Linux fork(2)
+// semantics SuperPin depends on: forking a memory image shares all pages
+// between parent and child, and the first write to a shared page copies
+// it. The number of pages copied is tracked (CopyEvents) so the kernel's
+// cost model can charge copy-on-write page faults to the process that
+// triggered them — the "Fork Overhead" component of the paper's Section
+// 6.3 breakdown.
+//
+// Pages are allocated lazily and zero-filled on first touch. Address-space
+// layout policy (brk, mmap regions, SuperPin's "memory bubble") lives in
+// the kernel; this package only provides the backing store.
+package mem
+
+import "fmt"
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB
+	pageMask  = PageSize - 1
+)
+
+// page is a refcounted 4 KiB page. refs counts the number of Memory images
+// that reference the page; a page with refs > 1 must be copied before it
+// is written.
+type page struct {
+	data [PageSize]byte
+	refs int32
+}
+
+// Fault describes an invalid guest memory access.
+type Fault struct {
+	Addr   uint32
+	Write  bool
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: %s fault at %#08x: %s", kind, f.Addr, f.Reason)
+}
+
+// Memory is one process's view of guest memory.
+//
+// Memory is not safe for concurrent use; the discrete-event kernel runs
+// guest processes one at a time, so no locking is needed or wanted.
+type Memory struct {
+	pages map[uint32]*page
+
+	// CopyEvents counts copy-on-write page copies performed through this
+	// image since creation. The kernel samples deltas of this counter to
+	// charge page-copy cost to the faulting process.
+	CopyEvents uint64
+	// TouchedPages counts pages materialized (zero-fill allocations).
+	TouchedPages uint64
+}
+
+// New returns an empty memory image.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+// Fork returns a copy-on-write clone of m. Both images share all current
+// pages; each side copies a page when it first writes to it.
+func (m *Memory) Fork() *Memory {
+	child := &Memory{pages: make(map[uint32]*page, len(m.pages))}
+	for pn, pg := range m.pages {
+		pg.refs++
+		child.pages[pn] = pg
+	}
+	return child
+}
+
+// Release drops all page references held by m. After Release, m must not
+// be used. Calling Release when a process exits keeps shared refcounts
+// accurate so SharedPages stays meaningful for long runs.
+func (m *Memory) Release() {
+	for pn, pg := range m.pages {
+		pg.refs--
+		delete(m.pages, pn)
+	}
+}
+
+// Pages returns the number of materialized pages in this image.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// SharedPages returns the number of materialized pages currently shared
+// with at least one other image.
+func (m *Memory) SharedPages() int {
+	n := 0
+	for _, pg := range m.pages {
+		if pg.refs > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// readPage returns the page containing addr for reading, materializing a
+// zero page if needed.
+func (m *Memory) readPage(addr uint32) *page {
+	pn := addr >> PageShift
+	pg := m.pages[pn]
+	if pg == nil {
+		pg = &page{refs: 1}
+		m.pages[pn] = pg
+		m.TouchedPages++
+	}
+	return pg
+}
+
+// writePage returns the page containing addr for writing, performing a
+// copy-on-write duplication if the page is shared.
+func (m *Memory) writePage(addr uint32) *page {
+	pn := addr >> PageShift
+	pg := m.pages[pn]
+	switch {
+	case pg == nil:
+		pg = &page{refs: 1}
+		m.pages[pn] = pg
+		m.TouchedPages++
+	case pg.refs > 1:
+		cp := &page{data: pg.data, refs: 1}
+		pg.refs--
+		m.pages[pn] = cp
+		m.CopyEvents++
+		pg = cp
+	}
+	return pg
+}
+
+// LoadWord reads the aligned 32-bit little-endian word at addr.
+func (m *Memory) LoadWord(addr uint32) (uint32, *Fault) {
+	if addr&3 != 0 {
+		return 0, &Fault{Addr: addr, Reason: "misaligned word read"}
+	}
+	pg := m.readPage(addr)
+	off := addr & pageMask
+	d := pg.data[off : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// StoreWord writes the aligned 32-bit little-endian word at addr.
+func (m *Memory) StoreWord(addr, v uint32) *Fault {
+	if addr&3 != 0 {
+		return &Fault{Addr: addr, Write: true, Reason: "misaligned word write"}
+	}
+	pg := m.writePage(addr)
+	off := addr & pageMask
+	pg.data[off] = byte(v)
+	pg.data[off+1] = byte(v >> 8)
+	pg.data[off+2] = byte(v >> 16)
+	pg.data[off+3] = byte(v >> 24)
+	return nil
+}
+
+// LoadByte reads the byte at addr.
+func (m *Memory) LoadByte(addr uint32) (byte, *Fault) {
+	pg := m.readPage(addr)
+	return pg.data[addr&pageMask], nil
+}
+
+// StoreByte writes the byte at addr.
+func (m *Memory) StoreByte(addr uint32, v byte) *Fault {
+	pg := m.writePage(addr)
+	pg.data[addr&pageMask] = v
+	return nil
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst. It is used by
+// the kernel's syscall emulation (e.g. write(2) buffers).
+func (m *Memory) ReadBytes(addr uint32, dst []byte) {
+	for len(dst) > 0 {
+		pg := m.readPage(addr)
+		off := addr & pageMask
+		n := copy(dst, pg.data[off:])
+		dst = dst[n:]
+		addr += uint32(n)
+	}
+}
+
+// WriteBytes copies src into guest memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, src []byte) {
+	for len(src) > 0 {
+		pg := m.writePage(addr)
+		off := addr & pageMask
+		n := copy(pg.data[off:], src)
+		src = src[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadWords reads n consecutive aligned words starting at addr. It is used
+// by SuperPin's signature recorder to capture the top-of-stack window.
+func (m *Memory) ReadWords(addr uint32, n int) ([]uint32, *Fault) {
+	out := make([]uint32, n)
+	for i := range out {
+		w, f := m.LoadWord(addr + uint32(i*4))
+		if f != nil {
+			return nil, f
+		}
+		out[i] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package pin
+
+import (
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/cpu"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+	"superpin/internal/mem"
+)
+
+// benchLoop is a tight guest loop for engine-throughput benchmarks.
+const benchLoop = `
+	li r10, 0
+	li r11, 1000000000
+loop:
+	addi r10, r10, 1
+	add r12, r12, r10
+	xor r13, r13, r12
+	slli r14, r10, 3
+	blt r10, r11, loop
+	li r1, 1
+	syscall
+`
+
+// setupEngine spawns the loop under an engine and returns proc + kernel.
+func setupEngine(b *testing.B, instrument func(*Engine)) (*kernel.Kernel, *kernel.Proc, *Engine) {
+	b.Helper()
+	p, err := asm.Assemble(benchLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New()
+	p.LoadInto(m)
+	regs := cpu.Regs{PC: p.Entry}
+	regs.R[isa.RegSP] = 0x00f0_0000
+	cfg := kernel.DefaultConfig()
+	k := kernel.New(cfg)
+	e := NewEngine(DefaultCost())
+	if instrument != nil {
+		instrument(e)
+	}
+	proc := k.Spawn("bench", m, regs, e)
+	return k, proc, e
+}
+
+// runN drives the engine directly for b.N guest instructions and reports
+// host-side throughput.
+func runN(b *testing.B, e *Engine, k *kernel.Kernel, p *kernel.Proc) {
+	b.Helper()
+	b.ResetTimer()
+	remaining := uint64(b.N)
+	for remaining > 0 {
+		// Budgets are in cycles; one instruction costs at least one.
+		used, stop := e.Run(k, p, kernel.Cycles(remaining))
+		if stop == kernel.StopError {
+			b.Fatal(p.Err)
+		}
+		if used == 0 {
+			b.Fatal("engine made no progress")
+		}
+		if p.InsCount >= uint64(b.N) {
+			break
+		}
+		remaining = uint64(b.N) - p.InsCount
+	}
+	b.ReportMetric(float64(p.InsCount)/b.Elapsed().Seconds(), "guest-ins/s")
+}
+
+func BenchmarkEngineUninstrumented(b *testing.B) {
+	k, p, e := setupEngine(b, nil)
+	runN(b, e, k, p)
+}
+
+func BenchmarkEngineIcount1Style(b *testing.B) {
+	var n uint64
+	k, p, e := setupEngine(b, func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				for _, ins := range bbl.Ins() {
+					ins.InsertCall(Before, func(*Ctx) { n++ })
+				}
+			}
+		})
+	})
+	runN(b, e, k, p)
+}
+
+func BenchmarkEngineIcount2Style(b *testing.B) {
+	var n uint64
+	k, p, e := setupEngine(b, func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				c := uint64(bbl.NumIns())
+				bbl.InsertCall(Before, func(*Ctx) { n += c })
+			}
+		})
+	})
+	runN(b, e, k, p)
+}
+
+func BenchmarkEngineIfThenDetectionStyle(b *testing.B) {
+	// The SuperPin detection pattern: an inlined predicate at one hot PC.
+	k, p, e := setupEngine(b, func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				for _, ins := range bbl.Ins() {
+					if ins.Inst().Op != isa.OpBLT {
+						continue
+					}
+					ins.InsertIfCall(Before, func(c *Ctx) bool {
+						return c.Regs.R[10] == 0xffffffff
+					})
+					ins.InsertThenCall(Before, func(*Ctx) {})
+				}
+			}
+		})
+	})
+	runN(b, e, k, p)
+}

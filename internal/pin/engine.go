@@ -1,0 +1,316 @@
+package pin
+
+import (
+	"superpin/internal/cpu"
+	"superpin/internal/jit"
+	"superpin/internal/kernel"
+)
+
+// CostModel holds the engine's calibrated per-operation cycle costs. The
+// defaults reproduce the overhead structure the paper reports: a plain
+// per-instruction InsertCall (icount1) costs about 10 extra cycles per
+// instruction — a ~12X slowdown once dispatch and compilation are added —
+// while a per-basic-block call (icount2) amortizes the same cost over the
+// block.
+type CostModel struct {
+	// CompilePerIns is the JIT cost per compiled instruction.
+	CompilePerIns kernel.Cycles
+	// Dispatch is the cost of one code-cache dispatch (trace lookup and
+	// entry).
+	Dispatch kernel.Cycles
+	// Exec is the cost of executing one translated guest instruction.
+	Exec kernel.Cycles
+	// Call is the cost of a plain analysis call, including the register
+	// save/restore sequence Pin generates around it.
+	Call kernel.Cycles
+	// IfCall is the cost of an inlined InsertIfCall predicate.
+	IfCall kernel.Cycles
+	// ThenCall is the cost of an InsertThenCall routine when its
+	// predicate fires.
+	ThenCall kernel.Cycles
+	// WeavePerIns is the per-instruction cost of instrumenting a
+	// translation obtained from a shared trace cache (the translation
+	// itself was paid for once by whoever built it).
+	WeavePerIns kernel.Cycles
+	// SharedCheck is the per-dispatch consistency-check surcharge paid
+	// when a shared trace cache is attached (paper Section 8: "a little
+	// extra overhead by performing extra consistency checks").
+	SharedCheck kernel.Cycles
+	// MemSurcharge is an extra cost per memory instruction, modeling the
+	// cache behavior of the instrumented run (per-benchmark; see
+	// internal/workload). Zero for most benchmarks.
+	MemSurcharge kernel.Cycles
+	// CacheCapacity is the code-cache capacity in compiled instructions
+	// (<= 0 for unlimited). Applications whose footprint exceeds it
+	// trigger whole-cache flushes and recompilation.
+	CacheCapacity int
+}
+
+// DefaultCost returns the calibrated default engine cost model.
+func DefaultCost() CostModel {
+	return CostModel{
+		CompilePerIns: 60,
+		Dispatch:      3,
+		Exec:          1,
+		Call:          10,
+		IfCall:        2,
+		ThenCall:      12,
+		WeavePerIns:   15,
+		SharedCheck:   1,
+		CacheCapacity: 32768,
+	}
+}
+
+// Stats are cumulative engine execution statistics.
+type Stats struct {
+	ExecIns       uint64
+	AnalysisCalls uint64
+	IfCalls       uint64
+	ThenCalls     uint64
+	Dispatches    uint64
+}
+
+// SyscallFilter lets a wrapper (SuperPin's slice engine) intercept guest
+// system calls before they reach the kernel. It is invoked with the
+// process stopped at the instruction after the SYSCALL. Returning
+// handled=true consumes the syscall (the filter has applied its effects);
+// stop, when non-zero alongside handled, terminates the run with that
+// reason (used when playback reaches a slice's boundary syscall).
+type SyscallFilter func(k *kernel.Kernel, p *kernel.Proc) (handled bool, cost kernel.Cycles, stop kernel.StopReason)
+
+// Engine is one instance of the instrumentation VM: a code cache plus the
+// registered instrumentation and fini callbacks. Each instrumented
+// process owns its own Engine — in SuperPin mode every slice gets a fresh
+// one, which is exactly the paper's "each slice has its own copy of the
+// code cache, and it starts in a clean state" compilation overhead.
+type Engine struct {
+	// Cost is the engine's cycle-cost model. Mutable until first Run.
+	Cost CostModel
+
+	// Syscall, when non-nil, filters guest syscalls (see SyscallFilter).
+	Syscall SyscallFilter
+
+	// SplitPC, when non-zero, forces a trace (and basic-block) boundary
+	// at that address during compilation. SuperPin sets it to the
+	// slice's end-signature PC so block-granularity instrumentation
+	// stays exact across a mid-block slice boundary.
+	SplitPC uint32
+
+	// Shared, when non-nil, is a translation cache shared with other
+	// engines (SuperPin's Section 8 shared-code-cache mode): on a local
+	// code-cache miss the engine reuses a shared translation when one
+	// exists, paying only the instrumentation-weaving cost, and
+	// publishes translations it builds itself. Traces crossing this
+	// engine's SplitPC are never adopted from the shared cache.
+	Shared *jit.TraceCache
+
+	// InsLimit, when non-zero, pauses execution (StopBudget) once the
+	// process's total InsCount reaches it. SuperPin's deterministic
+	// thread replay uses it to stop a thread's burst at exactly the
+	// instruction count the master recorded.
+	InsLimit uint64
+
+	cache         *jit.CodeCache
+	instrumenters []func(*Trace)
+	finiFns       []func(code uint32)
+	ctx           jit.Ctx
+	cur           *jit.CompiledTrace
+	idx           int
+	stats         Stats
+}
+
+// NewEngine creates an engine with the given cost model.
+func NewEngine(cost CostModel) *Engine {
+	return &Engine{Cost: cost, cache: jit.NewCodeCache(cost.CacheCapacity)}
+}
+
+// AddTraceInstrumenter registers a trace-time instrumentation callback,
+// the analogue of TRACE_AddInstrumentFunction. Callbacks run in
+// registration order each time a trace is compiled.
+func (e *Engine) AddTraceInstrumenter(fn func(*Trace)) {
+	e.instrumenters = append(e.instrumenters, fn)
+}
+
+// AddFiniFunction registers a callback for Fini, the analogue of
+// PIN_AddFiniFunction.
+func (e *Engine) AddFiniFunction(fn func(code uint32)) {
+	e.finiFns = append(e.finiFns, fn)
+}
+
+// Fini runs the registered fini callbacks in order.
+func (e *Engine) Fini(code uint32) {
+	for _, fn := range e.finiFns {
+		fn(code)
+	}
+}
+
+// RequestStop asks the engine to stop before the next instruction
+// executes. It is only meaningful when called from within an analysis
+// routine running on this engine (SuperPin's SP_EndSlice uses it).
+func (e *Engine) RequestStop() { e.ctx.RequestStop() }
+
+// Stats returns cumulative execution statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// CacheStats returns cumulative code-cache statistics.
+func (e *Engine) CacheStats() jit.CacheStats { return e.cache.Stats() }
+
+// FlushCache discards all compiled traces (used by tests and by cache
+// pressure experiments).
+func (e *Engine) FlushCache() { e.cache.Flush(); e.cur = nil }
+
+// Run implements kernel.Runner: it executes up to budget cycles of
+// instrumented guest code for p.
+func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
+	cost := e.Cost
+	kcost := k.Config().Cost
+	ctx := &e.ctx
+	ctx.Regs = &p.Regs
+	ctx.Mem = p.Mem
+	var used kernel.Cycles
+
+	for {
+		if e.cur == nil {
+			used += cost.Dispatch
+			e.stats.Dispatches++
+			if e.Shared != nil {
+				used += cost.SharedCheck
+			}
+			ct := e.cache.Lookup(p.Regs.PC)
+			if ct == nil {
+				var tr *jit.Trace
+				sharedHit := false
+				if e.Shared != nil {
+					if st, ok := e.Shared.Lookup(p.Regs.PC); ok && !st.ContainsBeyondHead(e.SplitPC) {
+						tr = st
+						sharedHit = true
+					}
+				}
+				if tr == nil {
+					var err error
+					tr, err = jit.BuildTraceSplit(p.Mem, p.Regs.PC, e.SplitPC)
+					if err != nil {
+						p.Err = err
+						return used, kernel.StopError
+					}
+					if e.Shared != nil {
+						e.Shared.Insert(tr)
+					}
+				}
+				ct = jit.Compile(tr)
+				view := newTraceView(tr, ct)
+				for _, fn := range e.instrumenters {
+					fn(view)
+				}
+				e.cache.Insert(ct)
+				if sharedHit {
+					used += kernel.Cycles(ct.NumIns()) * cost.WeavePerIns
+				} else {
+					used += kernel.Cycles(ct.NumIns()) * cost.CompilePerIns
+				}
+			}
+			e.cur, e.idx = ct, 0
+		}
+
+		ci := &e.cur.Ins[e.idx]
+		ctx.PC = ci.Addr
+		ctx.Inst = ci.Inst
+
+		// IPOINT_BEFORE analysis calls. A stop request here terminates
+		// the run before the instruction executes, with the PC still at
+		// the instrumented instruction — the semantics SuperPin's
+		// boundary detection needs.
+		for i := range ci.Before {
+			used += e.runCall(ctx, &ci.Before[i])
+			if ctx.StopRequested() {
+				e.cur = nil
+				return used, kernel.StopExit
+			}
+		}
+
+		ev, err := cpu.Exec(&p.Regs, p.Mem, ci.Inst)
+		if err != nil {
+			p.Err = err
+			e.cur = nil
+			return used, kernel.StopError
+		}
+		used += cost.Exec
+		if ci.Inst.Op.IsMem() {
+			used += cost.MemSurcharge
+		}
+		used += chargeCow(p, kcost)
+		p.InsCount++
+		e.stats.ExecIns++
+
+		// IPOINT_AFTER analysis calls.
+		for i := range ci.After {
+			used += e.runCall(ctx, &ci.After[i])
+			if ctx.StopRequested() {
+				e.cur = nil
+				return used, kernel.StopExit
+			}
+		}
+
+		if ev == cpu.EvSyscall {
+			e.cur = nil
+			if e.Syscall != nil {
+				handled, c, stop := e.Syscall(k, p)
+				used += c
+				if handled {
+					if stop != kernel.StopBudget {
+						return used, stop
+					}
+					if used >= budget || e.limitReached(p) {
+						return used, kernel.StopBudget
+					}
+					continue
+				}
+			}
+			return used, kernel.StopSyscall
+		}
+
+		// Fall through within the trace if the PC matches the next
+		// compiled instruction; otherwise re-dispatch.
+		e.idx++
+		if e.idx >= len(e.cur.Ins) || e.cur.Ins[e.idx].Addr != p.Regs.PC {
+			e.cur = nil
+		}
+		if used >= budget || e.limitReached(p) {
+			return used, kernel.StopBudget
+		}
+	}
+}
+
+// limitReached reports whether the InsLimit pause point has been hit.
+func (e *Engine) limitReached(p *kernel.Proc) bool {
+	return e.InsLimit != 0 && p.InsCount >= e.InsLimit
+}
+
+// ResetPosition discards the engine's intra-trace execution position.
+// Callers that swap the process's register context (SuperPin's thread
+// replay) must call it so dispatch restarts from the new PC.
+func (e *Engine) ResetPosition() { e.cur = nil }
+
+// runCall executes one analysis call site and returns its cycle cost.
+func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call) kernel.Cycles {
+	cost := e.Cost
+	if c.Fn != nil {
+		e.stats.AnalysisCalls++
+		c.Fn(ctx)
+		return cost.Call
+	}
+	e.stats.IfCalls++
+	cy := cost.IfCall
+	if c.If(ctx) && c.Then != nil {
+		e.stats.ThenCalls++
+		c.Then(ctx)
+		cy += cost.ThenCall
+	}
+	return cy
+}
+
+// chargeCow charges copy-on-write page copies triggered by the last
+// instruction, mirroring kernel.NativeRunner's accounting.
+func chargeCow(p *kernel.Proc, cost kernel.CostModel) kernel.Cycles {
+	return p.ChargeCow(cost)
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := New("Title", "name", "value")
+	tbl.Row("a", 1)
+	tbl.Row("longer-name", 12345)
+	tbl.Row("pi", 3.14159)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// All rows should have equal rendered width.
+	w := len(lines[1])
+	for _, ln := range lines[1:] {
+		if len(ln) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.Row("x,y", `q"u`)
+	tbl.Row("plain", 7)
+	csv := tbl.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\nplain,7\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,105 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"superpin/internal/core"
+	"superpin/internal/pin"
+)
+
+// BBCount counts executions of every basic block (keyed by block entry
+// address) — the classic Pin basic-block profiling tool. Per-slice counts
+// merge by addition, so the merged profile equals a serial run's.
+//
+// Note on slice boundaries: a timeout boundary splits the containing
+// block, so the trailing part appears as its own block entry in the
+// slices adjacent to that boundary. The total instruction-weighted count
+// is preserved exactly; Blocks() therefore reports totals per entry
+// address as observed, and InsTotal() is the cross-mode-exact quantity.
+type BBCount struct {
+	out    io.Writer
+	merged map[uint32]uint64
+	// insTotal accumulates count*blocksize, the exact quantity.
+	insTotal uint64
+}
+
+// NewBBCount creates a basic-block profiler. out may be nil.
+func NewBBCount(out io.Writer) *BBCount {
+	return &BBCount{out: out, merged: make(map[uint32]uint64)}
+}
+
+// Factory returns the per-process tool factory.
+func (bc *BBCount) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &bbcountInstance{
+			family:   bc,
+			superpin: ctl.SuperPin(),
+			counts:   make(map[uint32]uint64),
+			sizes:    make(map[uint32]uint64),
+		}
+	}
+}
+
+// Blocks returns the merged per-entry-address execution counts.
+func (bc *BBCount) Blocks() map[uint32]uint64 { return bc.merged }
+
+// InsTotal returns the instruction-weighted total (counts times block
+// sizes) — equal to the dynamic instruction count.
+func (bc *BBCount) InsTotal() uint64 { return bc.insTotal }
+
+type bbcountInstance struct {
+	family   *BBCount
+	superpin bool
+	counts   map[uint32]uint64
+	sizes    map[uint32]uint64
+}
+
+// Instrument implements core.Tool.
+func (t *bbcountInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		addr := bbl.Addr()
+		n := uint64(bbl.NumIns())
+		t.sizes[addr] = n
+		bbl.InsertCall(pin.Before, func(*pin.Ctx) { t.counts[addr]++ })
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *bbcountInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware.
+func (t *bbcountInstance) SliceEnd(int) { t.merge() }
+
+func (t *bbcountInstance) merge() {
+	for addr, n := range t.counts {
+		t.family.merged[addr] += n
+		t.family.insTotal += n * t.sizes[addr]
+	}
+}
+
+// Fini implements core.Finisher.
+func (t *bbcountInstance) Fini(code uint32) {
+	if !t.superpin {
+		t.merge()
+	}
+	if t.family.out == nil {
+		return
+	}
+	addrs := make([]uint32, 0, len(t.family.merged))
+	for a := range t.family.merged {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return t.family.merged[addrs[i]] > t.family.merged[addrs[j]]
+	})
+	if len(addrs) > 10 {
+		addrs = addrs[:10]
+	}
+	fmt.Fprintf(t.family.out, "bbcount: %d blocks, %d weighted instructions; hottest:\n",
+		len(t.family.merged), t.family.insTotal)
+	for _, a := range addrs {
+		fmt.Fprintf(t.family.out, "  %#08x: %d\n", a, t.family.merged[a])
+	}
+}

@@ -1,0 +1,113 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"superpin/internal/core"
+	"superpin/internal/pin"
+)
+
+// BranchCounts is the taken/not-taken profile of one branch site.
+type BranchCounts struct {
+	Taken    uint64
+	NotTaken uint64
+}
+
+// BranchProf profiles every conditional branch site. Slice-local per-site
+// counts are summed into the shared profile at merge time, so the merged
+// profile equals a serial run's.
+type BranchProf struct {
+	out    io.Writer
+	merged map[uint32]*BranchCounts
+}
+
+// NewBranchProf creates a branch profiler. out may be nil.
+func NewBranchProf(out io.Writer) *BranchProf {
+	return &BranchProf{out: out, merged: make(map[uint32]*BranchCounts)}
+}
+
+// Factory returns the per-process tool factory.
+func (bp *BranchProf) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &branchProfInstance{
+			family:   bp,
+			superpin: ctl.SuperPin(),
+			local:    make(map[uint32]*BranchCounts),
+		}
+	}
+}
+
+// Profile returns the merged per-site profile. Valid after the run.
+func (bp *BranchProf) Profile() map[uint32]*BranchCounts { return bp.merged }
+
+type branchProfInstance struct {
+	family   *BranchProf
+	superpin bool
+	local    map[uint32]*BranchCounts
+}
+
+// Instrument implements core.Tool: conditional branches get an after-call
+// that classifies the outcome by comparing the post-execution PC with the
+// fall-through address.
+func (t *branchProfInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			if !ins.Inst().Op.IsCondBranch() {
+				continue
+			}
+			site := ins.Addr()
+			fallthru := site + 4
+			ins.InsertCall(pin.After, func(c *pin.Ctx) {
+				bc := t.local[site]
+				if bc == nil {
+					bc = &BranchCounts{}
+					t.local[site] = bc
+				}
+				if c.Regs.PC == fallthru {
+					bc.NotTaken++
+				} else {
+					bc.Taken++
+				}
+			})
+		}
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *branchProfInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware.
+func (t *branchProfInstance) SliceEnd(int) { t.merge() }
+
+func (t *branchProfInstance) merge() {
+	for site, bc := range t.local {
+		m := t.family.merged[site]
+		if m == nil {
+			m = &BranchCounts{}
+			t.family.merged[site] = m
+		}
+		m.Taken += bc.Taken
+		m.NotTaken += bc.NotTaken
+	}
+}
+
+// Fini implements core.Finisher.
+func (t *branchProfInstance) Fini(code uint32) {
+	if !t.superpin {
+		t.merge()
+	}
+	if t.family.out == nil {
+		return
+	}
+	sites := make([]uint32, 0, len(t.family.merged))
+	for s := range t.family.merged {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		bc := t.family.merged[s]
+		fmt.Fprintf(t.family.out, "%#08x: taken %d, not-taken %d\n", s, bc.Taken, bc.NotTaken)
+	}
+}

@@ -1,0 +1,104 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"superpin/internal/core"
+	"superpin/internal/isa"
+	"superpin/internal/pin"
+)
+
+// CallProf profiles function calls: for every call instruction (jal/jalr
+// that links a return address) it records the call target, giving dynamic
+// call counts per callee. Indirect call targets are resolved at analysis
+// time from the register state. Per-slice counts merge by addition.
+type CallProf struct {
+	out    io.Writer
+	merged map[uint32]uint64 // callee entry -> calls
+	total  uint64
+}
+
+// NewCallProf creates a call profiler. out may be nil.
+func NewCallProf(out io.Writer) *CallProf {
+	return &CallProf{out: out, merged: make(map[uint32]uint64)}
+}
+
+// Factory returns the per-process tool factory.
+func (cp *CallProf) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &callProfInstance{
+			family:   cp,
+			superpin: ctl.SuperPin(),
+			local:    make(map[uint32]uint64),
+		}
+	}
+}
+
+// Callees returns the merged per-callee dynamic call counts.
+func (cp *CallProf) Callees() map[uint32]uint64 { return cp.merged }
+
+// Total returns the merged total number of calls.
+func (cp *CallProf) Total() uint64 { return cp.total }
+
+type callProfInstance struct {
+	family   *CallProf
+	superpin bool
+	local    map[uint32]uint64
+}
+
+// Instrument implements core.Tool: calls are jal/jalr instructions whose
+// destination register is nonzero (a linked return address). The target
+// is sampled after execution from the new PC.
+func (t *callProfInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			in := ins.Inst()
+			if !in.Op.IsCall() || in.Rd == isa.RegZero {
+				continue
+			}
+			ins.InsertCall(pin.After, func(c *pin.Ctx) {
+				t.local[c.Regs.PC]++
+			})
+		}
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *callProfInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware.
+func (t *callProfInstance) SliceEnd(int) { t.merge() }
+
+func (t *callProfInstance) merge() {
+	for callee, n := range t.local {
+		t.family.merged[callee] += n
+		t.family.total += n
+	}
+}
+
+// Fini implements core.Finisher.
+func (t *callProfInstance) Fini(code uint32) {
+	if !t.superpin {
+		t.merge()
+	}
+	if t.family.out == nil {
+		return
+	}
+	callees := make([]uint32, 0, len(t.family.merged))
+	for c := range t.family.merged {
+		callees = append(callees, c)
+	}
+	sort.Slice(callees, func(i, j int) bool {
+		return t.family.merged[callees[i]] > t.family.merged[callees[j]]
+	})
+	fmt.Fprintf(t.family.out, "callprof: %d calls to %d callees; hottest:\n",
+		t.family.total, len(t.family.merged))
+	for i, c := range callees {
+		if i == 10 {
+			break
+		}
+		fmt.Fprintf(t.family.out, "  %#08x: %d calls\n", c, t.family.merged[c])
+	}
+}

@@ -1,0 +1,71 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+
+	"superpin/internal/core"
+	"superpin/internal/pin"
+)
+
+// ITrace records the address of every executed instruction. Under
+// SuperPin each slice buffers its own trace and the buffers are appended
+// in slice order at merge time (paper Section 4.5: "if we are tracing
+// instructions, the slice output will be buffered, then appended to the
+// output during merging"), so the merged trace is identical to a serial
+// run's.
+type ITrace struct {
+	out    io.Writer // optional textual output at Fini
+	merged []uint32
+}
+
+// NewITrace creates an instruction tracer. out may be nil to keep the
+// trace in memory only (retrieved with Trace).
+func NewITrace(out io.Writer) *ITrace { return &ITrace{out: out} }
+
+// Factory returns the per-process tool factory.
+func (it *ITrace) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &itraceInstance{family: it, superpin: ctl.SuperPin()}
+	}
+}
+
+// Trace returns the merged instruction-address trace. Valid after the run.
+func (it *ITrace) Trace() []uint32 { return it.merged }
+
+type itraceInstance struct {
+	family   *ITrace
+	superpin bool
+	local    []uint32
+}
+
+// Instrument implements core.Tool.
+func (t *itraceInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			addr := ins.Addr()
+			ins.InsertCall(pin.Before, func(*pin.Ctx) { t.local = append(t.local, addr) })
+		}
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *itraceInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware: append this slice's buffer to the
+// merged trace (called in slice order).
+func (t *itraceInstance) SliceEnd(int) {
+	t.family.merged = append(t.family.merged, t.local...)
+}
+
+// Fini implements core.Finisher.
+func (t *itraceInstance) Fini(code uint32) {
+	if !t.superpin {
+		t.family.merged = append(t.family.merged, t.local...)
+	}
+	if t.family.out != nil {
+		for _, pc := range t.family.merged {
+			fmt.Fprintf(t.family.out, "%#08x\n", pc)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+
+	"superpin/internal/core"
+	"superpin/internal/mem"
+	"superpin/internal/pin"
+)
+
+// MemProfile profiles the data working set: per-page access counts and
+// the read/write split, an instruction-granularity memory tool whose
+// per-slice maps merge by addition.
+type MemProfile struct {
+	out    io.Writer
+	merged map[uint32]*PageCounts
+}
+
+// PageCounts is the access profile of one guest page.
+type PageCounts struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// NewMemProfile creates a working-set profiler. out may be nil.
+func NewMemProfile(out io.Writer) *MemProfile {
+	return &MemProfile{out: out, merged: make(map[uint32]*PageCounts)}
+}
+
+// Factory returns the per-process tool factory.
+func (mp *MemProfile) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &memProfileInstance{
+			family:   mp,
+			superpin: ctl.SuperPin(),
+			local:    make(map[uint32]*PageCounts),
+		}
+	}
+}
+
+// Pages returns the merged per-page profile, keyed by page number.
+func (mp *MemProfile) Pages() map[uint32]*PageCounts { return mp.merged }
+
+// WorkingSet returns the number of distinct data pages touched.
+func (mp *MemProfile) WorkingSet() int { return len(mp.merged) }
+
+// Totals returns the merged read and write access counts.
+func (mp *MemProfile) Totals() (reads, writes uint64) {
+	for _, pc := range mp.merged {
+		reads += pc.Reads
+		writes += pc.Writes
+	}
+	return reads, writes
+}
+
+type memProfileInstance struct {
+	family   *MemProfile
+	superpin bool
+	local    map[uint32]*PageCounts
+}
+
+// Instrument implements core.Tool.
+func (t *memProfileInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			if ins.MemSize() == 0 {
+				continue
+			}
+			isRead := ins.IsMemRead()
+			ins.InsertCall(pin.Before, func(c *pin.Ctx) {
+				page := c.MemEA() >> mem.PageShift
+				pc := t.local[page]
+				if pc == nil {
+					pc = &PageCounts{}
+					t.local[page] = pc
+				}
+				if isRead {
+					pc.Reads++
+				} else {
+					pc.Writes++
+				}
+			})
+		}
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *memProfileInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware.
+func (t *memProfileInstance) SliceEnd(int) { t.merge() }
+
+func (t *memProfileInstance) merge() {
+	for page, pc := range t.local {
+		m := t.family.merged[page]
+		if m == nil {
+			m = &PageCounts{}
+			t.family.merged[page] = m
+		}
+		m.Reads += pc.Reads
+		m.Writes += pc.Writes
+	}
+}
+
+// Fini implements core.Finisher.
+func (t *memProfileInstance) Fini(code uint32) {
+	if !t.superpin {
+		t.merge()
+	}
+	if t.family.out == nil {
+		return
+	}
+	reads, writes := t.family.Totals()
+	fmt.Fprintf(t.family.out, "memprofile: %d pages touched, %d reads, %d writes\n",
+		t.family.WorkingSet(), reads, writes)
+}

@@ -1,0 +1,113 @@
+package tools
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"superpin/internal/core"
+	"superpin/internal/pin"
+)
+
+// Sampler is a Shadow-Profiler-style sampling profiler (the SP_EndSlice
+// use case the paper cites): each slice profiles only its first
+// BudgetPerSlice instructions and then terminates itself with
+// SP_EndSlice, so profiling cost is bounded per timeslice while samples
+// stay spread across the whole execution. Under plain Pin (no slices) it
+// degrades to profiling the first BudgetPerSlice instructions only.
+type Sampler struct {
+	budget int
+	out    io.Writer
+	merged map[uint32]uint64
+	// Sampled counts total instructions observed across all slices.
+	Sampled uint64
+}
+
+// NewSampler creates a sampler observing up to budget instructions per
+// slice. out may be nil.
+func NewSampler(budget int, out io.Writer) *Sampler {
+	if budget <= 0 {
+		panic("tools: sampler budget must be positive")
+	}
+	return &Sampler{budget: budget, out: out, merged: make(map[uint32]uint64)}
+}
+
+// Factory returns the per-process tool factory.
+func (s *Sampler) Factory() core.ToolFactory {
+	return func(ctl *core.ToolCtl) core.Tool {
+		return &samplerInstance{family: s, ctl: ctl, local: make(map[uint32]uint64)}
+	}
+}
+
+// Samples returns the merged per-PC sample counts. Valid after the run.
+func (s *Sampler) Samples() map[uint32]uint64 { return s.merged }
+
+// Hottest returns up to n program counters ranked by sample count.
+func (s *Sampler) Hottest(n int) []uint32 {
+	pcs := make([]uint32, 0, len(s.merged))
+	for pc := range s.merged {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if s.merged[pcs[i]] != s.merged[pcs[j]] {
+			return s.merged[pcs[i]] > s.merged[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	return pcs
+}
+
+type samplerInstance struct {
+	family *Sampler
+	ctl    *core.ToolCtl
+	local  map[uint32]uint64
+	seen   int
+}
+
+// Instrument implements core.Tool.
+func (t *samplerInstance) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		for _, ins := range bbl.Ins() {
+			pc := ins.Addr()
+			ins.InsertCall(pin.Before, func(*pin.Ctx) {
+				if t.seen >= t.family.budget {
+					if t.ctl.SuperPin() {
+						t.ctl.EndSlice()
+					}
+					return
+				}
+				t.local[pc]++
+				t.seen++
+			})
+		}
+	}
+}
+
+// SliceBegin implements core.SliceAware.
+func (t *samplerInstance) SliceBegin(int) {}
+
+// SliceEnd implements core.SliceAware.
+func (t *samplerInstance) SliceEnd(int) { t.merge() }
+
+func (t *samplerInstance) merge() {
+	for pc, n := range t.local {
+		t.family.merged[pc] += n
+		t.family.Sampled += n
+	}
+}
+
+// Fini implements core.Finisher.
+func (t *samplerInstance) Fini(code uint32) {
+	if !t.ctl.SuperPin() {
+		t.merge()
+	}
+	if t.family.out == nil {
+		return
+	}
+	for _, pc := range t.family.Hottest(10) {
+		fmt.Fprintf(t.family.out, "%#08x: %d samples\n", pc, t.family.merged[pc])
+	}
+}

@@ -1,0 +1,135 @@
+package tools
+
+import (
+	"testing"
+
+	"superpin/internal/core"
+	"superpin/internal/pin"
+	"superpin/internal/workload"
+)
+
+func TestBBCountInsTotalExactAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("vpr")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	native, err := core.RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := NewBBCount(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	if serial.InsTotal() != native.Ins {
+		t.Fatalf("serial weighted total %d, native %d", serial.InsTotal(), native.Ins)
+	}
+
+	par := NewBBCount(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if par.InsTotal() != native.Ins {
+		t.Fatalf("superpin weighted total %d, native %d", par.InsTotal(), native.Ins)
+	}
+	if len(par.Blocks()) < len(serial.Blocks()) {
+		t.Fatalf("superpin saw fewer block entries (%d) than serial (%d)",
+			len(par.Blocks()), len(serial.Blocks()))
+	}
+}
+
+func TestCallProfIdenticalAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("gap")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+
+	serial := NewCallProf(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	par := NewCallProf(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if serial.Total() == 0 {
+		t.Fatal("no calls profiled")
+	}
+	if serial.Total() != par.Total() {
+		t.Fatalf("totals differ: %d vs %d", serial.Total(), par.Total())
+	}
+	if len(serial.Callees()) != len(par.Callees()) {
+		t.Fatalf("callee sets differ: %d vs %d", len(serial.Callees()), len(par.Callees()))
+	}
+	for callee, n := range serial.Callees() {
+		if par.Callees()[callee] != n {
+			t.Fatalf("callee %#x: %d vs %d", callee, n, par.Callees()[callee])
+		}
+	}
+	// The workload's kernels all call the shared helper; it must be the
+	// hottest callee along with the kernels themselves.
+	var max uint64
+	for _, n := range serial.Callees() {
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		t.Fatal("degenerate call profile")
+	}
+}
+
+func TestMemProfileIdenticalAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("swim")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+
+	serial := NewMemProfile(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	par := NewMemProfile(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	sr, sw := serial.Totals()
+	pr, pw := par.Totals()
+	if sr != pr || sw != pw {
+		t.Fatalf("totals differ: serial %d/%d vs superpin %d/%d", sr, sw, pr, pw)
+	}
+	if sr == 0 || sw == 0 {
+		t.Fatal("degenerate memory profile")
+	}
+	if serial.WorkingSet() != par.WorkingSet() {
+		t.Fatalf("working sets differ: %d vs %d", serial.WorkingSet(), par.WorkingSet())
+	}
+	for page, s := range serial.Pages() {
+		p := par.Pages()[page]
+		if p == nil || *p != *s {
+			t.Fatalf("page %#x: %+v vs %+v", page, s, p)
+		}
+	}
+}

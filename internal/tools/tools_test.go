@@ -1,0 +1,332 @@
+package tools
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"superpin/internal/core"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+	"superpin/internal/workload"
+)
+
+func testCfg() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxCycles = 5_000_000_000
+	return cfg
+}
+
+func spOpts() core.Options {
+	o := core.DefaultOptions()
+	o.SliceMSec = 50
+	return o
+}
+
+func TestIcountToolsAgreeAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("vpr")
+	spec = spec.Scaled(0.02)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	native, err := core.RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mk := range []func() *Icount{
+		func() *Icount { return NewIcount1(nil) },
+		func() *Icount { return NewIcount2(nil) },
+	} {
+		pinTool := mk()
+		if _, err := core.RunPin(cfg, prog, pinTool.Factory(), pin.DefaultCost()); err != nil {
+			t.Fatal(err)
+		}
+		if pinTool.Total() != native.Ins {
+			t.Fatalf("pin icount = %d, want %d", pinTool.Total(), native.Ins)
+		}
+
+		spTool := mk()
+		res, err := core.Run(cfg, prog, spTool.Factory(), spOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if spTool.Total() != native.Ins {
+			t.Fatalf("superpin icount = %d, want %d", spTool.Total(), native.Ins)
+		}
+	}
+}
+
+func TestIcountFiniOutput(t *testing.T) {
+	spec, _ := workload.ByName("gzip")
+	spec = spec.Scaled(0.005)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tool := NewIcount2(&buf)
+	res, err := core.Run(testCfg(), prog, tool.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !strings.Contains(buf.String(), "Total Count:") {
+		t.Fatalf("fini output missing: %q", buf.String())
+	}
+}
+
+// TestDCacheExactAcrossModes is the Section 5.2 correctness claim: the
+// assume-hit + merge-time reconciliation makes the parallel SuperPin
+// data-cache simulation produce exactly the serial results.
+func TestDCacheExactAcrossModes(t *testing.T) {
+	for _, name := range []string{"mcf", "gzip", "swim"} {
+		spec, _ := workload.ByName(name)
+		spec = spec.Scaled(0.01)
+		prog, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg()
+
+		serial := NewDCache(1<<14, 32, nil)
+		if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+			t.Fatal(err)
+		}
+
+		par := NewDCache(1<<14, 32, nil)
+		res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+
+		if serial.Hits() != par.Hits() || serial.Misses() != par.Misses() {
+			t.Fatalf("%s: serial %d/%d vs superpin %d/%d (adjusted %d)",
+				name, serial.Hits(), serial.Misses(), par.Hits(), par.Misses(), par.Adjusted())
+		}
+		if serial.Hits()+serial.Misses() == 0 {
+			t.Fatalf("%s: no accesses simulated", name)
+		}
+		if res.Stats.Forks > 1 && par.Adjusted() == 0 {
+			t.Logf("%s: note: no assumptions needed adjustment", name)
+		}
+	}
+}
+
+func TestDCacheGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 32}, {1024, 0}, {1000, 32}, {1024, 48}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v accepted", bad)
+				}
+			}()
+			NewDCache(bad[0], bad[1], nil)
+		}()
+	}
+}
+
+func TestITraceIdenticalAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("gzip")
+	spec = spec.Scaled(0.004)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+
+	serial := NewITrace(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	par := NewITrace(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	a, b := serial.Trace(), par.Trace()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBranchProfIdenticalAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("crafty")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+
+	serial := NewBranchProf(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	par := NewBranchProf(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	sp, pp := serial.Profile(), par.Profile()
+	if len(sp) == 0 {
+		t.Fatal("no branch sites profiled")
+	}
+	if len(sp) != len(pp) {
+		t.Fatalf("site counts differ: %d vs %d", len(sp), len(pp))
+	}
+	var taken, notTaken uint64
+	for site, s := range sp {
+		p := pp[site]
+		if p == nil || *p != *s {
+			t.Fatalf("site %#x: serial %+v vs superpin %+v", site, s, p)
+		}
+		taken += s.Taken
+		notTaken += s.NotTaken
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Fatalf("degenerate profile: taken=%d notTaken=%d", taken, notTaken)
+	}
+}
+
+func TestOpMixIdenticalAcrossModes(t *testing.T) {
+	spec, _ := workload.ByName("ammp")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	native, err := core.RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := NewOpMix(nil)
+	if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	par := NewOpMix(nil)
+	res, err := core.Run(cfg, prog, par.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if serial.Total() != native.Ins || par.Total() != native.Ins {
+		t.Fatalf("totals: serial %d, superpin %d, native %d", serial.Total(), par.Total(), native.Ins)
+	}
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		if serial.Count(op) != par.Count(op) {
+			t.Fatalf("%v: serial %d vs superpin %d", op, serial.Count(op), par.Count(op))
+		}
+	}
+	if serial.Count(isa.OpLW) == 0 || serial.Count(isa.OpJALR) == 0 {
+		t.Fatal("expected loads and indirect calls in the mix")
+	}
+}
+
+func TestSamplerBoundsWorkPerSlice(t *testing.T) {
+	spec, _ := workload.ByName("mgrid")
+	spec = spec.Scaled(0.02)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg()
+	native, err := core.RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSampler(300, nil)
+	res, err := core.Run(cfg, prog, s.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if s.Sampled == 0 {
+		t.Fatal("no samples")
+	}
+	maxPossible := uint64(res.Stats.Forks) * 300
+	if s.Sampled > maxPossible {
+		t.Fatalf("sampled %d > budget bound %d", s.Sampled, maxPossible)
+	}
+	if s.Sampled >= native.Ins {
+		t.Fatalf("sampling observed everything (%d of %d)", s.Sampled, native.Ins)
+	}
+	if len(s.Hottest(5)) == 0 {
+		t.Fatal("no hot PCs")
+	}
+	// The run should be dramatically cheaper than full instrumentation.
+	full := NewIcount1(nil)
+	fres, err := core.Run(cfg, prog, full.Factory(), spOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime >= fres.TotalTime {
+		t.Fatalf("sampler run (%d) not faster than full instrumentation (%d)",
+			res.TotalTime, fres.TotalTime)
+	}
+}
+
+func TestSamplerPinModeLimitsToOneBudget(t *testing.T) {
+	spec, _ := workload.ByName("mgrid")
+	spec = spec.Scaled(0.01)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(500, nil)
+	if _, err := core.RunPin(testCfg(), prog, s.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sampled != 500 {
+		t.Fatalf("pin-mode sampler saw %d, want exactly the 500 budget", s.Sampled)
+	}
+}
+
+func TestDCacheFiniOutput(t *testing.T) {
+	spec, _ := workload.ByName("gzip")
+	spec = spec.Scaled(0.003)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	d := NewDCache(1<<12, 32, &buf)
+	if _, err := core.RunPin(testCfg(), prog, d.Factory(), pin.DefaultCost()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import "superpin/internal/kernel"
+
+// Catalog returns the 26 synthetic SPEC CPU2000 stand-ins used by the
+// paper's evaluation (Section 6), alphabetically ordered. Parameters are
+// calibrated so the suite reproduces the paper's overhead structure:
+// integer codes are branchy (small basic blocks), floating-point codes
+// have long straight-line kernels, gcc has a code footprint exceeding the
+// code cache plus frequent brk/mmap calls, and mcf is the memory-bound
+// cache-locality outlier. Run lengths vary the way SPEC runtimes do, so
+// pipeline delay hits short benchmarks relatively harder.
+func Catalog() []Spec {
+	// Shorthand constructors keep the table readable.
+	fp := func(name string, kernels, alu, iters int) Spec {
+		return Spec{
+			Name: name, Kernels: kernels, ALU: alu, Mem: 4, Branches: 1,
+			PhaseShift: 6, Iterations: iters, DataPages: 64, DirtyPeriod: 256,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 8192, Syscalls: []uint32{kernel.SysTime},
+		}
+	}
+	intb := func(name string, kernels, branches, iters int) Spec {
+		return Spec{
+			Name: name, Kernels: kernels, ALU: 10, Mem: 3, Branches: branches,
+			PhaseShift: 5, Iterations: iters, DataPages: 32, DirtyPeriod: 512,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 4096, Syscalls: []uint32{kernel.SysTime},
+		}
+	}
+
+	specs := []Spec{
+		fp("ammp", 30, 24, 44000),
+		fp("applu", 20, 30, 90000),
+		fp("apsi", 40, 22, 22000),
+		{ // memory-bound, cache-sensitive
+			Name: "art", Kernels: 10, ALU: 8, Mem: 8, Branches: 1,
+			PhaseShift: 6, Iterations: 48000, DataPages: 256, DirtyPeriod: 128,
+			NativeMemCost: 2, PinMemCost: 8, SliceMemCost: 2,
+			SyscallPeriod: 8192, Syscalls: []uint32{kernel.SysTime},
+		},
+		{ // compression: moderate syscalls (I/O), mid-size blocks
+			Name: "bzip2", Kernels: 25, ALU: 12, Mem: 4, Branches: 4,
+			PhaseShift: 6, Iterations: 52000, DataPages: 64, DirtyPeriod: 256,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 1024, Syscalls: []uint32{kernel.SysRead, kernel.SysWrite},
+		},
+		intb("crafty", 60, 6, 42000),
+		intb("eon", 80, 3, 18000),
+		{ // fp, memory heavy
+			Name: "equake", Kernels: 15, ALU: 16, Mem: 7, Branches: 1,
+			PhaseShift: 6, Iterations: 56000, DataPages: 128, DirtyPeriod: 128,
+			NativeMemCost: 2, PinMemCost: 4, SliceMemCost: 2,
+			SyscallPeriod: 8192, Syscalls: []uint32{kernel.SysTime},
+		},
+		fp("facerec", 25, 20, 24000),
+		fp("fma3d", 90, 18, 16000),
+		fp("galgel", 20, 26, 80000),
+		{ // interpreter-ish: moderate allocation traffic
+			Name: "gap", Kernels: 50, ALU: 12, Mem: 4, Branches: 4,
+			PhaseShift: 5, Iterations: 40000, DataPages: 64, DirtyPeriod: 256,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 512, Syscalls: []uint32{kernel.SysBrk},
+		},
+		{ // gcc: large code footprint revisited round-robin (every slice
+			// recompiles the whole working set), frequent brk/mmap
+			Name: "gcc", Kernels: 150, ALU: 20, Mem: 3, Branches: 3,
+			PhaseShift: 0, ScaleFootprint: true,
+			Iterations: 48000, DataPages: 128, DirtyPeriod: 64,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 64, Syscalls: []uint32{kernel.SysBrk, kernel.SysMmap},
+		},
+		{ // compression, small code, frequent I/O
+			Name: "gzip", Kernels: 15, ALU: 12, Mem: 4, Branches: 4,
+			PhaseShift: 6, Iterations: 75000, DataPages: 32, DirtyPeriod: 512,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 2048, Syscalls: []uint32{kernel.SysRead, kernel.SysWrite},
+		},
+		fp("lucas", 12, 28, 75000),
+		{ // mcf: the cache-locality outlier (paper: 11.2X speedup)
+			Name: "mcf", Kernels: 8, ALU: 6, Mem: 12, Branches: 2,
+			PhaseShift: 7, Iterations: 60000, DataPages: 512, DirtyPeriod: 64,
+			NativeMemCost: 4, PinMemCost: 60, SliceMemCost: 1,
+			SyscallPeriod: 8192, Syscalls: []uint32{kernel.SysTime},
+		},
+		intb("mesa", 45, 3, 44000),
+		fp("mgrid", 10, 32, 95000),
+		{ // parser: branchy, allocation traffic
+			Name: "parser", Kernels: 55, ALU: 10, Mem: 3, Branches: 5,
+			PhaseShift: 5, Iterations: 38000, DataPages: 64, DirtyPeriod: 256,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 1024, Syscalls: []uint32{kernel.SysBrk},
+		},
+		{ // perlbmk: branchy, heavy allocation
+			Name: "perlbmk", Kernels: 70, ALU: 11, Mem: 4, Branches: 5,
+			PhaseShift: 5, Iterations: 40000, DataPages: 64, DirtyPeriod: 128,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 256, Syscalls: []uint32{kernel.SysBrk, kernel.SysMmap},
+		},
+		fp("sixtrack", 35, 24, 42000),
+		{ // fp, memory streaming
+			Name: "swim", Kernels: 12, ALU: 20, Mem: 8, Branches: 0,
+			PhaseShift: 6, Iterations: 85000, DataPages: 256, DirtyPeriod: 128,
+			NativeMemCost: 2, PinMemCost: 5, SliceMemCost: 2,
+			SyscallPeriod: 8192, Syscalls: []uint32{kernel.SysTime},
+		},
+		intb("twolf", 40, 5, 18000),
+		{ // vortex: OO database, allocation traffic, big-ish code
+			Name: "vortex", Kernels: 65, ALU: 12, Mem: 5, Branches: 4,
+			PhaseShift: 5, Iterations: 42000, DataPages: 128, DirtyPeriod: 128,
+			NativeMemCost: 1, PinMemCost: 2, SliceMemCost: 1,
+			SyscallPeriod: 768, Syscalls: []uint32{kernel.SysBrk},
+		},
+		intb("vpr", 30, 4, 40000),
+		fp("wupwise", 18, 26, 70000),
+	}
+	return sortSpecs(specs)
+}

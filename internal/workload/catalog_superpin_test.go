@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"superpin/internal/core"
+)
+
+// TestEveryCatalogBenchmarkExactUnderSuperPin runs all 26 benchmarks
+// (tiny scale, small timeslices to force many boundaries) under SuperPin
+// and asserts the central exactness invariant for each: the merged
+// instruction count equals the native count, every master instruction is
+// covered by exactly one slice, and no slice diverges from the recorded
+// syscall history.
+func TestEveryCatalogBenchmarkExactUnderSuperPin(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			scaled := spec.Scaled(0.01)
+			prog, err := scaled.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testCfg()
+			native, err := core.RunNative(cfg, prog, scaled.NativeMemCost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var count uint64
+			factory := func(ctl *core.ToolCtl) core.Tool {
+				return countTool{n: &count}
+			}
+			opts := core.DefaultOptions()
+			opts.SliceMSec = 25
+			opts.PinCost.MemSurcharge = scaled.SliceMemCost
+			opts.NativeMemSurcharge = scaled.NativeMemCost
+			res, err := core.Run(cfg, prog, factory, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if count != native.Ins {
+				t.Fatalf("icount %d, native %d", count, native.Ins)
+			}
+			if res.SliceIns != res.MasterIns {
+				t.Fatalf("slice coverage %d != master %d", res.SliceIns, res.MasterIns)
+			}
+			if res.Stats.Divergences != 0 {
+				t.Fatalf("%d divergences", res.Stats.Divergences)
+			}
+		})
+	}
+}
+
+// TestCatalogExactWithSharedCacheAndMemCheck repeats the sweep for a few
+// benchmarks with the extension features enabled together.
+func TestCatalogExactWithSharedCacheAndMemCheck(t *testing.T) {
+	for _, name := range []string{"gcc", "mcf", "crafty"} {
+		spec, _ := ByName(name)
+		scaled := spec.Scaled(0.01)
+		prog, err := scaled.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testCfg()
+		native, err := core.RunNative(cfg, prog, scaled.NativeMemCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var count uint64
+		factory := func(ctl *core.ToolCtl) core.Tool {
+			return countTool{n: &count}
+		}
+		opts := core.DefaultOptions()
+		opts.SliceMSec = 25
+		opts.SharedCodeCache = true
+		opts.MemCheck = true
+		opts.PinCost.MemSurcharge = scaled.SliceMemCost
+		opts.NativeMemSurcharge = scaled.NativeMemCost
+		res, err := core.Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", name, res.Err)
+		}
+		if count != native.Ins {
+			t.Fatalf("%s: icount %d, native %d", name, count, native.Ins)
+		}
+	}
+}

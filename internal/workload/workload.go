@@ -1,0 +1,390 @@
+// Package workload generates the synthetic SPEC CPU2000 stand-ins used by
+// the benchmark harness. The paper evaluates SuperPin on the 26 SPEC2000
+// benchmarks; real SPEC binaries cannot run on the simulated machine, so
+// each benchmark is replaced by a deterministic synthetic program whose
+// *instrumentation-relevant* characteristics are modeled per benchmark:
+//
+//   - code footprint (number and size of distinct kernels) — drives JIT
+//     compile cost and code-cache flushing (gcc's dominant overhead)
+//   - basic-block size (branch density) — drives icount2's advantage
+//     over icount1
+//   - memory intensity and cache behavior — modeled as per-mode memory
+//     surcharges (native / serial-instrumented / windowed-slice), which
+//     reproduces the paper's cache-locality outliers such as mcf
+//   - system-call rate and mix — drives record-and-playback vs
+//     slice-forcing boundaries (gcc's frequent brk/mmap)
+//   - run length and copy-on-write page-dirtying rate — drive pipeline
+//     delay and fork overhead
+//
+// Programs are generated with the asm.Builder and are fully deterministic
+// from the Spec.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	// Name is the SPEC2000 benchmark this program stands in for.
+	Name string
+
+	// Kernels is the number of distinct inner-loop code kernels; together
+	// with ALU/Mem/Branches it sets the code footprint.
+	Kernels int
+	// ALU is the number of arithmetic instructions per kernel body.
+	ALU int
+	// Mem is the number of memory accesses per kernel body.
+	Mem int
+	// Branches is the number of data-dependent conditional branches per
+	// kernel body (higher means smaller basic blocks).
+	Branches int
+
+	// Iterations is the outer-loop trip count; it scales run length.
+	Iterations int
+
+	// PhaseShift controls kernel-selection locality: the active kernel is
+	// (iteration >> PhaseShift) mod Kernels, so execution dwells on one
+	// kernel for 2^PhaseShift iterations before moving on — modeling
+	// phased code reuse. Zero selects round-robin (kernel changes every
+	// iteration).
+	PhaseShift int
+
+	// ScaleFootprint makes Scaled also scale Kernels, preserving the
+	// ratio of code footprint to dynamic run length. Benchmarks whose
+	// defining property is a large footprint relative to their runtime
+	// (gcc) set this so the property survives down-scaling in tests.
+	ScaleFootprint bool
+
+	// DataPages is the working-set size in 4 KiB pages (power of two).
+	DataPages int
+	// DirtyPeriod, when positive, makes the program write one fresh
+	// working-set page every DirtyPeriod iterations, creating
+	// copy-on-write traffic for forked slices.
+	DirtyPeriod int
+
+	// SyscallPeriod, when positive, issues the Syscalls list every
+	// SyscallPeriod iterations.
+	SyscallPeriod int
+	// Syscalls is the system-call mix (e.g. brk+mmap for gcc).
+	Syscalls []uint32
+
+	// NativeMemCost, PinMemCost and SliceMemCost are the per-memory-
+	// instruction cycle surcharges modeling the benchmark's cache
+	// behavior natively, under serial instrumentation (instrumented code
+	// and analysis data pollute the cache), and inside a SuperPin slice
+	// (a timeslice's working window often fits in cache — the paper's
+	// "significant cache locality benefits", Section 6).
+	NativeMemCost kernel.Cycles
+	PinMemCost    kernel.Cycles
+	SliceMemCost  kernel.Cycles
+}
+
+// Scaled returns a copy of s with the run length scaled by f (minimum one
+// iteration). Benchmarks and tests use small scales for speed.
+func (s Spec) Scaled(f float64) Spec {
+	s.Iterations = int(float64(s.Iterations) * f)
+	if s.Iterations < 1 {
+		s.Iterations = 1
+	}
+	if s.ScaleFootprint {
+		s.Kernels = int(float64(s.Kernels) * f)
+		if s.Kernels < 4 {
+			s.Kernels = 4
+		}
+	}
+	return s
+}
+
+// Layout constants for generated programs.
+const (
+	codeBase  = 0x0001_0000
+	dataBase  = 0x0040_0000
+	dirtyBase = 0x0060_0000
+)
+
+// rng is a tiny deterministic generator for code-shape decisions.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Build generates the benchmark program.
+func (s Spec) Build() (*asm.Program, error) {
+	if s.Kernels < 1 || s.Iterations < 1 {
+		return nil, fmt.Errorf("workload %q: need at least one kernel and one iteration", s.Name)
+	}
+	if s.DataPages < 1 {
+		return nil, fmt.Errorf("workload %q: DataPages must be positive", s.Name)
+	}
+	if s.DataPages&(s.DataPages-1) != 0 {
+		return nil, fmt.Errorf("workload %q: DataPages must be a power of two", s.Name)
+	}
+
+	r := &rng{s: hashName(s.Name)}
+	b := asm.NewBuilder(codeBase)
+	b.SetEntry(codeBase) // patched below via label
+
+	// Register allocation:
+	//   r10 loop index, r11 trip count, r12 data base, r20 accumulator,
+	//   r21 kernel table, r22 data mask, r23 dirty base, r25 kernel count,
+	//   r13..r19 kernel scratch, r2/r3 helper args.
+	const (
+		rI, rN, rData, rAcc  = 10, 11, 12, 20
+		rKtab, rMask, rDirty = 21, 22, 23
+		rKn                  = 25
+		rT0, rT1, rT2, rT3   = 13, 14, 15, 16
+		rT4, rT5             = 17, 18
+	)
+
+	b.J("main")
+
+	// Shared helper: a small leaf with stack traffic, called by every
+	// kernel, so call/return and stack state are exercised constantly.
+	b.Label("helper")
+	b.I(isa.OpADDI, isa.RegSP, isa.RegSP, -8)
+	b.I(isa.OpSW, isa.RegLR, isa.RegSP, 0)
+	b.I(isa.OpSW, 2, isa.RegSP, 4)
+	b.R(isa.OpXOR, 2, 2, 3)
+	b.I(isa.OpADDI, 2, 2, 13)
+	b.I(isa.OpLW, isa.RegLR, isa.RegSP, 0)
+	b.I(isa.OpADDI, isa.RegSP, isa.RegSP, 8)
+	b.Ret()
+
+	// Kernels.
+	for k := 0; k < s.Kernels; k++ {
+		b.Label(fmt.Sprintf("kernel%d", k))
+		b.I(isa.OpADDI, isa.RegSP, isa.RegSP, -4)
+		b.I(isa.OpSW, isa.RegLR, isa.RegSP, 0)
+
+		// Memory accesses: EA = rData + ((rI<<shift + c) & rMask), a
+		// per-kernel stride/offset pattern; loads and stores alternate.
+		for m := 0; m < s.Mem; m++ {
+			shift := int32(2 + r.intn(5))
+			c := int32(r.intn(1<<12) * 4)
+			b.I(isa.OpSLLI, rT0, rI, shift)
+			b.I(isa.OpADDI, rT0, rT0, c)
+			b.R(isa.OpAND, rT0, rT0, rMask)
+			b.R(isa.OpADD, rT0, rT0, rData)
+			if m%2 == 0 {
+				b.I(isa.OpLW, rT1, rT0, 0)
+				b.R(isa.OpADD, rAcc, rAcc, rT1)
+			} else {
+				b.I(isa.OpSW, rAcc, rT0, 0)
+			}
+		}
+
+		// Branches: data-dependent skips that shape basic-block size and
+		// exercise both paths across iterations.
+		for br := 0; br < s.Branches; br++ {
+			mask := int32(1 << uint(r.intn(4)))
+			label := fmt.Sprintf("k%db%d", k, br)
+			b.I(isa.OpANDI, rT2, rI, mask)
+			b.Branch(isa.OpBEQ, rT2, isa.RegZero, label)
+			b.I(isa.OpADDI, rAcc, rAcc, int32(1+r.intn(7)))
+			b.Label(label)
+		}
+
+		// ALU chain.
+		for a := 0; a < s.ALU; a++ {
+			switch r.intn(5) {
+			case 0:
+				b.R(isa.OpADD, rT3, rAcc, rI)
+			case 1:
+				b.R(isa.OpXOR, rT3, rT3, rAcc)
+			case 2:
+				b.I(isa.OpSLLI, rT4, rT3, int32(1+r.intn(8)))
+			case 3:
+				b.R(isa.OpMUL, rT4, rT4, rI)
+			default:
+				b.I(isa.OpADDI, rT3, rT3, int32(r.intn(100)))
+			}
+		}
+		b.R(isa.OpADD, rAcc, rAcc, rT3)
+
+		// Call the shared helper.
+		b.Mv(2, rI)
+		b.Mv(3, rAcc)
+		b.Call("helper")
+		b.R(isa.OpADD, rAcc, rAcc, 2)
+
+		b.I(isa.OpLW, isa.RegLR, isa.RegSP, 0)
+		b.I(isa.OpADDI, isa.RegSP, isa.RegSP, 4)
+		b.Ret()
+	}
+
+	// Kernel address table.
+	b.Label("ktable")
+	for k := 0; k < s.Kernels; k++ {
+		// Filled after Finish is impossible with raw words, so use La
+		// pairs in a loader loop instead; simpler: emit the table via
+		// fixups using a dedicated label-word mechanism below.
+		b.Word(0) // patched below
+	}
+
+	// Main.
+	b.Label("main")
+	b.Li(rI, 0)
+	b.Li(rN, uint32(s.Iterations))
+	b.Li(rData, dataBase)
+	b.Li(rAcc, 0)
+	b.La(rKtab, "ktable")
+	b.Li(rMask, uint32(s.DataPages*4096-4)&^3)
+	b.Li(rDirty, dirtyBase)
+	b.Li(rKn, uint32(s.Kernels))
+
+	b.Label("outer")
+	// Select and call the phase's kernel through the table: an indirect
+	// call, like real dispatch loops.
+	if s.PhaseShift > 0 {
+		b.I(isa.OpSRLI, rT0, rI, int32(s.PhaseShift))
+		b.R(isa.OpREM, rT0, rT0, rKn)
+	} else {
+		b.R(isa.OpREM, rT0, rI, rKn)
+	}
+	b.I(isa.OpSLLI, rT0, rT0, 2)
+	b.R(isa.OpADD, rT0, rT0, rKtab)
+	b.I(isa.OpLW, rT0, rT0, 0)
+	b.I(isa.OpJALR, isa.RegLR, rT0, 0)
+
+	// Dirty a fresh page every DirtyPeriod iterations (COW traffic).
+	if s.DirtyPeriod > 0 {
+		b.Li(rT1, uint32(s.DirtyPeriod))
+		b.R(isa.OpREM, rT2, rI, rT1)
+		b.Branch(isa.OpBNE, rT2, isa.RegZero, "nodirty")
+		b.R(isa.OpDIV, rT2, rI, rT1)
+		b.I(isa.OpANDI, rT2, rT2, int32(s.DataPages-1))
+		b.I(isa.OpSLLI, rT2, rT2, 12)
+		b.R(isa.OpADD, rT2, rT2, rDirty)
+		b.I(isa.OpSW, rI, rT2, 0)
+		b.Label("nodirty")
+	}
+
+	// Periodic system calls.
+	if s.SyscallPeriod > 0 && len(s.Syscalls) > 0 {
+		b.Li(rT1, uint32(s.SyscallPeriod))
+		b.R(isa.OpREM, rT2, rI, rT1)
+		b.Branch(isa.OpBNE, rT2, isa.RegZero, "nosys")
+		for _, sysno := range s.Syscalls {
+			emitSyscall(b, sysno)
+			b.R(isa.OpADD, rAcc, rAcc, isa.RegSys)
+		}
+		b.Label("nosys")
+	}
+
+	b.I(isa.OpADDI, rI, rI, 1)
+	b.Branch(isa.OpBLT, rI, rN, "outer")
+
+	// exit(acc & 0xff)
+	b.Li(isa.RegSys, kernel.SysExit)
+	b.I(isa.OpANDI, isa.RegArg0, rAcc, 0xff)
+	b.Syscall()
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("workload %q: %w", s.Name, err)
+	}
+	prog.Entry = prog.Symbols["main"]
+
+	// Patch the kernel table with the kernel addresses.
+	ktab := prog.Symbols["ktable"]
+	for k := 0; k < s.Kernels; k++ {
+		addr := prog.Symbols[fmt.Sprintf("kernel%d", k)]
+		patchWord(prog, ktab+uint32(4*k), addr)
+	}
+	return prog, nil
+}
+
+// emitSyscall emits one system call with canned, replay-safe arguments.
+func emitSyscall(b *asm.Builder, sysno uint32) {
+	switch sysno {
+	case kernel.SysWrite:
+		b.Li(isa.RegSys, sysno)
+		b.Li(isa.RegArg0, 1)
+		b.Li(isa.RegArg1, dataBase)
+		b.Li(isa.RegArg2, 16)
+	case kernel.SysRead:
+		b.Li(isa.RegSys, sysno)
+		b.Li(isa.RegArg0, 0)
+		b.Li(isa.RegArg1, dataBase+0x100)
+		b.Li(isa.RegArg2, 16)
+	case kernel.SysBrk:
+		b.Li(isa.RegSys, sysno)
+		b.Li(isa.RegArg0, 0)
+	case kernel.SysMmap:
+		b.Li(isa.RegSys, sysno)
+		b.Li(isa.RegArg0, 4096)
+	case kernel.SysMunmap:
+		b.Li(isa.RegSys, sysno)
+		b.Li(isa.RegArg0, dirtyBase)
+		b.Li(isa.RegArg1, 4096)
+	default: // time, getpid, rand, yield
+		b.Li(isa.RegSys, sysno)
+	}
+	b.Syscall()
+}
+
+func patchWord(p *asm.Program, addr, v uint32) {
+	for i := range p.Segments {
+		seg := &p.Segments[i]
+		if addr >= seg.Addr && addr+4 <= seg.Addr+uint32(len(seg.Data)) {
+			off := addr - seg.Addr
+			seg.Data[off] = byte(v)
+			seg.Data[off+1] = byte(v >> 8)
+			seg.Data[off+2] = byte(v >> 16)
+			seg.Data[off+3] = byte(v >> 24)
+			return
+		}
+	}
+	panic(fmt.Sprintf("workload: patch address %#x outside image", addr))
+}
+
+func hashName(name string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// ByName returns the catalog spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the catalog benchmark names in order.
+func Names() []string {
+	specs := Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// sortSpecs orders specs by name (the catalog is already alphabetical;
+// this guards against edits).
+func sortSpecs(specs []Spec) []Spec {
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+)
+
+func testCfg() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.MaxCycles = 5_000_000_000
+	return cfg
+}
+
+func TestCatalogHas26SortedUniqueBenchmarks(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 26 {
+		t.Fatalf("catalog has %d entries, want 26", len(specs))
+	}
+	seen := map[string]bool{}
+	for i, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate benchmark %q", s.Name)
+		}
+		seen[s.Name] = true
+		if i > 0 && specs[i-1].Name >= s.Name {
+			t.Fatalf("catalog not sorted at %q", s.Name)
+		}
+	}
+	for _, want := range []string{"gcc", "mcf", "gzip", "wupwise", "ammp"} {
+		if !seen[want] {
+			t.Fatalf("catalog missing %q", want)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("gcc"); !ok {
+		t.Fatal("ByName(gcc) failed")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("ByName(nonesuch) succeeded")
+	}
+	if len(Names()) != 26 {
+		t.Fatal("Names() wrong length")
+	}
+}
+
+func TestAllBenchmarksBuildAndRun(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec.Scaled(0.01) // a few hundred iterations each
+		prog, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		res, err := core.RunNative(testCfg(), prog, spec.NativeMemCost)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if res.Ins < 1000 {
+			t.Fatalf("%s: only %d instructions", spec.Name, res.Ins)
+		}
+		if spec.SyscallPeriod > 0 && res.Syscalls < 2 {
+			t.Fatalf("%s: only %d syscalls", spec.Name, res.Syscalls)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec, _ := ByName("crafty")
+	spec = spec.Scaled(0.01)
+	p1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Entry != p2.Entry || len(p1.Segments) != len(p2.Segments) {
+		t.Fatal("nondeterministic build structure")
+	}
+	for i := range p1.Segments {
+		a, b := p1.Segments[i], p2.Segments[i]
+		if a.Addr != b.Addr || string(a.Data) != string(b.Data) {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+func TestScaledChangesLength(t *testing.T) {
+	spec, _ := ByName("gzip")
+	long := spec.Scaled(0.02)
+	short := spec.Scaled(0.005)
+	pl, err := long.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := short.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := core.RunNative(testCfg(), pl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.RunNative(testCfg(), ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Ins <= rs.Ins*2 {
+		t.Fatalf("scaling ineffective: %d vs %d", rl.Ins, rs.Ins)
+	}
+}
+
+func TestGccHasLargeCodeFootprintAndSyscalls(t *testing.T) {
+	gcc, _ := ByName("gcc")
+	prog, err := gcc.Build() // unscaled: check the full-size footprint
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gcc's code footprint must be large (its kernels are revisited
+	// round-robin, so every fresh slice recompiles the whole working
+	// set — the paper's dominant gcc overhead).
+	if prog.Size()/4 < 8000 {
+		t.Fatalf("gcc code footprint %d words, want > 8000", prog.Size()/4)
+	}
+	if gcc.PhaseShift != 0 {
+		t.Fatal("gcc must select kernels round-robin")
+	}
+	small, err := gcc.Scaled(0.01).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunNative(testCfg(), small, gcc.NativeMemCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Syscalls < 10 {
+		t.Fatalf("gcc made only %d syscalls", res.Syscalls)
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Kernels: 0, Iterations: 1, DataPages: 1},
+		{Name: "x", Kernels: 1, Iterations: 0, DataPages: 1},
+		{Name: "x", Kernels: 1, Iterations: 1, DataPages: 0},
+		{Name: "x", Kernels: 1, Iterations: 1, DataPages: 3},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("spec %+v built", s)
+		}
+	}
+}
+
+func TestWorkloadRunsUnderSuperPin(t *testing.T) {
+	// The pipeline smoke test: a catalog benchmark run end-to-end under
+	// SuperPin with exact icount agreement.
+	spec, _ := ByName("vpr")
+	spec = spec.Scaled(0.02)
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := core.RunNative(testCfg(), prog, spec.NativeMemCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	factory := func(ctl *core.ToolCtl) core.Tool {
+		return countTool{n: &count}
+	}
+	opts := core.DefaultOptions()
+	opts.SliceMSec = 100
+	res, err := core.Run(testCfg(), prog, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if count != native.Ins {
+		t.Fatalf("superpin count %d, native %d", count, native.Ins)
+	}
+}
+
+type countTool struct{ n *uint64 }
+
+func (c countTool) Instrument(tr *pin.Trace) {
+	for _, bbl := range tr.Bbls() {
+		k := uint64(bbl.NumIns())
+		bbl.InsertCall(pin.Before, func(*pin.Ctx) { *c.n += k })
+	}
+}
