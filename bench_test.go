@@ -12,6 +12,9 @@ import (
 	"testing"
 
 	"superpin/internal/bench"
+	"superpin/internal/core"
+	"superpin/internal/tools"
+	"superpin/internal/workload"
 )
 
 // benchConfig is the reduced-scale configuration shared by the figure
@@ -116,6 +119,117 @@ func BenchmarkFig7ParallelismSweep(b *testing.B) {
 		b.ReportMetric(byMP[8]/byMP[16], "speedup-8-to-16")
 	}
 }
+
+// Host-side performance benchmarks: how fast the simulator itself runs on
+// the host, as guest-MIPS (millions of guest instructions interpreted per
+// host second) and suite wall-clock. These track the predecode-cache,
+// software-TLB and parallel-harness work; virtual-cycle results are
+// byte-identical whatever these report.
+
+// hostWorkload builds one mid-sized benchmark program for the per-mode
+// guest-MIPS measurements.
+func hostWorkload(b *testing.B) (workload.Spec, bench.Config) {
+	cfg := benchConfig()
+	spec, ok := workload.ByName("gzip")
+	if !ok {
+		b.Fatal("gzip missing from catalog")
+	}
+	return spec.Scaled(cfg.Scale), cfg
+}
+
+// BenchmarkHostMIPSNative measures uninstrumented interpretation.
+func BenchmarkHostMIPSNative(b *testing.B) {
+	spec, cfg := hostWorkload(b)
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins += res.Ins
+	}
+	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+// BenchmarkHostMIPSPin measures serial Pin-style JIT execution (icount1).
+func BenchmarkHostMIPSPin(b *testing.B) {
+	spec, cfg := hostWorkload(b)
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pinCost := cfg.PinCost
+	pinCost.MemSurcharge = spec.PinMemCost
+	var ins uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunPin(cfg.Kernel, prog, tools.NewIcount1(nil).Factory(), pinCost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins += res.Ins
+	}
+	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+// BenchmarkHostMIPSSuperPin measures the full SuperPin engine; guest
+// instructions count the master's native pass plus every slice's
+// instrumented re-execution.
+func BenchmarkHostMIPSSuperPin(b *testing.B) {
+	spec, cfg := hostWorkload(b)
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.SliceMSec = cfg.TimesliceMSec
+	opts.MaxSlices = cfg.MaxSlices
+	opts.PinCost = cfg.PinCost
+	opts.PinCost.MemSurcharge = spec.SliceMemCost
+	opts.NativeMemSurcharge = spec.NativeMemCost
+	var ins uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg.Kernel, prog, tools.NewIcount1(nil).Factory(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		ins += res.MasterIns + res.SliceIns
+	}
+	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+// benchSuiteWall measures RunSuite wall-clock over the six-benchmark
+// subset with a given worker count; comparing the Serial and Parallel
+// variants shows the harness fan-out win on a multicore host.
+func benchSuiteWall(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.Workers = workers
+	var ins uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := bench.RunSuite(cfg, bench.Icount1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			ins += 3 * r.Ins
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "suite-sec")
+	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+func BenchmarkSuiteWallClockSerial(b *testing.B)   { benchSuiteWall(b, 1) }
+func BenchmarkSuiteWallClockParallel(b *testing.B) { benchSuiteWall(b, 0) }
 
 // BenchmarkSigDetectionStats regenerates the Section 4.4 statistics and
 // reports the quick-to-full filter rate (the paper reports ~2%).

@@ -5,19 +5,43 @@
 //	spbench                      # every experiment at the default scale
 //	spbench -exp fig6 -scale 1   # one experiment, full-size workloads
 //	spbench -csv out/            # also write out/fig3.csv etc.
+//	spbench -j 8                 # fan runs out over 8 host workers
+//	spbench -hostjson BENCH_host.json  # also write host-perf metrics
+//
+// Independent benchmark runs fan out over a bounded worker pool; -j 0
+// (the default) uses the SPBENCH_J environment variable when set, else
+// GOMAXPROCS. Virtual-cycle results are byte-identical for every -j.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"superpin/internal/bench"
 	"superpin/internal/report"
 )
+
+// hostPerf is the BENCH_host.json artifact: host-side performance of one
+// spbench invocation, tracked across PRs for the perf trajectory.
+type hostPerf struct {
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	SuiteRuns  int     `json:"suite_runs"`
+	// GuestIns is a lower bound on guest instructions executed: each
+	// suite triple runs its benchmark at least three times (native, Pin,
+	// SuperPin; the SuperPin master+slice double execution is not
+	// counted).
+	GuestIns  uint64  `json:"guest_ins_min"`
+	GuestMIPS float64 `json:"guest_mips_min"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -35,6 +59,8 @@ func run(args []string) error {
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
 		benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 26)")
 		csvDir     = fs.String("csv", "", "directory to also write <experiment>.csv files into")
+		jobs       = fs.Int("j", 0, "host worker-pool size (0 = $SPBENCH_J, else GOMAXPROCS; 1 = serial)")
+		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +69,7 @@ func run(args []string) error {
 	cfg := bench.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.MaxSlices = *maxSlices
+	cfg.Workers = *jobs
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -69,11 +96,23 @@ func run(args []string) error {
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
+	// Host-perf accounting for -hostjson: every suite Result stands for
+	// at least three executions of its benchmark.
+	var suiteIns uint64
+	suiteRuns := 0
+	account := func(rs []*bench.Result) {
+		for _, r := range rs {
+			suiteIns += 3 * r.Ins
+			suiteRuns += 3
+		}
+	}
+
 	if want("fig3") || want("fig4") {
 		t3, rs, err := bench.Fig3(cfg)
 		if err != nil {
 			return err
 		}
+		account(rs)
 		if want("fig3") {
 			if err := emit("fig3", t3); err != nil {
 				return err
@@ -92,10 +131,11 @@ func run(args []string) error {
 		}
 	}
 	if want("fig5") {
-		t5, _, err := bench.Fig5(cfg)
+		t5, rs, err := bench.Fig5(cfg)
 		if err != nil {
 			return err
 		}
+		account(rs)
 		if err := emit("fig5", t5); err != nil {
 			return err
 		}
@@ -165,6 +205,28 @@ func run(args []string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	fmt.Printf("(scale %.2f, timeslice %.0f ms, elapsed %s)\n", cfg.Scale, cfg.TimesliceMSec, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Printf("(scale %.2f, timeslice %.0f ms, elapsed %s)\n", cfg.Scale, cfg.TimesliceMSec, elapsed.Round(time.Millisecond))
+
+	if *hostJSON != "" {
+		hp := hostPerf{
+			ElapsedSec: elapsed.Seconds(),
+			Workers:    *jobs,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Scale:      cfg.Scale,
+			SuiteRuns:  suiteRuns,
+			GuestIns:   suiteIns,
+		}
+		if hp.ElapsedSec > 0 {
+			hp.GuestMIPS = float64(suiteIns) / (hp.ElapsedSec * 1e6)
+		}
+		data, err := json.MarshalIndent(hp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*hostJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,6 +19,33 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunParallelWithHostJSON(t *testing.T) {
+	dir := t.TempDir()
+	hj := filepath.Join(dir, "BENCH_host.json")
+	args := []string{"-exp", "fig3", "-scale", "0.02", "-benchmarks", "gzip,mgrid",
+		"-j", "2", "-hostjson", hj}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hp struct {
+		ElapsedSec float64 `json:"elapsed_sec"`
+		Workers    int     `json:"workers"`
+		SuiteRuns  int     `json:"suite_runs"`
+		GuestIns   uint64  `json:"guest_ins_min"`
+		GuestMIPS  float64 `json:"guest_mips_min"`
+	}
+	if err := json.Unmarshal(data, &hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Workers != 2 || hp.SuiteRuns != 6 || hp.GuestIns == 0 || hp.GuestMIPS <= 0 || hp.ElapsedSec <= 0 {
+		t.Fatalf("host perf = %+v", hp)
 	}
 }
 

@@ -29,6 +29,40 @@ type AblationRow struct {
 	Penalty float64
 }
 
+// resolveSpecs maps benchmark names to catalog specs, erroring
+// deterministically on the first unknown name before any run starts.
+func resolveSpecs(names []string) ([]workload.Spec, error) {
+	specs := make([]workload.Spec, len(names))
+	for i, name := range names {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// ablationRows measures every named benchmark with a feature on and off,
+// fanning the independent on/off run pairs out over the worker pool.
+func ablationRows(cfg Config, names []string, mutOn, mutOff func(*core.Options)) ([]AblationRow, error) {
+	specs, err := resolveSpecs(names)
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (AblationRow, error) {
+		on, _, err := runWith(cfg, specs[i], mutOn)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		off, _, err := runWith(cfg, specs[i], mutOff)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{Name: specs[i].Name, OnSecs: on, OffSecs: off, Penalty: off / on}, nil
+	})
+}
+
 // runWith measures one SuperPin run with the given option mutation,
 // returning total virtual seconds.
 func runWith(cfg Config, spec workload.Spec, mutate func(*core.Options)) (float64, *core.Result, error) {
@@ -67,25 +101,15 @@ func AblationQuickCheck(cfg Config) (*report.Table, []AblationRow, error) {
 	if names == nil {
 		names = []string{"gzip", "mcf", "mgrid", "crafty"}
 	}
+	rows, err := ablationRows(cfg, names, nil,
+		func(o *core.Options) { o.AlwaysFullCheck = true })
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Ablation: inlined quick check vs always-full signature check (icount2, vsec)",
 		"benchmark", "quick-check", "always-full", "penalty")
-	var rows []AblationRow
-	for _, name := range names {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			return nil, nil, fmt.Errorf("bench: unknown benchmark %q", name)
-		}
-		on, _, err := runWith(cfg, spec, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		off, _, err := runWith(cfg, spec, func(o *core.Options) { o.AlwaysFullCheck = true })
-		if err != nil {
-			return nil, nil, err
-		}
-		row := AblationRow{Name: name, OnSecs: on, OffSecs: off, Penalty: off / on}
-		rows = append(rows, row)
-		t.Row(name, on, off, row.Penalty)
+	for _, row := range rows {
+		t.Row(row.Name, row.OnSecs, row.OffSecs, row.Penalty)
 	}
 	return t, rows, nil
 }
@@ -100,25 +124,15 @@ func AblationSysRecs(cfg Config) (*report.Table, []AblationRow, error) {
 	if names == nil {
 		names = []string{"gcc", "perlbmk", "vortex"}
 	}
+	rows, err := ablationRows(cfg, names, nil,
+		func(o *core.Options) { o.MaxSysRecs = 0 })
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Ablation: syscall record-and-playback vs fork-per-syscall (icount2, vsec)",
 		"benchmark", "record+playback", "fork-always", "penalty")
-	var rows []AblationRow
-	for _, name := range names {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			return nil, nil, fmt.Errorf("bench: unknown benchmark %q", name)
-		}
-		on, _, err := runWith(cfg, spec, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		off, _, err := runWith(cfg, spec, func(o *core.Options) { o.MaxSysRecs = 0 })
-		if err != nil {
-			return nil, nil, err
-		}
-		row := AblationRow{Name: name, OnSecs: on, OffSecs: off, Penalty: off / on}
-		rows = append(rows, row)
-		t.Row(name, on, off, row.Penalty)
+	for _, row := range rows {
+		t.Row(row.Name, row.OnSecs, row.OffSecs, row.Penalty)
 	}
 	return t, rows, nil
 }
@@ -132,25 +146,15 @@ func AblationSharedCache(cfg Config) (*report.Table, []AblationRow, error) {
 	if names == nil {
 		names = []string{"gcc", "fma3d", "eon"}
 	}
+	rows, err := ablationRows(cfg, names,
+		func(o *core.Options) { o.SharedCodeCache = true }, nil)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := report.New("Ablation: shared code cache across slices (Section 8), icount2, vsec",
 		"benchmark", "shared-cache", "private-caches", "penalty")
-	var rows []AblationRow
-	for _, name := range names {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			return nil, nil, fmt.Errorf("bench: unknown benchmark %q", name)
-		}
-		on, _, err := runWith(cfg, spec, func(o *core.Options) { o.SharedCodeCache = true })
-		if err != nil {
-			return nil, nil, err
-		}
-		off, _, err := runWith(cfg, spec, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := AblationRow{Name: name, OnSecs: on, OffSecs: off, Penalty: off / on}
-		rows = append(rows, row)
-		t.Row(name, on, off, row.Penalty)
+	for _, row := range rows {
+		t.Row(row.Name, row.OnSecs, row.OffSecs, row.Penalty)
 	}
 	return t, rows, nil
 }
@@ -173,28 +177,26 @@ func AblationThrottle(cfg Config) (*report.Table, []ThrottleRow, error) {
 	if names == nil {
 		names = []string{"gzip", "mgrid", "wupwise"}
 	}
-	t := report.New("Ablation: adaptive timeslice throttle (Section 8), icount2, vsec",
-		"benchmark", "fixed-pipeline", "fixed-total", "throttled-pipeline", "throttled-total")
-	var rows []ThrottleRow
-	for _, name := range names {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			return nil, nil, fmt.Errorf("bench: unknown benchmark %q", name)
-		}
+	specs, err := resolveSpecs(names)
+	if err != nil {
+		return nil, nil, err
+	}
+	sec := cfg.Kernel.Cost.Seconds
+	rows, err := runIndexed(cfg.Workers, len(specs), func(i int) (ThrottleRow, error) {
+		spec := specs[i]
 		scaled := spec.Scaled(cfg.Scale)
 		prog, err := scaled.Build()
 		if err != nil {
-			return nil, nil, err
+			return ThrottleRow{}, err
 		}
 		native, err := core.RunNative(cfg.Kernel, prog, scaled.NativeMemCost)
 		if err != nil {
-			return nil, nil, err
+			return ThrottleRow{}, err
 		}
-		sec := cfg.Kernel.Cost.Seconds
 
 		_, fixedRes, err := runWith(cfg, spec, nil)
 		if err != nil {
-			return nil, nil, err
+			return ThrottleRow{}, err
 		}
 		_, _, _, fixedPipe := fixedRes.Breakdown(native.Time)
 
@@ -203,19 +205,25 @@ func AblationThrottle(cfg Config) (*report.Table, []ThrottleRow, error) {
 			o.ExpectedAppMSec = expected
 		})
 		if err != nil {
-			return nil, nil, err
+			return ThrottleRow{}, err
 		}
 		_, _, _, throtPipe := throtRes.Breakdown(native.Time)
 
-		row := ThrottleRow{
-			Name:       name,
+		return ThrottleRow{
+			Name:       spec.Name,
 			FixedPipe:  sec(fixedPipe),
 			FixedTotal: sec(fixedRes.TotalTime),
 			ThrotPipe:  sec(throtPipe),
 			ThrotTotal: sec(throtRes.TotalTime),
-		}
-		rows = append(rows, row)
-		t.Row(name, row.FixedPipe, row.FixedTotal, row.ThrotPipe, row.ThrotTotal)
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Ablation: adaptive timeslice throttle (Section 8), icount2, vsec",
+		"benchmark", "fixed-pipeline", "fixed-total", "throttled-pipeline", "throttled-total")
+	for _, row := range rows {
+		t.Row(row.Name, row.FixedPipe, row.FixedTotal, row.ThrotPipe, row.ThrotTotal)
 	}
 	return t, rows, nil
 }

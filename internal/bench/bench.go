@@ -62,6 +62,13 @@ type Config struct {
 	// PinCost is the base engine cost model; per-benchmark memory
 	// surcharges are applied on top.
 	PinCost pin.CostModel
+	// Workers bounds how many benchmark runs RunSuite and the figure and
+	// ablation sweeps execute concurrently on the host. Zero consults the
+	// SPBENCH_J environment variable, then defaults to GOMAXPROCS; 1
+	// forces serial execution. Every run owns its own kernel, memory
+	// image and engine, and results are collected in catalog order, so
+	// output is byte-identical for every Workers value.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -126,6 +133,11 @@ type Result struct {
 	Native kernel.Cycles
 	Pin    kernel.Cycles
 	SP     kernel.Cycles
+	// Ins is the benchmark's guest instruction count (identical across
+	// the native, Pin and SuperPin runs by construction; each triple
+	// executes at least 3x this many guest instructions). spbench uses it
+	// to report host-side guest-MIPS.
+	Ins uint64
 	// PinPct and SPPct are runtimes relative to native, in percent
 	// (100 = native speed), matching the paper's figure axes.
 	PinPct float64
@@ -188,6 +200,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 		Native: native.Time,
 		Pin:    pinRes.Time,
 		SP:     spRes.TotalTime,
+		Ins:    native.Ins,
 		Detail: spRes,
 	}
 	r.PinPct = 100 * float64(r.Pin) / float64(r.Native)
@@ -196,22 +209,19 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	return r, nil
 }
 
-// RunSuite measures every configured benchmark with the given tool.
+// RunSuite measures every configured benchmark with the given tool,
+// fanning independent runs out over a bounded worker pool (Config.Workers)
+// and collecting results in catalog order. Parallel and serial runs
+// produce byte-identical Results.
 func RunSuite(cfg Config, kind ToolKind) ([]*Result, error) {
 	cfg.normalize()
 	specs, err := cfg.specs()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Result, 0, len(specs))
-	for _, spec := range specs {
-		r, err := RunBenchmark(cfg, spec, kind)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*Result, error) {
+		return RunBenchmark(cfg, specs[i], kind)
+	})
 }
 
 // Averages returns the arithmetic-mean PinPct, SPPct and Speedup over rs,

@@ -101,10 +101,8 @@ func Fig6(cfg Config, sweep []float64) (*report.Table, []Fig6Row, error) {
 	}
 
 	sec := cfg.Kernel.Cost.Seconds
-	t := report.New("Figure 6: gcc runtime vs timeslice interval (virtual seconds)",
-		"timeslice(ms)", "native", "fork&others", "sleep", "pipeline", "total")
-	var rows []Fig6Row
-	for _, msec := range sweep {
+	rows, err := runIndexed(cfg.Workers, len(sweep), func(i int) (Fig6Row, error) {
+		msec := sweep[i]
 		opts := core.DefaultOptions()
 		opts.SliceMSec = msec
 		opts.MaxSlices = cfg.MaxSlices
@@ -114,22 +112,28 @@ func Fig6(cfg Config, sweep []float64) (*report.Table, []Fig6Row, error) {
 		tool := tools.NewIcount1(nil)
 		res, err := core.Run(cfg.Kernel, prog, tool.Factory(), opts)
 		if err != nil {
-			return nil, nil, err
+			return Fig6Row{}, err
 		}
 		if res.Err != nil {
-			return nil, nil, fmt.Errorf("bench: fig6 at %.0fms: %w", msec, res.Err)
+			return Fig6Row{}, fmt.Errorf("bench: fig6 at %.0fms: %w", msec, res.Err)
 		}
 		nat, fork, sleep, pipe := res.Breakdown(native.Time)
-		row := Fig6Row{
+		return Fig6Row{
 			TimesliceMSec: msec,
 			Native:        sec(nat),
 			ForkOthers:    sec(fork),
 			Sleep:         sec(sleep),
 			Pipeline:      sec(pipe),
 			Total:         sec(res.TotalTime),
-		}
-		rows = append(rows, row)
-		t.Row(fmt.Sprintf("%.0f", msec), row.Native, row.ForkOthers, row.Sleep, row.Pipeline, row.Total)
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Figure 6: gcc runtime vs timeslice interval (virtual seconds)",
+		"timeslice(ms)", "native", "fork&others", "sleep", "pipeline", "total")
+	for _, row := range rows {
+		t.Row(fmt.Sprintf("%.0f", row.TimesliceMSec), row.Native, row.ForkOthers, row.Sleep, row.Pipeline, row.Total)
 	}
 	return t, rows, nil
 }
@@ -160,10 +164,8 @@ func Fig7(cfg Config, sweep []int) (*report.Table, []Fig7Row, error) {
 	}
 
 	sec := cfg.Kernel.Cost.Seconds
-	t := report.New("Figure 7: gcc runtime vs max running slices (virtual seconds)",
-		"max-slices", "runtime")
-	var rows []Fig7Row
-	for _, mp := range sweep {
+	rows, err := runIndexed(cfg.Workers, len(sweep), func(i int) (Fig7Row, error) {
+		mp := sweep[i]
 		opts := core.DefaultOptions()
 		opts.SliceMSec = cfg.TimesliceMSec
 		opts.MaxSlices = mp
@@ -173,13 +175,20 @@ func Fig7(cfg Config, sweep []int) (*report.Table, []Fig7Row, error) {
 		tool := tools.NewIcount1(nil)
 		res, err := core.Run(cfg.Kernel, prog, tool.Factory(), opts)
 		if err != nil {
-			return nil, nil, err
+			return Fig7Row{}, err
 		}
 		if res.Err != nil {
-			return nil, nil, fmt.Errorf("bench: fig7 at %d slices: %w", mp, res.Err)
+			return Fig7Row{}, fmt.Errorf("bench: fig7 at %d slices: %w", mp, res.Err)
 		}
-		rows = append(rows, Fig7Row{MaxSlices: mp, Seconds: sec(res.TotalTime)})
-		t.Row(mp, sec(res.TotalTime))
+		return Fig7Row{MaxSlices: mp, Seconds: sec(res.TotalTime)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Figure 7: gcc runtime vs max running slices (virtual seconds)",
+		"max-slices", "runtime")
+	for _, row := range rows {
+		t.Row(row.MaxSlices, row.Seconds)
 	}
 	return t, rows, nil
 }
@@ -203,18 +212,21 @@ func SigStats(cfg Config) (*report.Table, []SigStatsRow, error) {
 	if names == nil {
 		names = []string{"gzip", "mcf", "crafty", "mgrid", "gcc"}
 	}
-	t := report.New("Section 4.4: signature detection statistics (icount2 runs)",
-		"benchmark", "quick-checks", "full-checks", "stack-checks", "full/quick%", "defaulted-regs")
-	var rows []SigStatsRow
-	for _, name := range names {
+	// Resolve names serially so an unknown benchmark errors
+	// deterministically before any run starts.
+	specs := make([]workload.Spec, len(names))
+	for i, name := range names {
 		spec, ok := workload.ByName(name)
 		if !ok {
 			return nil, nil, fmt.Errorf("bench: unknown benchmark %q", name)
 		}
-		spec = spec.Scaled(cfg.Scale)
+		specs[i] = spec.Scaled(cfg.Scale)
+	}
+	rows, err := runIndexed(cfg.Workers, len(specs), func(i int) (SigStatsRow, error) {
+		spec := specs[i]
 		prog, err := spec.Build()
 		if err != nil {
-			return nil, nil, err
+			return SigStatsRow{}, err
 		}
 		opts := core.DefaultOptions()
 		opts.SliceMSec = cfg.TimesliceMSec
@@ -225,21 +237,28 @@ func SigStats(cfg Config) (*report.Table, []SigStatsRow, error) {
 		tool := tools.NewIcount2(nil)
 		res, err := core.Run(cfg.Kernel, prog, tool.Factory(), opts)
 		if err != nil {
-			return nil, nil, err
+			return SigStatsRow{}, err
 		}
 		if res.Err != nil {
-			return nil, nil, fmt.Errorf("bench: sigstats %s: %w", name, res.Err)
+			return SigStatsRow{}, fmt.Errorf("bench: sigstats %s: %w", spec.Name, res.Err)
 		}
 		st := res.Stats
 		ratio := 0.0
 		if st.QuickChecks > 0 {
 			ratio = 100 * float64(st.FullChecks) / float64(st.QuickChecks)
 		}
-		rows = append(rows, SigStatsRow{
-			Name: name, Quick: st.QuickChecks, Full: st.FullChecks,
+		return SigStatsRow{
+			Name: spec.Name, Quick: st.QuickChecks, Full: st.FullChecks,
 			Stack: st.StackChecks, FullPerQuick: ratio, Defaults: st.RegPickDefaults,
-		})
-		t.Row(name, st.QuickChecks, st.FullChecks, st.StackChecks, ratio, st.RegPickDefaults)
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.New("Section 4.4: signature detection statistics (icount2 runs)",
+		"benchmark", "quick-checks", "full-checks", "stack-checks", "full/quick%", "defaulted-regs")
+	for _, r := range rows {
+		t.Row(r.Name, r.Quick, r.Full, r.Stack, r.FullPerQuick, r.Defaults)
 	}
 	return t, rows, nil
 }

@@ -46,8 +46,23 @@ func (e *Error) Error() string {
 
 func (e *Error) Unwrap() error { return e.Err }
 
-// Fetch decodes the instruction at r.PC.
+// Fetch decodes the instruction at r.PC through the memory image's
+// per-page predecode cache: after the first execution from a page, a
+// fetch is a software-TLB hit plus an array index instead of a page-map
+// lookup, byte assembly and decode.
 func Fetch(r *Regs, m *mem.Memory) (isa.Inst, error) {
+	in, err := m.FetchInst(r.PC)
+	if err != nil {
+		return isa.Inst{}, &Error{PC: r.PC, Err: err}
+	}
+	return in, nil
+}
+
+// FetchUncached decodes the instruction at r.PC with a plain load-and-
+// decode sequence, bypassing the predecode cache. It exists so
+// differential tests and benchmarks can compare the cached fetch path
+// against the definitionally-correct slow one.
+func FetchUncached(r *Regs, m *mem.Memory) (isa.Inst, error) {
 	w, f := m.LoadWord(r.PC)
 	if f != nil {
 		return isa.Inst{}, &Error{PC: r.PC, Err: f}
@@ -217,11 +232,14 @@ func Exec(r *Regs, m *mem.Memory, in isa.Inst) (Event, error) {
 	return EvNone, nil
 }
 
-// Step fetches and executes one instruction at r.PC.
+// Step fetches and executes one instruction at r.PC. It calls the memory
+// image's FetchInst directly rather than going through Fetch: Step is the
+// hottest function in the simulator (every native run and every slice
+// replay funnels through it), and the extra call frame is measurable.
 func Step(r *Regs, m *mem.Memory) (Event, isa.Inst, error) {
-	in, err := Fetch(r, m)
+	in, err := m.FetchInst(r.PC)
 	if err != nil {
-		return EvNone, isa.Inst{}, err
+		return EvNone, isa.Inst{}, &Error{PC: r.PC, Err: err}
 	}
 	ev, err := Exec(r, m, in)
 	return ev, in, err

@@ -72,14 +72,7 @@ func BuildTraceSplit(m *mem.Memory, pc, split uint32) (*Trace, error) {
 			if split != 0 && cur == split && tr.NumIns > 0 {
 				return endTrace(tr, bbl), nil
 			}
-			w, fault := m.LoadWord(cur)
-			if fault != nil {
-				if tr.NumIns == 0 {
-					return nil, fmt.Errorf("jit: trace at %#08x: %w", pc, fault)
-				}
-				return endTrace(tr, bbl), nil
-			}
-			in, err := isa.Decode(w)
+			in, err := m.FetchInst(cur)
 			if err != nil {
 				if tr.NumIns == 0 {
 					return nil, fmt.Errorf("jit: trace at %#08x: %w", pc, err)
@@ -209,15 +202,24 @@ func NewTraceCache() *TraceCache {
 	return &TraceCache{traces: make(map[uint32]*Trace)}
 }
 
-// Lookup returns the shared trace entered at pc, if present.
+// Lookup returns the shared trace entered at pc, if present. Lookup is a
+// pure read — it mutates no statistics — so a cache could safely serve
+// concurrent readers; the engine that owns the lookup records its outcome
+// with RecordLookup.
 func (tc *TraceCache) Lookup(pc uint32) (*Trace, bool) {
 	tr, ok := tc.traces[pc]
-	if ok {
+	return tr, ok
+}
+
+// RecordLookup accumulates one lookup outcome into the statistics. It is
+// the only mutating part of the former Lookup and is called by the cache's
+// owning engine, keeping ownership of writes explicit.
+func (tc *TraceCache) RecordLookup(hit bool) {
+	if hit {
 		tc.stats.Hits++
 	} else {
 		tc.stats.Misses++
 	}
-	return tr, ok
 }
 
 // Insert publishes a built trace for other engines to reuse. Re-inserting
@@ -262,13 +264,20 @@ func NewCodeCache(capacity int) *CodeCache {
 }
 
 // Lookup returns the compiled trace entered at pc, or nil on a miss.
+// Lookup is a pure read — it mutates no statistics — making read-only
+// sharing safe; the owning engine records the outcome with RecordLookup.
 func (c *CodeCache) Lookup(pc uint32) *CompiledTrace {
+	return c.traces[pc]
+}
+
+// RecordLookup accumulates one lookup outcome into the statistics,
+// keeping mutation on the cache's owning engine rather than hidden inside
+// Lookup.
+func (c *CodeCache) RecordLookup(hit bool) {
 	c.stats.Lookups++
-	ct := c.traces[pc]
-	if ct == nil {
+	if !hit {
 		c.stats.Misses++
 	}
-	return ct
 }
 
 // Insert adds a compiled trace, flushing the cache first if it would

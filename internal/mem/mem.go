@@ -9,19 +9,47 @@
 // triggered them — the "Fork Overhead" component of the paper's Section
 // 6.3 breakdown.
 //
-// Pages are allocated lazily and zero-filled on first touch. Address-space
-// layout policy (brk, mmap regions, SuperPin's "memory bubble") lives in
-// the kernel; this package only provides the backing store.
+// Pages are allocated lazily; reads of unmaterialized pages observe zeros
+// without allocating, and only writes materialize backing storage.
+// Address-space layout policy (brk, mmap regions, SuperPin's "memory
+// bubble") lives in the kernel; this package only provides the backing
+// store.
+//
+// Two host-side fast paths keep interpretation cheap without changing any
+// guest-visible result:
+//
+//   - a one-entry software TLB per image (separate read and write
+//     entries) that skips the page-map lookup when consecutive accesses
+//     land on the same page — the overwhelmingly common case;
+//   - a per-page predecode cache (FetchInst) that stores the decoded
+//     instruction for every word of a code page, so the interpreter's
+//     fetch path stops paying a map lookup, byte assembly and decode per
+//     executed instruction. The cache is invalidated when a store hits
+//     the page (self-modifying code) and is never carried onto a
+//     copy-on-write duplicate.
+//
+// Both caches can be disabled with SetCaching so differential tests and
+// benchmarks can verify and measure their effect.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"superpin/internal/isa"
+)
 
 // Page geometry.
 const (
 	PageShift = 12
 	PageSize  = 1 << PageShift // 4 KiB
 	pageMask  = PageSize - 1
+
+	wordsPerPage = PageSize / isa.WordSize
 )
+
+// invalidPN is the software-TLB tag for "no page cached" (page numbers
+// derived from 32-bit addresses never exceed 2^20-1).
+const invalidPN = ^uint32(0)
 
 // page is a refcounted 4 KiB page. refs counts the number of Memory images
 // that reference the page; a page with refs > 1 must be copied before it
@@ -29,7 +57,43 @@ const (
 type page struct {
 	data [PageSize]byte
 	refs int32
+
+	// code is the lazily-built predecoded view of this page, or nil.
+	// Stores through writePage clear it (self-modifying code); COW
+	// duplicates start without it. A shared page is never written in
+	// place, so a non-nil code is always consistent with data.
+	code *codePage
 }
+
+// codePage caches the decoded form of every word in one page.
+type codePage struct {
+	ins [wordsPerPage]isa.Inst
+	bad [wordsPerPage]bool // word does not decode; fetch re-decodes for the error
+}
+
+// predecode builds the decoded view of one page's bytes.
+func predecode(data *[PageSize]byte) *codePage {
+	cp := &codePage{}
+	for i := 0; i < wordsPerPage; i++ {
+		off := i * isa.WordSize
+		w := uint32(data[off]) | uint32(data[off+1])<<8 |
+			uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+		in, err := isa.Decode(w)
+		if err != nil {
+			cp.bad[i] = true
+			continue
+		}
+		cp.ins[i] = in
+	}
+	return cp
+}
+
+// zeroPage backs reads of unmaterialized pages. It is shared by every
+// image and must never be written; writePage always materializes a private
+// page instead. Its predecode view is built once at init.
+var zeroPage page
+
+func init() { zeroPage.code = predecode(&zeroPage.data) }
 
 // Fault describes an invalid guest memory access.
 type Fault struct {
@@ -49,31 +113,74 @@ func (f *Fault) Error() string {
 // Memory is one process's view of guest memory.
 //
 // Memory is not safe for concurrent use; the discrete-event kernel runs
-// guest processes one at a time, so no locking is needed or wanted.
+// guest processes one at a time, so no locking is needed or wanted. The
+// experiment harness runs many simulations concurrently, but each owns a
+// private Memory, so this stays true.
 type Memory struct {
 	pages map[uint32]*page
+
+	// One-entry software TLBs: the page number and page of the last read
+	// and the last write. Flushed on Fork, Release and whenever caching
+	// is toggled; the write entry always holds a privately-owned page, so
+	// hitting it can never skip a needed copy-on-write duplication.
+	rpn, wpn uint32
+	rpg, wpg *page
+
+	// Fetch TLB: the predecoded view of the last fetched-from page. Kept
+	// separate from the read entry so data loads interleaved with fetches
+	// (the common interpreter pattern) do not evict the code page.
+	// Invalidated by writePage when a store hits this page, and by every
+	// flushTLB.
+	fpn uint32
+	fcp *codePage
+
+	// noCache disables the TLBs and the predecode cache (SetCaching).
+	noCache bool
 
 	// CopyEvents counts copy-on-write page copies performed through this
 	// image since creation. The kernel samples deltas of this counter to
 	// charge page-copy cost to the faulting process.
 	CopyEvents uint64
 	// TouchedPages counts pages materialized (zero-fill allocations).
+	// Pure reads of absent pages observe zeros without materializing, so
+	// only writes count here.
 	TouchedPages uint64
 }
 
 // New returns an empty memory image.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*page)}
+	m := &Memory{pages: make(map[uint32]*page)}
+	m.flushTLB()
+	return m
+}
+
+// flushTLB invalidates both software-TLB entries.
+func (m *Memory) flushTLB() {
+	m.rpn, m.wpn, m.fpn = invalidPN, invalidPN, invalidPN
+	m.rpg, m.wpg, m.fcp = nil, nil, nil
+}
+
+// SetCaching enables or disables the host-side fast paths (the software
+// TLB and the per-page predecode cache). Caching is on by default and
+// never affects guest-visible behavior; differential tests and benchmarks
+// disable it to verify and measure exactly that.
+func (m *Memory) SetCaching(on bool) {
+	m.noCache = !on
+	m.flushTLB()
 }
 
 // Fork returns a copy-on-write clone of m. Both images share all current
 // pages; each side copies a page when it first writes to it.
 func (m *Memory) Fork() *Memory {
-	child := &Memory{pages: make(map[uint32]*page, len(m.pages))}
+	child := &Memory{pages: make(map[uint32]*page, len(m.pages)), noCache: m.noCache}
+	child.flushTLB()
 	for pn, pg := range m.pages {
 		pg.refs++
 		child.pages[pn] = pg
 	}
+	// Every page is now shared: the parent's cached write page must go
+	// back through the copy-on-write check before its next store.
+	m.flushTLB()
 	return child
 }
 
@@ -85,6 +192,7 @@ func (m *Memory) Release() {
 		pg.refs--
 		delete(m.pages, pn)
 	}
+	m.flushTLB()
 }
 
 // Pages returns the number of materialized pages in this image.
@@ -102,23 +210,38 @@ func (m *Memory) SharedPages() int {
 	return n
 }
 
-// readPage returns the page containing addr for reading, materializing a
-// zero page if needed.
+// readPage returns the page containing addr for reading. Absent pages read
+// as zeros via the shared zero page, without materializing.
 func (m *Memory) readPage(addr uint32) *page {
 	pn := addr >> PageShift
+	if pn == m.rpn {
+		return m.rpg
+	}
 	pg := m.pages[pn]
 	if pg == nil {
-		pg = &page{refs: 1}
-		m.pages[pn] = pg
-		m.TouchedPages++
+		pg = &zeroPage
+	}
+	if !m.noCache {
+		m.rpn, m.rpg = pn, pg
 	}
 	return pg
 }
 
-// writePage returns the page containing addr for writing, performing a
-// copy-on-write duplication if the page is shared.
+// writePage returns the page containing addr for writing, materializing a
+// zero page or performing a copy-on-write duplication as needed. It also
+// invalidates the page's predecode cache: a store may overwrite code.
 func (m *Memory) writePage(addr uint32) *page {
 	pn := addr >> PageShift
+	if pn == m.fpn {
+		// The fetch TLB caches this page's decoded view; drop it before
+		// the store makes it stale (self-modifying code).
+		m.fpn, m.fcp = invalidPN, nil
+	}
+	if pn == m.wpn {
+		pg := m.wpg
+		pg.code = nil
+		return pg
+	}
 	pg := m.pages[pn]
 	switch {
 	case pg == nil:
@@ -131,6 +254,14 @@ func (m *Memory) writePage(addr uint32) *page {
 		m.pages[pn] = cp
 		m.CopyEvents++
 		pg = cp
+	}
+	pg.code = nil
+	if !m.noCache {
+		// Populate both entries: a store is usually followed by loads
+		// from the same page, and the read entry must not keep serving
+		// the zero page (or a pre-COW original) for this page number.
+		m.wpn, m.wpg = pn, pg
+		m.rpn, m.rpg = pn, pg
 	}
 	return pg
 }
@@ -171,6 +302,53 @@ func (m *Memory) StoreByte(addr uint32, v byte) *Fault {
 	pg := m.writePage(addr)
 	pg.data[addr&pageMask] = v
 	return nil
+}
+
+// FetchInst returns the decoded instruction at the aligned address addr,
+// filling the page's predecode cache on first use. It is the
+// interpreter's fetch path: after the first fetch from a page, every
+// subsequent fetch is a fetch-TLB tag compare plus an array index. The
+// returned error is a *Fault for a misaligned address or a decode error
+// for an undecodable word, matching a LoadWord+Decode sequence exactly.
+func (m *Memory) FetchInst(addr uint32) (isa.Inst, error) {
+	if addr&3 == 0 && addr>>PageShift == m.fpn {
+		i := (addr & pageMask) >> 2
+		if cp := m.fcp; !cp.bad[i] {
+			return cp.ins[i], nil
+		}
+	}
+	return m.fetchSlow(addr)
+}
+
+// fetchSlow is FetchInst's fetch-TLB-miss path: it validates the address,
+// finds (or builds) the page's predecoded view, primes the fetch TLB and
+// decodes. Also handles the noCache mode and undecodable words.
+func (m *Memory) fetchSlow(addr uint32) (isa.Inst, error) {
+	if addr&3 != 0 {
+		return isa.Inst{}, &Fault{Addr: addr, Reason: "misaligned word read"}
+	}
+	if m.noCache {
+		w, f := m.LoadWord(addr)
+		if f != nil {
+			return isa.Inst{}, f
+		}
+		return isa.Decode(w)
+	}
+	pg := m.readPage(addr)
+	cp := pg.code
+	if cp == nil {
+		cp = predecode(&pg.data)
+		pg.code = cp
+	}
+	m.fpn, m.fcp = addr>>PageShift, cp
+	i := (addr & pageMask) >> 2
+	if cp.bad[i] {
+		// Re-decode the raw word to produce the precise error.
+		w, _ := m.LoadWord(addr)
+		_, err := isa.Decode(w)
+		return isa.Inst{}, err
+	}
+	return cp.ins[i], nil
 }
 
 // ReadBytes copies len(dst) bytes starting at addr into dst. It is used by

@@ -54,8 +54,38 @@ func TestZeroFill(t *testing.T) {
 	if f != nil || v != 0 {
 		t.Fatalf("fresh page read = %d, %v", v, f)
 	}
-	if m.TouchedPages != 1 {
-		t.Fatalf("TouchedPages = %d, want 1", m.TouchedPages)
+	// Pure reads must not materialize backing pages: sparse reads would
+	// otherwise bloat every image and inflate fork costs.
+	if m.TouchedPages != 0 || m.Pages() != 0 {
+		t.Fatalf("pure read materialized: TouchedPages=%d Pages=%d, want 0 0",
+			m.TouchedPages, m.Pages())
+	}
+	// A write to the same page materializes it and reads back correctly.
+	if f := m.StoreWord(0xdeadbe04, 7); f != nil {
+		t.Fatal(f)
+	}
+	if m.TouchedPages != 1 || m.Pages() != 1 {
+		t.Fatalf("after write: TouchedPages=%d Pages=%d, want 1 1", m.TouchedPages, m.Pages())
+	}
+	if v, _ := m.LoadWord(0xdeadbe00); v != 0 {
+		t.Fatalf("zero word after page write = %d", v)
+	}
+	if v, _ := m.LoadWord(0xdeadbe04); v != 7 {
+		t.Fatalf("written word = %d, want 7", v)
+	}
+}
+
+func TestSparseReadsDoNotBloat(t *testing.T) {
+	m := New()
+	buf := make([]byte, 64)
+	for i := uint32(0); i < 1000; i++ {
+		m.ReadBytes(i*PageSize, buf)
+		if _, f := m.LoadByte(i*PageSize + 99); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if m.Pages() != 0 || m.TouchedPages != 0 {
+		t.Fatalf("sparse reads materialized %d pages (touched %d)", m.Pages(), m.TouchedPages)
 	}
 }
 

@@ -1,0 +1,225 @@
+package mem
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+// enc encodes one instruction or fails the test.
+func enc(t *testing.T, in isa.Inst) uint32 {
+	t.Helper()
+	w, err := isa.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestTLBCowParentNotStale is the fork/TLB interaction test: after the
+// child performs a copy-on-write duplication, the parent's cached page
+// pointer must still serve the original (pre-write) data, and the copy
+// must be charged to the writer.
+func TestTLBCowParentNotStale(t *testing.T) {
+	parent := New()
+	parent.StoreWord(0x1000, 11)
+	parent.StoreWord(0x1004, 22)
+
+	// Warm the parent's read TLB on the page before forking.
+	if v, _ := parent.LoadWord(0x1000); v != 11 {
+		t.Fatal("warmup read wrong")
+	}
+	child := parent.Fork()
+
+	// Child write triggers COW; the event is charged to the child.
+	child.StoreWord(0x1000, 99)
+	if child.CopyEvents != 1 {
+		t.Fatalf("child CopyEvents = %d, want 1", child.CopyEvents)
+	}
+	if parent.CopyEvents != 0 {
+		t.Fatalf("parent CopyEvents = %d, want 0", parent.CopyEvents)
+	}
+
+	// Parent reads (possibly through its TLB) must see the original data.
+	if v, _ := parent.LoadWord(0x1000); v != 11 {
+		t.Fatalf("parent sees child's write: %d", v)
+	}
+	if v, _ := parent.LoadWord(0x1004); v != 22 {
+		t.Fatalf("parent word 2 = %d, want 22", v)
+	}
+	if v, _ := child.LoadWord(0x1000); v != 99 {
+		t.Fatalf("child read-back = %d, want 99", v)
+	}
+}
+
+// TestTLBParentWriteAfterForkCopies checks the symmetric hazard: the
+// parent's cached *write* page must not be reused across Fork, or its
+// next store would mutate a page the child shares.
+func TestTLBParentWriteAfterForkCopies(t *testing.T) {
+	parent := New()
+	parent.StoreWord(0x2000, 1) // warm parent's write TLB on the page
+	child := parent.Fork()
+
+	parent.StoreWord(0x2000, 2) // must COW, not write through the stale TLB
+	if parent.CopyEvents != 1 {
+		t.Fatalf("parent CopyEvents = %d, want 1", parent.CopyEvents)
+	}
+	if v, _ := child.LoadWord(0x2000); v != 1 {
+		t.Fatalf("child sees parent's post-fork write: %d", v)
+	}
+	if v, _ := parent.LoadWord(0x2000); v != 2 {
+		t.Fatalf("parent read-back = %d, want 2", v)
+	}
+}
+
+// TestTLBReleaseFlushes checks that a released image's pages do not
+// linger in a sibling's caches through the refcount drop.
+func TestTLBReleaseFlushes(t *testing.T) {
+	a := New()
+	a.StoreWord(0x3000, 5)
+	b := a.Fork()
+	b.Release()
+	// a's next write must not COW (sole owner again).
+	before := a.CopyEvents
+	a.StoreWord(0x3000, 6)
+	if a.CopyEvents != before {
+		t.Fatal("write after sibling Release performed a COW copy")
+	}
+	if v, _ := a.LoadWord(0x3000); v != 6 {
+		t.Fatalf("read-back = %d, want 6", v)
+	}
+}
+
+// TestFetchInstMatchesDecode cross-checks the predecode cache against a
+// plain load+decode for a page of mixed instructions.
+func TestFetchInstMatchesDecode(t *testing.T) {
+	m := New()
+	words := []uint32{
+		enc(t, isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 2, Imm: 1}),
+		enc(t, isa.Inst{Op: isa.OpLW, Rd: 3, Rs1: 29, Imm: 4}),
+		enc(t, isa.Inst{Op: isa.OpBNE, Rs1: 2, Rs2: 3, Imm: -2}),
+		enc(t, isa.Inst{Op: isa.OpSYSCALL}),
+		0xffff_ffff, // undecodable
+	}
+	base := uint32(0x4000)
+	for i, w := range words {
+		m.StoreWord(base+uint32(i*4), w)
+	}
+	for i := range words {
+		addr := base + uint32(i*4)
+		in, err := m.FetchInst(addr)
+		w, _ := m.LoadWord(addr)
+		want, wantErr := isa.Decode(w)
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("word %d: err %v, want %v", i, err, wantErr)
+		}
+		if err == nil && in != want {
+			t.Fatalf("word %d: %v, want %v", i, in, want)
+		}
+	}
+	// Misaligned fetch faults like a misaligned load.
+	if _, err := m.FetchInst(base + 2); err == nil {
+		t.Fatal("misaligned fetch did not fault")
+	}
+}
+
+// TestFetchInstSelfModifyingCode overwrites an already-fetched (and
+// therefore predecoded) instruction and checks the cache invalidates:
+// the next fetch must observe the new instruction.
+func TestFetchInstSelfModifyingCode(t *testing.T) {
+	m := New()
+	base := uint32(0x5000)
+	m.StoreWord(base, enc(t, isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: 1}))
+
+	in, err := m.FetchInst(base)
+	if err != nil || in.Op != isa.OpADDI {
+		t.Fatalf("first fetch = %v, %v", in, err)
+	}
+	// Overwrite through the (now warm) write path.
+	m.StoreWord(base, enc(t, isa.Inst{Op: isa.OpSUB, Rd: 4, Rs1: 4, Rs2: 4}))
+	in, err = m.FetchInst(base)
+	if err != nil || in.Op != isa.OpSUB {
+		t.Fatalf("fetch after overwrite = %v, %v (predecode cache stale)", in, err)
+	}
+	// Byte stores invalidate too.
+	m.StoreByte(base+3, 0xff)
+	if _, err = m.FetchInst(base); err == nil {
+		t.Fatal("fetch after byte clobber decoded a stale instruction")
+	}
+}
+
+// TestFetchInstCowDoesNotLeakPredecode forks after predecoding and checks
+// that the child's overwrite neither corrupts the parent's decoded view
+// nor survives in the child's own.
+func TestFetchInstCowDoesNotLeakPredecode(t *testing.T) {
+	parent := New()
+	base := uint32(0x6000)
+	parent.StoreWord(base, enc(t, isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: 1}))
+	if in, _ := parent.FetchInst(base); in.Op != isa.OpADDI {
+		t.Fatal("parent predecode wrong")
+	}
+	child := parent.Fork()
+	child.StoreWord(base, enc(t, isa.Inst{Op: isa.OpSUB, Rd: 4, Rs1: 4, Rs2: 4}))
+
+	if in, _ := child.FetchInst(base); in.Op != isa.OpSUB {
+		t.Fatal("child fetch did not see its own write")
+	}
+	if in, _ := parent.FetchInst(base); in.Op != isa.OpADDI {
+		t.Fatal("parent fetch sees child's write")
+	}
+}
+
+// TestFetchInstUnmaterializedPage checks fetching from a page no one has
+// written: words read as zero, which decode as the all-zero instruction,
+// and the page must not be materialized by fetching.
+func TestFetchInstUnmaterializedPage(t *testing.T) {
+	m := New()
+	in, err := m.FetchInst(0x9000)
+	want, wantErr := isa.Decode(0)
+	if (err == nil) != (wantErr == nil) {
+		t.Fatalf("err %v, want %v", err, wantErr)
+	}
+	if err == nil && in != want {
+		t.Fatalf("inst %v, want %v", in, want)
+	}
+	if m.Pages() != 0 {
+		t.Fatalf("fetch materialized %d pages", m.Pages())
+	}
+}
+
+// TestCachingToggleEquivalence runs the same access sequence with caching
+// on and off and requires identical observable results.
+func TestCachingToggleEquivalence(t *testing.T) {
+	run := func(caching bool) []uint32 {
+		m := New()
+		m.SetCaching(caching)
+		var out []uint32
+		base := uint32(0x7000)
+		m.StoreWord(base, enc(t, isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 2, Imm: 3}))
+		for i := 0; i < 4; i++ {
+			in, err := m.FetchInst(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, uint32(in.Op), uint32(in.Imm))
+			m.StoreWord(base+uint32(4+4*i), uint32(i))
+			v, _ := m.LoadWord(base + uint32(4+4*i))
+			out = append(out, v)
+		}
+		child := m.Fork()
+		child.StoreWord(base, 0)
+		v1, _ := m.LoadWord(base)
+		v2, _ := child.LoadWord(base)
+		out = append(out, v1, v2, uint32(m.CopyEvents), uint32(child.CopyEvents))
+		return out
+	}
+	on, off := run(true), run(false)
+	if len(on) != len(off) {
+		t.Fatalf("length mismatch %d vs %d", len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("divergence at %d: cached %d, uncached %d", i, on[i], off[i])
+		}
+	}
+}

@@ -177,11 +177,14 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 				used += cost.SharedCheck
 			}
 			ct := e.cache.Lookup(p.Regs.PC)
+			e.cache.RecordLookup(ct != nil)
 			if ct == nil {
 				var tr *jit.Trace
 				sharedHit := false
 				if e.Shared != nil {
-					if st, ok := e.Shared.Lookup(p.Regs.PC); ok && !st.ContainsBeyondHead(e.SplitPC) {
+					st, ok := e.Shared.Lookup(p.Regs.PC)
+					e.Shared.RecordLookup(ok)
+					if ok && !st.ContainsBeyondHead(e.SplitPC) {
 						tr = st
 						sharedHit = true
 					}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Repository check gate: static checks, the full test suite, and the
+# race-detector pass over the parallel experiment harness.
+#
+#   scripts/check.sh          # everything below
+#
+# Intended to be the single command CI runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel harness) =="
+go test -race ./internal/bench/...
+
+echo "ok"
