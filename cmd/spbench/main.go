@@ -7,6 +7,8 @@
 //	spbench -csv out/            # also write out/fig3.csv etc.
 //	spbench -j 8                 # fan runs out over 8 host workers
 //	spbench -hostjson BENCH_host.json  # also write host-perf metrics
+//	spbench -trace-dir traces/   # write per-benchmark Chrome trace JSON
+//	spbench -exp obssmoke        # verify trace invariants end to end
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
 // (the default) uses the SPBENCH_J environment variable when set, else
@@ -15,6 +17,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +56,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -61,8 +64,12 @@ func run(args []string) error {
 		csvDir     = fs.String("csv", "", "directory to also write <experiment>.csv files into")
 		jobs       = fs.Int("j", 0, "host worker-pool size (0 = $SPBENCH_J, else GOMAXPROCS; 1 = serial)")
 		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
+		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 
@@ -70,6 +77,7 @@ func run(args []string) error {
 	cfg.Scale = *scale
 	cfg.MaxSlices = *maxSlices
 	cfg.Workers = *jobs
+	cfg.TraceDir = *traceDir
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -199,6 +207,27 @@ func run(args []string) error {
 		}
 		if err := emit("ablation_throttle", tt); err != nil {
 			return err
+		}
+		ran = true
+	}
+	if *exp == "obssmoke" {
+		reports, err := bench.RunObsSmoke(cfg, bench.Icount1)
+		if err != nil {
+			return err
+		}
+		t := report.New("Observability smoke: trace invariants per benchmark",
+			"benchmark", "events", "slices", "verdict")
+		for _, r := range reports {
+			t.Row(r.Name, r.Events, r.Slices, "ok")
+		}
+		if err := emit("obssmoke", t); err != nil {
+			return err
+		}
+		if len(reports) > 0 {
+			fmt.Println("invariants checked:")
+			for _, c := range reports[0].Checks {
+				fmt.Println("  -", c)
+			}
 		}
 		ran = true
 	}

@@ -55,6 +55,54 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuchflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+}
+
+// TestRunObsSmokeExperiment: -exp obssmoke traces each benchmark and
+// verifies the invariants; -trace-dir makes fig runs write Chrome JSON.
+func TestRunObsSmokeExperiment(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "obssmoke", "-scale", "0.02", "-benchmarks", "gzip", "-csv", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "obssmoke.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty obssmoke CSV")
+	}
+}
+
+func TestRunTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig3", "-scale", "0.02", "-benchmarks", "gzip", "-trace-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "gzip.icount1.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) == 0 {
+		t.Fatal("trace has no events")
+	}
+}
+
 func TestRunUnknownBenchmark(t *testing.T) {
 	if err := run([]string{"-exp", "fig3", "-scale", "0.01", "-benchmarks", "nope"}); err == nil {
 		t.Fatal("unknown benchmark accepted")

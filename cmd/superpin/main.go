@@ -12,9 +12,16 @@
 //
 // Tools: icount1, icount2, dcache, acache (set-associative LRU), itrace,
 // branchprof, opmix, sampler, bbcount, callprof, memprofile.
+//
+// Observability: -trace out.json writes the measured run's event stream
+// as Chrome trace-format JSON (loadable in Perfetto; any other file
+// extension gets the plain-text log), and -metrics out.json writes the
+// run's metrics registry snapshot. Both are off by default and cost
+// nothing when off.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"superpin/internal/asm"
 	"superpin/internal/core"
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 	"superpin/internal/tools"
 	"superpin/internal/workload"
@@ -52,6 +60,11 @@ func run(args []string) error {
 		timeline   = fs.Bool("timeline", false, "print an ASCII schedule of the run (paper Figure 1)")
 		detector   = fs.String("detector", "state", "boundary detector: state (paper Section 4.4) | iphistory (the rejected alternative)")
 		threads    = fs.Bool("threads", false, "enable deterministic thread replay for multithreaded guests (Section 8)")
+		tracePath  = fs.String("trace", "", "write the measured run's event trace to this file (.json = Chrome trace format for Perfetto, else plain text)")
+		metricsOut = fs.String("metrics", "", "write the measured run's metrics registry to this file as JSON")
+		cacheBytes = fs.Int("cachebytes", 1<<14, "dcache/acache total size in bytes")
+		lineBytes  = fs.Int("linebytes", 32, "dcache/acache line size in bytes")
+		ways       = fs.Int("ways", 4, "acache associativity")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
@@ -59,6 +72,11 @@ func run(args []string) error {
 		fmt.Fprintln(os.Stderr, "\nbenchmarks:", strings.Join(workload.Names(), " "))
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// flag.ContinueOnError has already printed the problem and the
+		// usage text; returning the error makes main exit non-zero.
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -77,9 +95,27 @@ func run(args []string) error {
 	kcfg.Hyperthreading = *ht
 	kcfg.MaxCycles = 500_000_000_000
 
-	factory, err := makeTool(*toolName, *budget)
+	factory, err := makeTool(*toolName, toolConfig{
+		samplerBudget: *budget,
+		cacheBytes:    *cacheBytes,
+		lineBytes:     *lineBytes,
+		ways:          *ways,
+	})
 	if err != nil {
 		return err
+	}
+
+	// The tracer and metrics registry attach to the measured run only;
+	// the -compare native run stays untraced (each run has its own
+	// kernel and PID space, so mixing their events in one stream would
+	// be incoherent).
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var metrics *obs.Metrics
+	if *metricsOut != "" {
+		metrics = obs.NewMetrics()
 	}
 
 	var nativeTime kernel.Cycles
@@ -96,7 +132,9 @@ func run(args []string) error {
 	if *sp == 0 {
 		pcost := pin.DefaultCost()
 		pcost.MemSurcharge = spec.PinMemCost
-		res, err := core.RunPin(kcfg, prog, factory, pcost)
+		pcfg := kcfg
+		pcfg.Trace = tracer
+		res, err := core.RunPin(pcfg, prog, factory, pcost)
 		if err != nil {
 			return fmt.Errorf("pin run: %w", err)
 		}
@@ -105,7 +143,8 @@ func run(args []string) error {
 		if nativeTime > 0 {
 			fmt.Printf("relative: %.1f%% of native\n", 100*float64(res.Time)/float64(nativeTime))
 		}
-		return nil
+		core.PublishPinMetrics(metrics, res)
+		return writeObsOutputs(*tracePath, tracer, *metricsOut, metrics)
 	}
 
 	opts := core.DefaultOptions()
@@ -124,6 +163,8 @@ func run(args []string) error {
 	}
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.NativeMemSurcharge = spec.NativeMemCost
+	opts.Trace = tracer
+	opts.Metrics = metrics
 	res, err := core.Run(kcfg, prog, factory, opts)
 	if err != nil {
 		return fmt.Errorf("superpin run: %w", err)
@@ -147,8 +188,47 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Timeline(100))
 	}
+	if err := writeObsOutputs(*tracePath, tracer, *metricsOut, metrics); err != nil {
+		return err
+	}
 	if res.Err != nil {
 		return fmt.Errorf("run completed with slice errors: %w", res.Err)
+	}
+	return nil
+}
+
+// writeObsOutputs writes the requested trace and metrics files.
+func writeObsOutputs(tracePath string, tracer *obs.Tracer, metricsPath string, metrics *obs.Metrics) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		events := tracer.Events()
+		if strings.HasSuffix(tracePath, ".json") {
+			err = obs.WriteChromeTrace(f, events)
+		} else {
+			err = obs.WriteText(f, events)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		err = metrics.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
 	}
 	return nil
 }
@@ -178,17 +258,35 @@ func loadApp(app string, scale float64) (*asm.Program, workload.Spec, error) {
 	return nil, workload.Spec{}, fmt.Errorf("unknown application %q (not a catalog benchmark or .svasm file)", app)
 }
 
-// makeTool builds the named tool's per-process factory.
-func makeTool(name string, samplerBudget int) (core.ToolFactory, error) {
+// toolConfig carries the user-supplied tool parameters.
+type toolConfig struct {
+	samplerBudget int
+	cacheBytes    int
+	lineBytes     int
+	ways          int
+}
+
+// makeTool builds the named tool's per-process factory. Invalid tool
+// parameters (cache geometry, sampler budget) come back as errors, which
+// main reports on stderr with a non-zero exit.
+func makeTool(name string, tc toolConfig) (core.ToolFactory, error) {
 	switch name {
 	case "icount1":
 		return tools.NewIcount1(os.Stdout).Factory(), nil
 	case "icount2":
 		return tools.NewIcount2(os.Stdout).Factory(), nil
 	case "dcache":
-		return tools.NewDCache(1<<14, 32, os.Stdout).Factory(), nil
+		d, err := tools.NewDCache(tc.cacheBytes, tc.lineBytes, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		return d.Factory(), nil
 	case "acache":
-		return tools.NewACache(1<<15, 32, 4, os.Stdout).Factory(), nil
+		a, err := tools.NewACache(tc.cacheBytes, tc.lineBytes, tc.ways, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		return a.Factory(), nil
 	case "itrace":
 		tl := tools.NewITrace(nil) // keep the trace in memory; print a summary
 		return wrapITrace(tl), nil
@@ -197,7 +295,11 @@ func makeTool(name string, samplerBudget int) (core.ToolFactory, error) {
 	case "opmix":
 		return tools.NewOpMix(os.Stdout).Factory(), nil
 	case "sampler":
-		return tools.NewSampler(samplerBudget, os.Stdout).Factory(), nil
+		s, err := tools.NewSampler(tc.samplerBudget, os.Stdout)
+		if err != nil {
+			return nil, err
+		}
+		return s.Factory(), nil
 	case "bbcount":
 		return tools.NewBBCount(os.Stdout).Factory(), nil
 	case "callprof":

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -13,11 +14,25 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-t", "nosuchtool", "--", "gzip"},  // unknown tool
 		{"--", "nosuchbench"},               // unknown app
 		{"-sp", "1", "--", "missing.svasm"}, // missing file
+		{"-nosuchflag", "--", "gzip"},       // unknown flag
+		{"-sp", "banana", "--", "gzip"},     // unparsable flag value
+		{"-t", "dcache", "-cachebytes", "1000", "--", "gzip"},   // bad geometry
+		{"-t", "acache", "-linebytes", "48", "--", "gzip"},      // line not power of two
+		{"-t", "sampler", "-sampler-budget", "0", "--", "gzip"}, // bad budget
+		{"-t", "acache", "-ways", "0", "--", "gzip"},            // bad associativity
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+// TestRunHelpIsNotAnError: -h prints usage via flag.ContinueOnError and
+// must exit zero, unlike a genuinely bad flag.
+func TestRunHelpIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("run(-h): %v", err)
 	}
 }
 
@@ -55,10 +70,88 @@ loop:
 }
 
 func TestMakeToolAllNames(t *testing.T) {
+	tc := toolConfig{samplerBudget: 100, cacheBytes: 1 << 14, lineBytes: 32, ways: 4}
 	for _, name := range []string{"icount1", "icount2", "dcache", "acache", "itrace",
 		"branchprof", "opmix", "sampler", "bbcount", "callprof", "memprofile"} {
-		if _, err := makeTool(name, 100); err != nil {
+		if _, err := makeTool(name, tc); err != nil {
 			t.Errorf("makeTool(%q): %v", name, err)
 		}
+	}
+}
+
+// TestRunTraceAndMetricsOutput: -trace must emit valid Chrome trace JSON
+// with per-track non-decreasing timestamps, and -metrics valid JSON.
+func TestRunTraceAndMetricsOutput(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	args := []string{"-t", "icount2", "-scale", "0.01", "-spmsec", "50",
+		"-compare=false", "-trace", trace, "-metrics", metrics, "--", "gzip"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			PID int     `json:"pid"`
+			TID int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	last := map[[2]int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		key := [2]int{ev.PID, ev.TID}
+		if ev.Ts < last[key] {
+			t.Fatalf("track %v went backwards: %v after %v", key, ev.Ts, last[key])
+		}
+		last[key] = ev.Ts
+	}
+
+	mraw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(mraw, &m); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v", err)
+	}
+	if len(m) == 0 {
+		t.Fatal("metrics registry is empty")
+	}
+}
+
+// TestRunPinModeTrace: the -sp 0 serial-Pin path must also honour -trace.
+func TestRunPinModeTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "pin.json")
+	args := []string{"-t", "icount1", "-sp", "0", "-scale", "0.01",
+		"-compare=false", "-trace", trace, "--", "gzip"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("pin trace is not valid JSON: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) == 0 {
+		t.Fatal("pin trace has no events")
 	}
 }

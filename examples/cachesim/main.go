@@ -37,7 +37,10 @@ func main() {
 
 	const cacheBytes, lineBytes = 1 << 14, 32
 
-	serial := tools.NewDCache(cacheBytes, lineBytes, nil)
+	serial, err := tools.NewDCache(cacheBytes, lineBytes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pinCost := pin.DefaultCost()
 	pinCost.MemSurcharge = spec.PinMemCost
 	if _, err := core.RunPin(cfg, prog, serial.Factory(), pinCost); err != nil {
@@ -46,7 +49,10 @@ func main() {
 	fmt.Printf("serial pin:  %d hits, %d misses (%.2f%% hit rate)\n",
 		serial.Hits(), serial.Misses(), hitRate(serial.Hits(), serial.Misses()))
 
-	parallel := tools.NewDCache(cacheBytes, lineBytes, nil)
+	parallel, err := tools.NewDCache(cacheBytes, lineBytes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := core.DefaultOptions()
 	opts.SliceMSec = 200
 	opts.PinCost.MemSurcharge = spec.SliceMemCost

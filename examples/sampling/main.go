@@ -53,7 +53,10 @@ func main() {
 	}
 
 	// Sampled profiling: 500 instructions per slice, then SP_EndSlice.
-	sampler := tools.NewSampler(500, nil)
+	sampler, err := tools.NewSampler(500, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sampRes, err := core.Run(cfg, prog, sampler.Factory(), opts)
 	if err != nil {
 		log.Fatal(err)

@@ -18,9 +18,12 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"superpin/internal/core"
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 	"superpin/internal/tools"
 	"superpin/internal/workload"
@@ -69,6 +72,10 @@ type Config struct {
 	// image and engine, and results are collected in catalog order, so
 	// output is byte-identical for every Workers value.
 	Workers int
+	// TraceDir, when non-empty, attaches a tracer to every SuperPin run
+	// and writes each run's Chrome trace-format JSON (loadable in
+	// Perfetto) to <TraceDir>/<benchmark>.<tool>.trace.json.
+	TraceDir string
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -182,10 +189,18 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	opts.PinCost = cfg.PinCost
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.NativeMemSurcharge = spec.NativeMemCost
+	if cfg.TraceDir != "" {
+		opts.Trace = obs.NewTracer()
+	}
 	spTool := newTool(kind)
 	spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: superpin: %w", spec.Name, err)
+	}
+	if cfg.TraceDir != "" {
+		if err := writeTrace(cfg.TraceDir, spec.Name, kind, opts.Trace); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", spec.Name, err)
+		}
 	}
 	if spRes.Err != nil {
 		return nil, fmt.Errorf("bench %s: superpin: %w", spec.Name, spRes.Err)
@@ -207,6 +222,23 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	r.SPPct = 100 * float64(r.SP) / float64(r.Native)
 	r.Speedup = float64(r.Pin) / float64(r.SP)
 	return r, nil
+}
+
+// writeTrace writes one SuperPin run's Chrome trace into dir.
+func writeTrace(dir, name string, kind ToolKind, tr *obs.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s.%s.trace.json", name, kind))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // RunSuite measures every configured benchmark with the given tool,

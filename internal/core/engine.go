@@ -10,6 +10,7 @@ import (
 	"superpin/internal/jit"
 	"superpin/internal/kernel"
 	"superpin/internal/mem"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 )
 
@@ -142,6 +143,14 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
+	// One tracer serves the whole run: reconcile the two attachment
+	// points so kernel events (processes, scheduling) and core events
+	// (slice lifecycle) land in the same stream.
+	if opts.Trace == nil {
+		opts.Trace = cfg.Trace
+	} else {
+		cfg.Trace = opts.Trace
+	}
 	k := kernel.New(cfg)
 	e := &Engine{k: k, opts: opts, factory: factory}
 	if opts.SharedCodeCache {
@@ -240,6 +249,7 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 			fmt.Errorf("core: only %d of %d slices merged", e.mergedThrough, len(e.slices)))
 	}
 	res.Err = errors.Join(e.errs...)
+	e.publishMetrics(res)
 
 	if fin, ok := e.masterTool.(Finisher); ok {
 		fin.Fini(e.exitCode)
@@ -414,6 +424,10 @@ func (e *Engine) doFork(kind boundaryKind) {
 	}
 
 	sl.proc = e.k.Fork(e.master, fmt.Sprintf("slice%d", num), runner, false)
+	if e.opts.Trace != nil {
+		sl.eng.AttachObs(e.opts.Trace, int32(sl.proc.PID))
+	}
+	e.emit(obs.EvSliceSpawn, sl.proc.PID, uint64(num), 0, kind.String())
 	cost := e.k.Config().Cost
 	if kind == boundaryTimeout {
 		// Timer-driven spawns go through the trampoline: redirect the
@@ -530,6 +544,7 @@ func (e *Engine) onSliceDone(sl *slice) {
 		s.ctl.autoMerge()
 		e.mergedThrough++
 		e.endTime = e.k.Now
+		e.emit(obs.EvSliceMerge, s.proc.PID, uint64(s.num), 0, "")
 	}
 
 	if e.pendingFork && e.runningCount < e.opts.MaxSlices && !e.masterExited {

@@ -118,6 +118,79 @@ func TestTimelineEmptyAndNarrow(t *testing.T) {
 	}
 }
 
+// TestTimelineDegenerateInputs: Timeline must stay well-formed — every
+// row the same width, no panics — for hostile widths and Results whose
+// fields are inconsistent (zero duration, events past TotalTime, more
+// slices than columns, out-of-order slice phases).
+func TestTimelineDegenerateInputs(t *testing.T) {
+	manySlices := make([]SliceInfo, 50)
+	for i := range manySlices {
+		manySlices[i] = SliceInfo{
+			Num:   i + 1,
+			Start: kernel.Cycles(i * 10),
+			Woke:  kernel.Cycles(i*10 + 5),
+			End:   kernel.Cycles(i*10 + 9),
+		}
+	}
+	cases := []struct {
+		name  string
+		res   *Result
+		width int
+	}{
+		{"zero width", &Result{TotalTime: 100, MasterEnd: 80}, 0},
+		{"negative width", &Result{TotalTime: 100, MasterEnd: 80}, -7},
+		{"zero-duration run", &Result{}, 80},
+		{"master past total", &Result{TotalTime: 50, MasterEnd: 500}, 40},
+		{"slice end past total", &Result{
+			TotalTime: 100, MasterEnd: 90,
+			Slices: []SliceInfo{{Num: 1, Start: 10, Woke: 20, End: 4000}},
+		}, 40},
+		{"woke before start", &Result{
+			TotalTime: 100, MasterEnd: 90,
+			Slices: []SliceInfo{{Num: 1, Start: 50, Woke: 10, End: 60}},
+		}, 40},
+		{"end before start", &Result{
+			TotalTime: 100, MasterEnd: 90,
+			Slices: []SliceInfo{{Num: 1, Start: 50, Woke: 50, End: 10}},
+		}, 40},
+		{"more slices than columns", &Result{
+			TotalTime: 500, MasterEnd: 490, Slices: manySlices,
+		}, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.res.Timeline(tc.width)
+			if got == "" {
+				t.Fatal("empty rendering")
+			}
+			if tc.res.TotalTime == 0 && tc.res.MasterEnd == 0 && len(tc.res.Slices) == 0 {
+				if !strings.Contains(got, "empty") {
+					t.Fatalf("zero-duration run should render the empty marker, got %q", got)
+				}
+				return
+			}
+			lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+			if !strings.HasPrefix(lines[0], "master") {
+				t.Fatalf("first row %q", lines[0])
+			}
+			rowLen := len(lines[0])
+			rows := 1
+			for _, ln := range lines[1:] {
+				if !strings.HasPrefix(ln, "S") {
+					continue // legend
+				}
+				rows++
+				if len(ln) != rowLen {
+					t.Fatalf("ragged row (%d cells, want %d): %q", len(ln), rowLen, ln)
+				}
+			}
+			if rows != 1+len(tc.res.Slices) {
+				t.Fatalf("%d rows for %d slices", rows, len(tc.res.Slices))
+			}
+		})
+	}
+}
+
 // TestAlwaysFullCheckStillExact verifies the ablation mode is a pure
 // performance change.
 func TestAlwaysFullCheckStillExact(t *testing.T) {

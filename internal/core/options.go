@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 )
 
@@ -130,6 +131,16 @@ type Options struct {
 	// NativeMemSurcharge is the per-memory-instruction cost of the
 	// uninstrumented application (per-benchmark cache behavior).
 	NativeMemSurcharge kernel.Cycles
+
+	// Trace, when non-nil, receives the run's structured event stream
+	// (slice lifecycle, signature checks, and — propagated into the
+	// kernel configuration — process and scheduling events). Nil, the
+	// default, costs a pointer check per emission site.
+	Trace *obs.Tracer
+
+	// Metrics, when non-nil, receives the run's statistics (core, pin
+	// engine, code cache, kernel aggregates) at the end of Run.
+	Metrics *obs.Metrics
 }
 
 // DefaultOptions returns the paper's default switch settings.

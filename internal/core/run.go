@@ -86,6 +86,9 @@ func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost p
 	}
 
 	p := k.Spawn("pin", m, regs, e)
+	if cfg.Trace != nil {
+		e.AttachObs(cfg.Trace, int32(p.PID))
+	}
 	if err := k.Run(); err != nil {
 		return nil, err
 	}

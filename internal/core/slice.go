@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 )
 
@@ -114,6 +115,9 @@ func (sl *slice) playbackFilter(e *Engine) pin.SyscallFilter {
 		p.SyscallCount++
 		if sl.nextRec == len(sl.records) &&
 			(sl.boundary == boundarySyscall || sl.boundary == boundaryExit) {
+			// The final record is a syscall- or exit-bounded slice's end
+			// boundary: replaying it is the detection event.
+			e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 			return true, playbackCost, kernel.StopExit
 		}
 		return true, playbackCost, kernel.StopBudget
@@ -141,9 +145,12 @@ func (sl *slice) detectionInstrumenter(e *Engine) func(*pin.Trace) {
 			}
 			if match {
 				sl.endDetected = true
+				e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
+				e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 				c.RequestStop()
 			} else {
 				e.stats.FalseQuickMatches++
+				e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
 			}
 		}
 		for _, bbl := range tr.Bbls() {
@@ -196,9 +203,12 @@ func (sl *slice) ipHistoryInstrumenter(e *Engine) func(*pin.Trace) {
 						e.stats.FullChecks++
 						if sl.ipRing.MatchesSnapshot(sig.IPs) {
 							sl.endDetected = true
+							e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
+							e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 							c.RequestStop()
 						} else {
 							e.stats.FalseQuickMatches++
+							e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
 						}
 					})
 				}

@@ -5,6 +5,7 @@ import (
 
 	"superpin/internal/cpu"
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 	"superpin/internal/pin"
 )
 
@@ -106,6 +107,7 @@ func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cyc
 				if r.active != 0 {
 					r.contexts[r.active] = p.Regs
 				}
+				r.e.emit(obs.EvSliceDetect, r.sl.proc.PID, uint64(r.sl.num), 0, "")
 				return used, kernel.StopExit
 			}
 			b := r.sl.bursts[r.cursor]

@@ -22,16 +22,33 @@ import (
 //	.  not alive    _  master exited, pipeline draining
 //
 // width is the number of character cells the total runtime is scaled to
-// (minimum 20). The rendering is approximate at one cell's resolution.
+// (minimum 20; non-positive widths get the minimum). The rendering is
+// approximate at one cell's resolution — with more slices than columns,
+// rows degenerate to a cell or two each but stay well-formed.
 func (r *Result) Timeline(width int) string {
 	if width < 20 {
 		width = 20
 	}
+	// Scale to the furthest event we will draw, not just TotalTime: a
+	// degenerate Result (hand-built, or a run that errored mid-merge) can
+	// carry slice End times or a MasterEnd past TotalTime, and clamping
+	// them all into the last cell would render overlapping garbage.
 	total := r.TotalTime
+	if r.MasterEnd > total {
+		total = r.MasterEnd
+	}
+	for _, si := range r.Slices {
+		if si.End > total {
+			total = si.End
+		}
+	}
 	if total == 0 {
 		return "(empty run)\n"
 	}
 	cell := func(t kernel.Cycles) int {
+		if t > total {
+			t = total
+		}
 		c := int(uint64(t) * uint64(width) / uint64(total))
 		if c >= width {
 			c = width - 1
@@ -59,6 +76,12 @@ func (r *Result) Timeline(width int) string {
 			row[i] = '.'
 		}
 		start, woke, end := cell(si.Start), cell(si.Woke), cell(si.End)
+		if woke < start {
+			woke = start
+		}
+		if end < start {
+			end = start
+		}
 		for i := start; i <= end && i < width; i++ {
 			switch {
 			case i < woke:

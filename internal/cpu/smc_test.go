@@ -1,0 +1,134 @@
+package cpu
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// encode returns the machine word for in or fails the test.
+func encode(t *testing.T, in isa.Inst) uint32 {
+	t.Helper()
+	w, err := isa.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// step fetches and executes one instruction through the cached fetch
+// path, exactly as the kernel's quantum loop does.
+func step(t *testing.T, r *Regs, m *mem.Memory) {
+	t.Helper()
+	in, err := Fetch(r, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(r, m, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterpStoreIntoExecutingPageSameQuantum is the predecode-cache
+// regression test for self-modifying code within one quantum: a store
+// into the page the interpreter is currently executing from — the page
+// whose decoded view is sitting in the fetch TLB — must be visible to
+// the very next fetch. The program overwrites its own third instruction
+// and then runs into it.
+func TestInterpStoreIntoExecutingPageSameQuantum(t *testing.T) {
+	m := mem.New()
+	r := &Regs{PC: 0x1000}
+
+	// r1 = new instruction word (ADDI r6, r0, 99); r2 = patch address.
+	newWord := encode(t, isa.Inst{Op: isa.OpADDI, Rd: 6, Imm: 99})
+	r.R[1] = newWord
+	r.R[2] = 0x1008
+
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 5, Imm: 7},       // 0x1000: unrelated work
+		{Op: isa.OpSW, Rd: 1, Rs1: 2, Imm: 0}, // 0x1004: patch 0x1008
+		{Op: isa.OpADDI, Rd: 6, Imm: 1},       // 0x1008: overwritten above
+	}
+	for i, in := range prog {
+		if f := m.StoreWord(0x1000+uint32(i*4), encode(t, in)); f != nil {
+			t.Fatal(f)
+		}
+	}
+
+	// Prime the predecode cache and fetch TLB on the page, as if the
+	// quantum had been executing here for a while: the stale view now
+	// holds the original instruction at 0x1008.
+	if in, err := m.FetchInst(0x1008); err != nil || in.Imm != 1 {
+		t.Fatalf("pre-patch fetch = %v, %v", in, err)
+	}
+
+	for i := 0; i < len(prog); i++ {
+		step(t, r, m)
+	}
+	if r.R[6] != 99 {
+		t.Fatalf("r6 = %d, want 99: fetch served the stale predecoded instruction", r.R[6])
+	}
+	if r.R[5] != 7 {
+		t.Fatalf("r5 = %d, want 7", r.R[5])
+	}
+}
+
+// TestInterpCowForkAfterStoreNoSharedStaleView is the fork-direction
+// regression test: a store immediately before Fork clears the page's
+// predecoded view; after the fork, each side rebuilds and modifies its
+// own view independently. The child patches the shared code page
+// (forcing a copy-on-write duplication) and must execute its patched
+// instruction while the parent, whose fetch TLB was warmed on the page
+// before the fork, keeps executing the original.
+func TestInterpCowForkAfterStoreNoSharedStaleView(t *testing.T) {
+	parent := mem.New()
+	base := uint32(0x2000)
+
+	// The store that writes the program is itself the "store before
+	// fork": it leaves the page without a predecoded view.
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 5, Imm: 3}, // base: result register
+		{Op: isa.OpADDI, Rd: 6, Imm: 4}, // base+4
+	}
+	for i, in := range prog {
+		if f := parent.StoreWord(base+uint32(i*4), encode(t, in)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	// Warm the parent's predecode cache + fetch TLB on the page.
+	if _, err := parent.FetchInst(base); err != nil {
+		t.Fatal(err)
+	}
+
+	child := parent.Fork()
+
+	// The child patches base through a guest store (COW duplication),
+	// then both sides execute the two instructions.
+	pr := &Regs{PC: base}
+	cr := &Regs{PC: base - 4}
+	cr.R[1] = encode(t, isa.Inst{Op: isa.OpADDI, Rd: 5, Imm: 42})
+	cr.R[2] = base
+	if f := child.StoreWord(base-4, encode(t, isa.Inst{Op: isa.OpSW, Rd: 1, Rs1: 2, Imm: 0})); f != nil {
+		t.Fatal(f)
+	}
+
+	step(t, cr, child) // SW: patch base (copy-on-write of the shared code page)
+	if child.CopyEvents == 0 {
+		t.Fatal("child's patch did not copy-on-write the shared code page")
+	}
+	step(t, cr, child) // patched ADDI at base
+	step(t, cr, child) // ADDI at base+4
+	step(t, pr, parent)
+	step(t, pr, parent)
+
+	if cr.R[5] != 42 {
+		t.Fatalf("child r5 = %d, want 42: child executed a stale shared view", cr.R[5])
+	}
+	if pr.R[5] != 3 {
+		t.Fatalf("parent r5 = %d, want 3: parent's view was corrupted by the child's patch", pr.R[5])
+	}
+	if cr.R[6] != 4 || pr.R[6] != 4 {
+		t.Fatalf("unpatched instruction diverged: child r6=%d parent r6=%d", cr.R[6], pr.R[6])
+	}
+}

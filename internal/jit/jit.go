@@ -15,6 +15,7 @@ import (
 
 	"superpin/internal/isa"
 	"superpin/internal/mem"
+	"superpin/internal/obs"
 )
 
 // Limits on trace construction, matching the spirit of Pin's trace
@@ -252,6 +253,14 @@ type CodeCache struct {
 	// unlimited.
 	Capacity int
 
+	// Trace, when non-nil, receives EvCompile/EvCacheFlush events. PID
+	// identifies the owning process and Now is the virtual timestamp;
+	// both are maintained by the owning engine before it drives the
+	// cache (the cache itself has no notion of time).
+	Trace *obs.Tracer
+	PID   int32
+	Now   uint64
+
 	traces   map[uint32]*CompiledTrace
 	resident int
 	stats    CacheStats
@@ -291,10 +300,22 @@ func (c *CodeCache) Insert(ct *CompiledTrace) {
 	c.resident += n
 	c.stats.Compiles++
 	c.stats.CompiledIns += uint64(n)
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{
+			Kind: obs.EvCompile, Time: c.Now, PID: c.PID, CPU: -1,
+			Arg: uint64(ct.Addr), Arg2: uint64(n),
+		})
+	}
 }
 
 // Flush discards every compiled trace.
 func (c *CodeCache) Flush() {
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{
+			Kind: obs.EvCacheFlush, Time: c.Now, PID: c.PID, CPU: -1,
+			Arg: uint64(c.resident),
+		})
+	}
 	c.traces = make(map[uint32]*CompiledTrace)
 	c.resident = 0
 	c.stats.Flushes++

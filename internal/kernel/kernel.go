@@ -29,6 +29,7 @@ import (
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
 	"superpin/internal/mem"
+	"superpin/internal/obs"
 )
 
 // Config describes the simulated machine.
@@ -45,6 +46,10 @@ type Config struct {
 	Seed uint64
 	// MaxCycles aborts the simulation if the clock passes it (0 = none).
 	MaxCycles Cycles
+	// Trace, when non-nil, receives structured events for every process
+	// lifecycle transition, syscall stop and (coalesced) CPU-occupancy
+	// interval. Nil — the default — costs one pointer check per site.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the paper's evaluation machine: 8 physical cores
@@ -81,6 +86,29 @@ type Kernel struct {
 	liveProcs int
 	randState uint64
 	guestErrs []error
+
+	// cpuSlots holds the coalesced per-context occupancy state for the
+	// tracer: one EvSchedule span is emitted per contiguous interval a
+	// process occupies a context, not one per quantum.
+	cpuSlots []cpuSlot
+}
+
+// cpuSlot is the current occupant of one CPU context (tracing only).
+type cpuSlot struct {
+	pid   PID
+	name  string
+	since Cycles
+}
+
+// emit records an instant event for p at the current virtual time.
+func (k *Kernel) emit(kind obs.Kind, p *Proc, arg uint64, name string) {
+	if k.cfg.Trace == nil {
+		return
+	}
+	k.cfg.Trace.Emit(obs.Event{
+		Kind: kind, Time: uint64(k.Now), PID: int32(p.PID), CPU: -1,
+		Arg: arg, Name: name,
+	})
 }
 
 // New creates a kernel for the given machine configuration.
@@ -129,6 +157,7 @@ func (k *Kernel) Spawn(name string, m *mem.Memory, regs cpu.Regs, r Runner) *Pro
 	k.procs = append(k.procs, p)
 	k.liveProcs++
 	k.enqueue(p)
+	k.emit(obs.EvProcSpawn, p, 0, name)
 	return p
 }
 
@@ -155,11 +184,13 @@ func (k *Kernel) Fork(parent *Proc, name string, r Runner, runnable bool) *Proc 
 	k.nextPID++
 	k.procs = append(k.procs, child)
 	k.liveProcs++
+	k.emit(obs.EvFork, child, uint64(parent.PID), name)
 	if runnable {
 		k.enqueue(child)
 	} else {
 		child.State = StateSleeping
 		child.sleepSince = k.Now
+		k.emit(obs.EvSleep, child, 0, "")
 	}
 	return child
 }
@@ -202,6 +233,7 @@ func (k *Kernel) SpawnThread(parent *Proc, entry, sp, arg uint32) *Proc {
 	k.procs = append(k.procs, child)
 	k.liveProcs++
 	k.enqueue(child)
+	k.emit(obs.EvProcSpawn, child, uint64(parent.PID), child.Name)
 	if k.ThreadHook != nil {
 		k.ThreadHook(parent, child)
 	}
@@ -229,6 +261,7 @@ func (k *Kernel) SleepProc(p *Proc) {
 	p.State = StateSleeping
 	p.sleepSince = k.Now
 	k.dequeue(p)
+	k.emit(obs.EvSleep, p, 0, "")
 }
 
 // Wake makes a sleeping process runnable again.
@@ -239,6 +272,7 @@ func (k *Kernel) Wake(p *Proc) {
 	p.SleepTime += k.Now - p.sleepSince
 	p.State = StateRunnable
 	k.enqueue(p)
+	k.emit(obs.EvWake, p, 0, "")
 }
 
 // Exit terminates p with the given exit code. Like exit_group(2), it
@@ -260,7 +294,10 @@ func (k *Kernel) Exit(p *Proc, code uint32) {
 func (k *Kernel) exitOne(p *Proc, code uint32) {
 	if p.State == StateSleeping {
 		p.SleepTime += k.Now - p.sleepSince
+		// Close the open sleep interval so exporters see balanced spans.
+		k.emit(obs.EvWake, p, 0, "")
 	}
+	k.emit(obs.EvProcExit, p, uint64(code), "")
 	p.State = StateExited
 	p.ExitCode = code
 	p.EndTime = k.Now
@@ -358,6 +395,12 @@ func (k *Kernel) Run() error {
 		k.Now += quantum
 	}
 	k.fireTimers() // flush anything scheduled exactly at the end
+	if k.cfg.Trace != nil {
+		for i := range k.cpuSlots {
+			k.flushCPUSlot(i)
+			k.cpuSlots[i] = cpuSlot{}
+		}
+	}
 	return errors.Join(k.guestErrs...)
 }
 
@@ -395,6 +438,9 @@ func (k *Kernel) runQuantum(quantum Cycles) {
 	}
 	running := make([]*Proc, n)
 	copy(running, k.runq[:n])
+	if k.cfg.Trace != nil {
+		k.traceSchedule(running)
+	}
 
 	// Contention factors: with R processes on P physical cores, every
 	// busy core suffers SMP memory contention; beyond P, pairs share
@@ -497,11 +543,47 @@ func (k *Kernel) runProc(p *Proc, budget Cycles) {
 	}
 }
 
+// traceSchedule updates the coalesced per-context occupancy state: a
+// span is flushed only when a context's occupant changes, so steady
+// states (the common case: queue order is stable while procs fit the
+// machine) cost no events per quantum.
+func (k *Kernel) traceSchedule(running []*Proc) {
+	if len(k.cpuSlots) < k.Contexts() {
+		k.cpuSlots = make([]cpuSlot, k.Contexts())
+	}
+	for i := range k.cpuSlots {
+		var pid PID
+		var name string
+		if i < len(running) {
+			pid, name = running[i].PID, running[i].Name
+		}
+		if k.cpuSlots[i].pid == pid {
+			continue
+		}
+		k.flushCPUSlot(i)
+		k.cpuSlots[i] = cpuSlot{pid: pid, name: name, since: k.Now}
+	}
+}
+
+// flushCPUSlot emits the pending occupancy span of context i, if any.
+func (k *Kernel) flushCPUSlot(i int) {
+	s := k.cpuSlots[i]
+	if s.pid == 0 || k.Now <= s.since {
+		return
+	}
+	k.cfg.Trace.Emit(obs.Event{
+		Kind: obs.EvSchedule, Time: uint64(s.since),
+		Dur: uint64(k.Now - s.since), PID: int32(s.pid), CPU: int32(i),
+		Name: s.name,
+	})
+}
+
 // handleSyscall services a trapped system call for p, including ptrace
 // hook delivery, returning the cycle cost to charge.
 func (k *Kernel) handleSyscall(p *Proc) Cycles {
 	sysno, args := SyscallArgs(p)
 	p.SyscallCount++
+	k.emit(obs.EvSyscall, p, uint64(sysno), SyscallName(sysno))
 	var total Cycles
 	if p.Hook != nil {
 		total += k.cfg.Cost.PtraceStop
@@ -524,6 +606,24 @@ func (k *Kernel) handleSyscall(p *Proc) Cycles {
 		k.Exit(p, out.Ret)
 	}
 	return total
+}
+
+// PublishMetrics publishes the kernel's aggregate accounting into m
+// under the "kernel." prefix. No-op when m is nil.
+func (k *Kernel) PublishMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	var ins, sys uint64
+	for _, p := range k.procs {
+		ins += p.InsCount
+		sys += p.SyscallCount
+	}
+	m.Add("kernel.procs", uint64(len(k.procs)))
+	m.Add("kernel.guest_ins", ins)
+	m.Add("kernel.syscalls", sys)
+	m.Add("kernel.stdout_bytes", uint64(len(k.Stdout)))
+	m.Set("kernel.cycles", float64(k.Now))
 }
 
 // SortProcsByPID sorts a process slice by PID, for deterministic reports.

@@ -169,6 +169,40 @@ func TestFetchInstCowDoesNotLeakPredecode(t *testing.T) {
 	}
 }
 
+// TestFetchInstParentStoreAfterForkNoStaleView is the symmetric COW
+// predecode hazard: the parent predecodes a page, forks (sharing it),
+// then stores into it. The store must copy-on-write and the parent's
+// next fetch must decode its private copy, while the child — whose
+// first fetch builds a view of the original shared page — keeps seeing
+// the pre-fork instruction.
+func TestFetchInstParentStoreAfterForkNoStaleView(t *testing.T) {
+	parent := New()
+	base := uint32(0x8000)
+	parent.StoreWord(base, enc(t, isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: 1}))
+	if in, _ := parent.FetchInst(base); in.Op != isa.OpADDI {
+		t.Fatal("parent predecode wrong")
+	}
+	child := parent.Fork()
+	parent.StoreWord(base, enc(t, isa.Inst{Op: isa.OpSUB, Rd: 4, Rs1: 4, Rs2: 4}))
+	if parent.CopyEvents != 1 {
+		t.Fatalf("parent CopyEvents = %d, want 1", parent.CopyEvents)
+	}
+
+	if in, _ := parent.FetchInst(base); in.Op != isa.OpSUB {
+		t.Fatal("parent fetch served the stale pre-fork predecoded view")
+	}
+	if in, _ := child.FetchInst(base); in.Op != isa.OpADDI {
+		t.Fatal("child fetch sees the parent's post-fork write")
+	}
+	// Same check again with warm fetch TLBs on both sides.
+	if in, _ := parent.FetchInst(base); in.Op != isa.OpSUB {
+		t.Fatal("parent warm fetch wrong")
+	}
+	if in, _ := child.FetchInst(base); in.Op != isa.OpADDI {
+		t.Fatal("child warm fetch wrong")
+	}
+}
+
 // TestFetchInstUnmaterializedPage checks fetching from a page no one has
 // written: words read as zero, which decode as the all-zero instruction,
 // and the page must not be materialized by fetching.

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Track identifiers in the Chrome trace export: process-id 0 groups the
+// per-CPU-context tracks, process-id 1 groups the per-guest-process
+// tracks (one tid per guest PID).
+const (
+	ChromePIDCPUs  = 0
+	ChromePIDGuest = 1
+)
+
+// chromeEvent is one entry of the Chrome trace-format "traceEvents"
+// array. Timestamps are virtual cycles written into the format's
+// microsecond field; the unit label in the UI is cosmetic, ordering and
+// durations are what matter.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as Chrome trace-format JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. The export builds:
+//
+//   - one track per CPU context (EvSchedule occupancy spans),
+//   - one track per guest process/slice: a lifetime span opened at
+//     spawn/fork and closed at exit, nested sleep spans, and instant
+//     markers for syscalls, slice boundaries, signature checks and
+//     code-cache compiles.
+//
+// Events must come from one simulation (one virtual clock); they are
+// written in emission order, which is time-ordered per track.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+
+	meta := func(pid, tid int, key, value string) {
+		out = append(out, chromeEvent{
+			Name: key, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta(ChromePIDCPUs, 0, "process_name", "cpus")
+	meta(ChromePIDGuest, 0, "process_name", "guest")
+
+	cpuSeen := map[int32]bool{}
+	procNamed := map[int32]bool{}
+	nameProc := func(pid int32, name string) {
+		if !procNamed[pid] && name != "" {
+			procNamed[pid] = true
+			meta(ChromePIDGuest, int(pid), "thread_name",
+				fmt.Sprintf("%s (pid %d)", name, pid))
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvSchedule:
+			if !cpuSeen[ev.CPU] {
+				cpuSeen[ev.CPU] = true
+				meta(ChromePIDCPUs, int(ev.CPU), "thread_name",
+					fmt.Sprintf("cpu%d", ev.CPU))
+			}
+			out = append(out, chromeEvent{
+				Name: ev.Name, Ph: "X", Ts: ev.Time, Dur: ev.Dur,
+				PID: ChromePIDCPUs, TID: int(ev.CPU),
+				Args: map[string]any{"pid": ev.PID},
+			})
+		case EvProcSpawn, EvFork:
+			nameProc(ev.PID, ev.Name)
+			ce := chromeEvent{
+				Name: ev.Name, Ph: "B", Ts: ev.Time,
+				PID: ChromePIDGuest, TID: int(ev.PID),
+			}
+			if ev.Kind == EvFork {
+				ce.Args = map[string]any{"parent": ev.Arg}
+			}
+			out = append(out, ce)
+		case EvProcExit:
+			out = append(out, chromeEvent{
+				Name: "exit", Ph: "E", Ts: ev.Time,
+				PID: ChromePIDGuest, TID: int(ev.PID),
+				Args: map[string]any{"code": ev.Arg},
+			})
+		case EvSleep:
+			out = append(out, chromeEvent{
+				Name: "sleep", Ph: "B", Ts: ev.Time,
+				PID: ChromePIDGuest, TID: int(ev.PID),
+			})
+		case EvWake:
+			out = append(out, chromeEvent{
+				Name: "sleep", Ph: "E", Ts: ev.Time,
+				PID: ChromePIDGuest, TID: int(ev.PID),
+			})
+		default:
+			name := ev.Kind.String()
+			args := map[string]any{}
+			switch ev.Kind {
+			case EvSyscall:
+				name = "syscall:" + ev.Name
+			case EvSliceSpawn:
+				name = fmt.Sprintf("slice%d-spawn", ev.Arg)
+				args["boundary"] = ev.Name
+			case EvSliceDetect:
+				name = fmt.Sprintf("slice%d-detect", ev.Arg)
+			case EvSliceMerge:
+				name = fmt.Sprintf("slice%d-merge", ev.Arg)
+			case EvSigFullCheck:
+				args["matched"] = ev.Arg2 == 1
+			case EvCompile:
+				args["addr"] = fmt.Sprintf("%#08x", ev.Arg)
+				args["ins"] = ev.Arg2
+			case EvCacheFlush:
+				args["resident_ins"] = ev.Arg
+			}
+			if len(args) == 0 {
+				args = nil
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "i", S: "t", Ts: ev.Time,
+				PID: ChromePIDGuest, TID: int(ev.PID), Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// WriteText writes events as a plain one-line-per-event log, the
+// grep-friendly companion to the Chrome export.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		fmt.Fprintf(bw, "%12d %-14s pid=%-4d", ev.Time, ev.Kind, ev.PID)
+		if ev.Kind == EvSchedule {
+			fmt.Fprintf(bw, " cpu=%d dur=%d", ev.CPU, ev.Dur)
+		}
+		if ev.Name != "" {
+			fmt.Fprintf(bw, " %s", ev.Name)
+		}
+		if ev.Arg != 0 || ev.Arg2 != 0 {
+			fmt.Fprintf(bw, " arg=%d arg2=%d", ev.Arg, ev.Arg2)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Metrics is a race-safe registry of named counters and gauges. It is
+// the uniform reporting path for the statistics the subsystems already
+// compute (pin.Stats, jit.CacheStats, core.Stats, kernel process
+// accounting): each publishes into the registry under a dotted prefix,
+// and the CLIs snapshot it to JSON. The underlying stat fields keep
+// their existing values and semantics.
+//
+// A nil *Metrics is a valid no-op registry, mirroring *Tracer.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	gauges   map[string]float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Enabled reports whether the registry collects anything.
+func (m *Metrics) Enabled() bool { return m != nil }
+
+// Add increments the named counter by delta. No-op on a nil receiver.
+func (m *Metrics) Add(name string, delta uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Set sets the named gauge. No-op on a nil receiver.
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Counter returns the named counter's current value (0 when absent or
+// on a nil receiver).
+func (m *Metrics) Counter(name string) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge returns the named gauge's current value (0 when absent or on a
+// nil receiver).
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Snapshot is a point-in-time copy of the registry.
+type Snapshot struct {
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot copies the registry's current contents.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Gauges: map[string]float64{}}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON with sorted
+// keys (encoding/json sorts map keys), so output is deterministic.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

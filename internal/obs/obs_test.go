@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndMetricsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: EvFork}) // must not panic
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer collected events")
+	}
+
+	var m *Metrics
+	if m.Enabled() {
+		t.Fatal("nil metrics reports enabled")
+	}
+	m.Add("x", 1)
+	m.Set("y", 2)
+	if m.Counter("x") != 0 || m.Gauge("y") != 0 {
+		t.Fatal("nil metrics stored values")
+	}
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatal("nil metrics snapshot non-empty")
+	}
+}
+
+func TestTracerCollectsInOrder(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EvSyscall, Time: uint64(i), PID: 1})
+	}
+	evs := tr.Events()
+	if len(evs) != 10 || tr.Len() != 10 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != uint64(i) {
+			t.Fatalf("event %d has time %d", i, ev.Time)
+		}
+	}
+	// Events returns a copy: mutating it must not affect the tracer.
+	evs[0].Time = 99
+	if tr.Events()[0].Time != 0 {
+		t.Fatal("Events returned aliased storage")
+	}
+}
+
+func TestMetricsConcurrentAdds(t *testing.T) {
+	m := NewMetrics()
+	tr := NewTracer()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add("shared.counter", 1)
+				m.Set("shared.gauge", float64(i))
+				tr.Emit(Event{Kind: EvCompile, Time: uint64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared.counter"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if tr.Len() != workers*per {
+		t.Fatalf("tracer collected %d events, want %d", tr.Len(), workers*per)
+	}
+}
+
+func TestMetricsWriteJSONDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Add("b.second", 2)
+	m.Add("a.first", 1)
+	m.Set("g.ratio", 0.5)
+	var buf1, buf2 bytes.Buffer
+	if err := m.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("non-deterministic JSON")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a.first"] != 1 || s.Counters["b.second"] != 2 || s.Gauges["g.ratio"] != 0.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	events := []Event{
+		{Kind: EvProcSpawn, Time: 0, PID: 1, Name: "master"},
+		{Kind: EvFork, Time: 10, PID: 2, Arg: 1, Name: "slice1"},
+		{Kind: EvSleep, Time: 10, PID: 2},
+		{Kind: EvSyscall, Time: 20, PID: 1, Name: "write", Arg: 2},
+		{Kind: EvWake, Time: 30, PID: 2},
+		{Kind: EvSliceSpawn, Time: 10, PID: 2, Arg: 1, Name: "timeout"},
+		{Kind: EvCompile, Time: 35, PID: 2, Arg: 0x1000, Arg2: 12},
+		{Kind: EvSigFullCheck, Time: 40, PID: 2, Arg: 1, Arg2: 1},
+		{Kind: EvSliceDetect, Time: 40, PID: 2, Arg: 1},
+		{Kind: EvProcExit, Time: 45, PID: 2},
+		{Kind: EvSliceMerge, Time: 45, PID: 2, Arg: 1},
+		{Kind: EvProcExit, Time: 50, PID: 1},
+		{Kind: EvSchedule, Time: 0, Dur: 50, PID: 1, CPU: 0, Name: "master"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(events) {
+		t.Fatalf("only %d trace events for %d input events", len(doc.TraceEvents), len(events))
+	}
+	// Balanced B/E per (pid, tid) track.
+	depth := map[[2]int]int{}
+	for _, ce := range doc.TraceEvents {
+		key := [2]int{ce.PID, ce.TID}
+		switch ce.Ph {
+		case "B":
+			depth[key]++
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				t.Fatalf("unbalanced E on track %v", key)
+			}
+		}
+	}
+	for key, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %v left %d spans open", key, d)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteText(&buf, []Event{
+		{Kind: EvProcSpawn, Time: 0, PID: 1, Name: "master"},
+		{Kind: EvSchedule, Time: 0, Dur: 200, PID: 1, CPU: 3, Name: "master"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"proc-spawn", "master", "cpu=3", "dur=200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text log missing %q:\n%s", want, out)
+		}
+	}
+}

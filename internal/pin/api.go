@@ -11,6 +11,18 @@
 // attaches analysis calls; at run time the engine executes the
 // instrumented trace, charging the calibrated cycle costs of analysis
 // calls, compilation and dispatch to the owning process's virtual time.
+//
+// # Error handling
+//
+// The Insert* functions panic on misuse: a nil analysis function or
+// predicate, or an InsertThenCall with no preceding unpaired
+// InsertIfCall. These are programmer errors in the Pintool itself —
+// detectable the first time the tool's instrumentation callback runs,
+// never dependent on user input — so they fail loudly at the call site
+// rather than propagating errors through every instrumentation
+// callback, mirroring Pin's own usage contract. Configuration errors
+// (user-supplied cache geometry, sampling budgets) are returned as
+// ordinary errors by the tool constructors in internal/tools.
 package pin
 
 import (

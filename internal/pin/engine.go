@@ -4,6 +4,7 @@ import (
 	"superpin/internal/cpu"
 	"superpin/internal/jit"
 	"superpin/internal/kernel"
+	"superpin/internal/obs"
 )
 
 // CostModel holds the engine's calibrated per-operation cycle costs. The
@@ -117,6 +118,7 @@ type Engine struct {
 	cur           *jit.CompiledTrace
 	idx           int
 	stats         Stats
+	trace         *obs.Tracer
 }
 
 // NewEngine creates an engine with the given cost model.
@@ -149,6 +151,42 @@ func (e *Engine) Fini(code uint32) {
 // routine running on this engine (SuperPin's SP_EndSlice uses it).
 func (e *Engine) RequestStop() { e.ctx.RequestStop() }
 
+// AttachObs connects the engine (and its code cache) to a tracer, with
+// pid identifying the instrumented process in emitted events. Compile
+// and flush events carry the virtual time of the engine's current Run
+// call. Passing a nil tracer detaches.
+func (e *Engine) AttachObs(t *obs.Tracer, pid int32) {
+	e.trace = t
+	e.cache.Trace = t
+	e.cache.PID = pid
+}
+
+// PublishMetrics publishes the engine's cumulative statistics into m
+// under the given dotted prefix (e.g. "pin"). Counters accumulate, so
+// publishing several engines under one prefix sums them. No-op when m
+// is nil.
+func (e *Engine) PublishMetrics(m *obs.Metrics, prefix string) {
+	if m == nil {
+		return
+	}
+	m.Add(prefix+".exec_ins", e.stats.ExecIns)
+	m.Add(prefix+".analysis_calls", e.stats.AnalysisCalls)
+	m.Add(prefix+".if_calls", e.stats.IfCalls)
+	m.Add(prefix+".then_calls", e.stats.ThenCalls)
+	m.Add(prefix+".dispatches", e.stats.Dispatches)
+	cs := e.cache.Stats()
+	m.Add(prefix+".cache.lookups", cs.Lookups)
+	m.Add(prefix+".cache.misses", cs.Misses)
+	m.Add(prefix+".cache.compiles", cs.Compiles)
+	m.Add(prefix+".cache.compiled_ins", cs.CompiledIns)
+	m.Add(prefix+".cache.flushes", cs.Flushes)
+	if e.Shared != nil {
+		ts := e.Shared.Stats()
+		m.Add(prefix+".shared.hits", ts.Hits)
+		m.Add(prefix+".shared.misses", ts.Misses)
+	}
+}
+
 // Stats returns cumulative execution statistics.
 func (e *Engine) Stats() Stats { return e.stats }
 
@@ -167,6 +205,11 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 	ctx := &e.ctx
 	ctx.Regs = &p.Regs
 	ctx.Mem = p.Mem
+	if e.trace != nil {
+		// k.Now is frozen for the duration of this Run call, so stamping
+		// once per call gives compile/flush events their correct time.
+		e.cache.Now = uint64(k.Now)
+	}
 	var used kernel.Cycles
 
 	for {

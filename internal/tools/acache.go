@@ -43,23 +43,27 @@ type ACache struct {
 	adjusted uint64
 }
 
-// NewACache creates a ways-associative LRU cache simulator with the given
-// total size and line size in bytes.
-func NewACache(cacheBytes, lineBytes, ways int, out io.Writer) *ACache {
+// NewACache creates a ways-associative LRU cache simulator with the
+// given total size and line size in bytes. Invalid geometry is a
+// configuration error reported to the caller, not a panic: these values
+// typically arrive from command lines.
+func NewACache(cacheBytes, lineBytes, ways int, out io.Writer) (*ACache, error) {
 	if cacheBytes <= 0 || lineBytes <= 0 || ways <= 0 ||
 		cacheBytes%(lineBytes*ways) != 0 {
-		panic(fmt.Sprintf("tools: bad acache geometry %d/%d/%d", cacheBytes, lineBytes, ways))
+		return nil, fmt.Errorf("tools: bad acache geometry: %d bytes / %d per line / %d ways (need positive sizes, total a multiple of line*ways)",
+			cacheBytes, lineBytes, ways)
 	}
 	lineShift := uint(0)
 	for 1<<lineShift < lineBytes {
 		lineShift++
 	}
 	if 1<<lineShift != lineBytes {
-		panic("tools: acache line size must be a power of two")
+		return nil, fmt.Errorf("tools: acache line size %d must be a power of two", lineBytes)
 	}
 	sets := uint32(cacheBytes / (lineBytes * ways))
 	if sets&(sets-1) != 0 {
-		panic("tools: acache set count must be a power of two")
+		return nil, fmt.Errorf("tools: acache set count %d must be a power of two (cache %d / line %d / ways %d)",
+			sets, cacheBytes, lineBytes, ways)
 	}
 	return &ACache{
 		lineShift: lineShift,
@@ -67,7 +71,7 @@ func NewACache(cacheBytes, lineBytes, ways int, out io.Writer) *ACache {
 		ways:      ways,
 		out:       out,
 		stacks:    make([][]uint32, sets),
-	}
+	}, nil
 }
 
 // Factory returns the per-process tool factory.

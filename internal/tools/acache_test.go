@@ -23,11 +23,11 @@ func TestACacheExactAcrossModes(t *testing.T) {
 			}
 			cfg := testCfg()
 
-			serial := NewACache(1<<14, 32, ways, nil)
+			serial := mustACache(t, 1<<14, 32, ways)
 			if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
 				t.Fatal(err)
 			}
-			par := NewACache(1<<14, 32, ways, nil)
+			par := mustACache(t, 1<<14, 32, ways)
 			res, err := core.Run(cfg, prog, par.Factory(), spOpts())
 			if err != nil {
 				t.Fatal(err)
@@ -58,11 +58,11 @@ func TestACacheOneWayMatchesDCache(t *testing.T) {
 	}
 	cfg := testCfg()
 
-	dm := NewDCache(1<<13, 32, nil)
+	dm := mustDCache(t, 1<<13, 32)
 	if _, err := core.RunPin(cfg, prog, dm.Factory(), pin.DefaultCost()); err != nil {
 		t.Fatal(err)
 	}
-	ac := NewACache(1<<13, 32, 1, nil)
+	ac := mustACache(t, 1<<13, 32, 1)
 	if _, err := core.RunPin(cfg, prog, ac.Factory(), pin.DefaultCost()); err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestACacheAssociativityReasonable(t *testing.T) {
 	cfg := testCfg()
 
 	rate := func(ways int) float64 {
-		c := NewACache(1<<13, 32, ways, nil)
+		c := mustACache(t, 1<<13, 32, ways)
 		if _, err := core.RunPin(cfg, prog, c.Factory(), pin.DefaultCost()); err != nil {
 			t.Fatal(err)
 		}
@@ -98,16 +98,23 @@ func TestACacheAssociativityReasonable(t *testing.T) {
 	}
 }
 
+func mustACache(t *testing.T, cacheBytes, lineBytes, ways int) *ACache {
+	t.Helper()
+	a, err := NewACache(cacheBytes, lineBytes, ways, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestACacheGeometryValidation(t *testing.T) {
 	bad := [][3]int{{0, 32, 1}, {1024, 0, 1}, {1024, 32, 0}, {1000, 32, 2}, {1024, 48, 2}}
 	for _, g := range bad {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("geometry %v accepted", g)
-				}
-			}()
-			NewACache(g[0], g[1], g[2], nil)
-		}()
+		if a, err := NewACache(g[0], g[1], g[2], nil); err == nil || a != nil {
+			t.Errorf("geometry %v accepted (err=%v)", g, err)
+		}
+	}
+	if _, err := NewACache(1<<14, 32, 4, nil); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
 	}
 }

@@ -34,28 +34,34 @@ type DCache struct {
 }
 
 // NewDCache creates a simulator for a direct-mapped cache with the given
-// total size and line size in bytes (both powers of two).
-func NewDCache(cacheBytes, lineBytes int, out io.Writer) *DCache {
+// total size and line size in bytes (both powers of two). Invalid
+// geometry — sizes that aren't positive powers of two, or a total size
+// not a multiple of the line size — is a configuration error reported to
+// the caller, not a panic: these values typically arrive from command
+// lines.
+func NewDCache(cacheBytes, lineBytes int, out io.Writer) (*DCache, error) {
 	if cacheBytes <= 0 || lineBytes <= 0 || cacheBytes%lineBytes != 0 {
-		panic(fmt.Sprintf("tools: bad dcache geometry %d/%d", cacheBytes, lineBytes))
+		return nil, fmt.Errorf("tools: bad dcache geometry: %d bytes / %d per line (need positive sizes, total a multiple of line)",
+			cacheBytes, lineBytes)
 	}
 	lineShift := uint(0)
 	for 1<<lineShift < lineBytes {
 		lineShift++
 	}
 	if 1<<lineShift != lineBytes {
-		panic("tools: dcache line size must be a power of two")
+		return nil, fmt.Errorf("tools: dcache line size %d must be a power of two", lineBytes)
 	}
 	sets := uint32(cacheBytes / lineBytes)
 	if sets&(sets-1) != 0 {
-		panic("tools: dcache set count must be a power of two")
+		return nil, fmt.Errorf("tools: dcache set count %d must be a power of two (cache %d / line %d)",
+			sets, cacheBytes, lineBytes)
 	}
 	return &DCache{
 		lineShift:   lineShift,
 		sets:        sets,
 		out:         out,
 		runningTags: make([]uint32, sets),
-	}
+	}, nil
 }
 
 // Factory returns the per-process tool factory.

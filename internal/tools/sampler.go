@@ -24,12 +24,14 @@ type Sampler struct {
 }
 
 // NewSampler creates a sampler observing up to budget instructions per
-// slice. out may be nil.
-func NewSampler(budget int, out io.Writer) *Sampler {
+// slice. out may be nil. A non-positive budget is a configuration error
+// reported to the caller, not a panic: the value typically arrives from
+// a command line.
+func NewSampler(budget int, out io.Writer) (*Sampler, error) {
 	if budget <= 0 {
-		panic("tools: sampler budget must be positive")
+		return nil, fmt.Errorf("tools: sampler budget must be positive, got %d", budget)
 	}
-	return &Sampler{budget: budget, out: out, merged: make(map[uint32]uint64)}
+	return &Sampler{budget: budget, out: out, merged: make(map[uint32]uint64)}, nil
 }
 
 // Factory returns the per-process tool factory.

@@ -97,12 +97,12 @@ func TestDCacheExactAcrossModes(t *testing.T) {
 		}
 		cfg := testCfg()
 
-		serial := NewDCache(1<<14, 32, nil)
+		serial := mustDCache(t, 1<<14, 32)
 		if _, err := core.RunPin(cfg, prog, serial.Factory(), pin.DefaultCost()); err != nil {
 			t.Fatal(err)
 		}
 
-		par := NewDCache(1<<14, 32, nil)
+		par := mustDCache(t, 1<<14, 32)
 		res, err := core.Run(cfg, prog, par.Factory(), spOpts())
 		if err != nil {
 			t.Fatal(err)
@@ -124,16 +124,23 @@ func TestDCacheExactAcrossModes(t *testing.T) {
 	}
 }
 
+func mustDCache(t *testing.T, cacheBytes, lineBytes int) *DCache {
+	t.Helper()
+	d, err := NewDCache(cacheBytes, lineBytes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestDCacheGeometryValidation(t *testing.T) {
 	for _, bad := range [][2]int{{0, 32}, {1024, 0}, {1000, 32}, {1024, 48}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("geometry %v accepted", bad)
-				}
-			}()
-			NewDCache(bad[0], bad[1], nil)
-		}()
+		if d, err := NewDCache(bad[0], bad[1], nil); err == nil || d != nil {
+			t.Errorf("geometry %v accepted (err=%v)", bad, err)
+		}
+	}
+	if _, err := NewDCache(1<<14, 32, nil); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
 	}
 }
 
@@ -265,7 +272,10 @@ func TestSamplerBoundsWorkPerSlice(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := NewSampler(300, nil)
+	s, err := NewSampler(300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := core.Run(cfg, prog, s.Factory(), spOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -305,9 +315,15 @@ func TestSamplerPinModeLimitsToOneBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSampler(500, nil)
+	s, err := NewSampler(500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := core.RunPin(testCfg(), prog, s.Factory(), pin.DefaultCost()); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := NewSampler(0, nil); err == nil {
+		t.Fatal("zero budget accepted")
 	}
 	if s.Sampled != 500 {
 		t.Fatalf("pin-mode sampler saw %d, want exactly the 500 budget", s.Sampled)
@@ -322,7 +338,10 @@ func TestDCacheFiniOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	d := NewDCache(1<<12, 32, &buf)
+	d, err := NewDCache(1<<12, 32, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := core.RunPin(testCfg(), prog, d.Factory(), pin.DefaultCost()); err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,10 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (parallel harness) =="
-go test -race ./internal/bench/...
+echo "== go test -race (parallel harness + observability) =="
+go test -race ./internal/bench/... ./internal/obs/...
+
+echo "== observability smoke (trace invariants) =="
+go run ./cmd/spbench -exp obssmoke -scale 0.02 -benchmarks gzip,mgrid
 
 echo "ok"
