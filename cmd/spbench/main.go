@@ -9,6 +9,8 @@
 //	spbench -hostjson BENCH_host.json  # also write host-perf metrics
 //	spbench -trace-dir traces/   # write per-benchmark Chrome trace JSON
 //	spbench -exp obssmoke        # verify trace invariants end to end
+//	spbench -exp fastpathdiff    # verify engine fast paths change nothing
+//	spbench -nofastpath          # run with the dispatch fast paths off
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
 // (the default) uses the SPBENCH_J environment variable when set, else
@@ -44,6 +46,11 @@ type hostPerf struct {
 	// counted).
 	GuestIns  uint64  `json:"guest_ins_min"`
 	GuestMIPS float64 `json:"guest_mips_min"`
+	// NoFastPath records whether the engine's dispatch fast paths were
+	// disabled; Host aggregates their counters (from the suites' serial
+	// Pin runs) so the artifact shows how much the fast paths engaged.
+	NoFastPath bool               `json:"nofastpath"`
+	Host       bench.HostCounters `json:"host_counters"`
 }
 
 func main() {
@@ -56,7 +63,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -65,6 +72,7 @@ func run(args []string) error {
 		jobs       = fs.Int("j", 0, "host worker-pool size (0 = $SPBENCH_J, else GOMAXPROCS; 1 = serial)")
 		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
+		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +86,7 @@ func run(args []string) error {
 	cfg.MaxSlices = *maxSlices
 	cfg.Workers = *jobs
 	cfg.TraceDir = *traceDir
+	cfg.NoFastPath = *noFastPath
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -107,11 +116,17 @@ func run(args []string) error {
 	// Host-perf accounting for -hostjson: every suite Result stands for
 	// at least three executions of its benchmark.
 	var suiteIns uint64
+	var hostTotals bench.HostCounters
 	suiteRuns := 0
 	account := func(rs []*bench.Result) {
 		for _, r := range rs {
 			suiteIns += 3 * r.Ins
 			suiteRuns += 3
+			hostTotals.Dispatches += r.Host.Dispatches
+			hostTotals.LinkHits += r.Host.LinkHits
+			hostTotals.LinkMisses += r.Host.LinkMisses
+			hostTotals.LinkInvalidations += r.Host.LinkInvalidations
+			hostTotals.SuperblockIns += r.Host.SuperblockIns
 		}
 	}
 
@@ -210,6 +225,32 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if *exp == "fastpathdiff" {
+		t := report.New("Fast-path differential: fast vs -nofastpath, identical virtual results",
+			"benchmark", "tool", "ins", "pin cycles", "sp cycles", "link hits", "sb ins", "events", "verdict")
+		var checks []string
+		for _, kind := range []bench.ToolKind{bench.Icount1, bench.Icount2} {
+			reports, err := bench.RunFastPathDiff(cfg, kind)
+			if err != nil {
+				return err
+			}
+			for _, r := range reports {
+				t.Row(r.Name, kind.String(), r.Ins, uint64(r.PinCycles), uint64(r.SPCycles),
+					r.LinkHits, r.SuperblockIns, r.Events, "ok")
+				checks = r.Checks
+			}
+		}
+		if err := emit("fastpathdiff", t); err != nil {
+			return err
+		}
+		if len(checks) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
 	if *exp == "obssmoke" {
 		reports, err := bench.RunObsSmoke(cfg, bench.Icount1)
 		if err != nil {
@@ -245,6 +286,8 @@ func run(args []string) error {
 			Scale:      cfg.Scale,
 			SuiteRuns:  suiteRuns,
 			GuestIns:   suiteIns,
+			NoFastPath: *noFastPath,
+			Host:       hostTotals,
 		}
 		if hp.ElapsedSec > 0 {
 			hp.GuestMIPS = float64(suiteIns) / (hp.ElapsedSec * 1e6)

@@ -65,6 +65,7 @@ func run(args []string) error {
 		cacheBytes = fs.Int("cachebytes", 1<<14, "dcache/acache total size in bytes")
 		lineBytes  = fs.Int("linebytes", 32, "dcache/acache line size in bytes")
 		ways       = fs.Int("ways", 4, "acache associativity")
+		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching); virtual results are identical")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
@@ -132,6 +133,7 @@ func run(args []string) error {
 	if *sp == 0 {
 		pcost := pin.DefaultCost()
 		pcost.MemSurcharge = spec.PinMemCost
+		pcost.NoFastPath = *noFastPath
 		pcfg := kcfg
 		pcfg.Trace = tracer
 		res, err := core.RunPin(pcfg, prog, factory, pcost)
@@ -162,6 +164,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown detector %q", *detector)
 	}
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
+	opts.PinCost.NoFastPath = *noFastPath
 	opts.NativeMemSurcharge = spec.NativeMemCost
 	opts.Trace = tracer
 	opts.Metrics = metrics

@@ -132,6 +132,24 @@ func TestRunTraceAndMetricsOutput(t *testing.T) {
 	if len(m) == 0 {
 		t.Fatal("metrics registry is empty")
 	}
+
+	// The dispatch fast-path counters must be published (the keys exist
+	// even when a counter is zero), and this icount2 run must actually
+	// have exercised both trace linking and superblock batching.
+	counters, ok := m["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics JSON has no counters object: %v", m)
+	}
+	for _, key := range []string{"pin.link.hits", "pin.link.misses", "pin.link.invalidations", "pin.superblock.ins"} {
+		if _, ok := counters[key]; !ok {
+			t.Errorf("metrics missing counter %q", key)
+		}
+	}
+	for _, key := range []string{"pin.link.hits", "pin.superblock.ins"} {
+		if v, _ := counters[key].(float64); v == 0 {
+			t.Errorf("counter %q is zero; fast path did not engage", key)
+		}
+	}
 }
 
 // TestRunPinModeTrace: the -sp 0 serial-Pin path must also honour -trace.

@@ -76,6 +76,11 @@ type Config struct {
 	// and writes each run's Chrome trace-format JSON (loadable in
 	// Perfetto) to <TraceDir>/<benchmark>.<tool>.trace.json.
 	TraceDir string
+	// NoFastPath disables the Pin engine's host-side dispatch fast paths
+	// (trace linking and batched superblock execution) in every run the
+	// harness performs. Virtual-cycle results are identical either way;
+	// the flag exists for differential testing and host-perf comparison.
+	NoFastPath bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -107,6 +112,9 @@ func (c *Config) normalize() {
 	if c.Kernel.CPUs == 0 {
 		c.Kernel = kernel.DefaultConfig()
 		c.Kernel.MaxCycles = 200_000_000_000
+	}
+	if c.NoFastPath {
+		c.PinCost.NoFastPath = true
 	}
 }
 
@@ -153,6 +161,32 @@ type Result struct {
 	Speedup float64
 	// Detail is the full SuperPin result.
 	Detail *core.Result
+	// Host holds the serial Pin run's host-side dispatch fast-path
+	// counters (all zero under Config.NoFastPath).
+	Host HostCounters
+}
+
+// HostCounters are the Pin engine's host-side dispatch fast-path
+// counters for one run: they describe what the host paid, never what the
+// guest was charged, so they may differ between fast-path and
+// -nofastpath runs whose virtual-cycle results are identical.
+type HostCounters struct {
+	Dispatches        uint64 `json:"dispatches"`
+	LinkHits          uint64 `json:"link_hits"`
+	LinkMisses        uint64 `json:"link_misses"`
+	LinkInvalidations uint64 `json:"link_invalidations"`
+	SuperblockIns     uint64 `json:"superblock_ins"`
+}
+
+// hostCounters extracts the fast-path counters from a serial Pin result.
+func hostCounters(res *core.PinResult) HostCounters {
+	return HostCounters{
+		Dispatches:        res.Engine.Dispatches,
+		LinkHits:          res.Cache.LinkHits,
+		LinkMisses:        res.Cache.LinkMisses,
+		LinkInvalidations: res.Cache.LinkInvalidations,
+		SuperblockIns:     res.Engine.SuperblockIns,
+	}
 }
 
 // RunBenchmark measures one benchmark under native, Pin and SuperPin
@@ -217,6 +251,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 		SP:     spRes.TotalTime,
 		Ins:    native.Ins,
 		Detail: spRes,
+		Host:   hostCounters(pinRes),
 	}
 	r.PinPct = 100 * float64(r.Pin) / float64(r.Native)
 	r.SPPct = 100 * float64(r.SP) / float64(r.Native)

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// FastPathDiffReport is one benchmark's differential-determinism outcome:
+// the benchmark ran with the engine's dispatch fast paths enabled and
+// disabled, and every virtual-cycle-visible quantity was identical.
+type FastPathDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// PinCycles and SPCycles are the (mode-independent) serial Pin and
+	// SuperPin runtimes.
+	PinCycles kernel.Cycles
+	SPCycles  kernel.Cycles
+	// LinkHits and SuperblockIns report how much the fast-path run
+	// actually exercised the machinery under test (serial Pin run).
+	LinkHits      uint64
+	SuperblockIns uint64
+	// Events is the (identical) SuperPin trace length.
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// fastPathDiffChecks are the equalities the differential runner asserts,
+// for human-readable output.
+var fastPathDiffChecks = []string{
+	"serial Pin result identical (cycles, ins, exit, stdout, stats modulo host-only counters)",
+	"SuperPin result deep-equal (slices, stats, breakdown, stdout)",
+	"SuperPin trace event streams identical",
+	"trace invariants hold in both modes",
+}
+
+// RunFastPathDiff runs each configured benchmark twice — fast paths on
+// and off — under both serial Pin and SuperPin, and verifies that the
+// fast paths changed nothing the virtual machine can observe: cycle
+// counts, instruction counts, exit codes, stdout, slice schedules and
+// trace event streams must all be byte-identical. Only the host-side
+// counters (link hits/misses/invalidations, superblock instructions) may
+// differ, and the fast-path run must actually have exercised them.
+func RunFastPathDiff(cfg Config, kind ToolKind) ([]*FastPathDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*FastPathDiffReport, error) {
+		return runFastPathDiffOne(cfg, specs[i], kind)
+	})
+}
+
+// fastPathRun is one mode's (fast or -nofastpath) measurement set.
+type fastPathRun struct {
+	pin    *core.PinResult
+	sp     *core.Result
+	events []obs.Event
+}
+
+func runFastPathDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*FastPathDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("fastpathdiff %s: native: %w", spec.Name, err)
+	}
+
+	var modes [2]fastPathRun
+	for m, nofast := range []bool{false, true} {
+		pinCost := cfg.PinCost
+		pinCost.MemSurcharge = spec.PinMemCost
+		pinCost.NoFastPath = nofast
+		pinTool := newTool(kind)
+		pinRes, err := core.RunPin(cfg.Kernel, prog, pinTool.Factory(), pinCost)
+		if err != nil {
+			return nil, fmt.Errorf("fastpathdiff %s: pin (nofast=%v): %w", spec.Name, nofast, err)
+		}
+		if pinTool.Total() != native.Ins {
+			return nil, fmt.Errorf("fastpathdiff %s: pin (nofast=%v) counted %d, native executed %d",
+				spec.Name, nofast, pinTool.Total(), native.Ins)
+		}
+
+		opts := core.DefaultOptions()
+		opts.SliceMSec = cfg.TimesliceMSec
+		opts.MaxSlices = cfg.MaxSlices
+		opts.PinCost = cfg.PinCost
+		opts.PinCost.MemSurcharge = spec.SliceMemCost
+		opts.PinCost.NoFastPath = nofast
+		opts.NativeMemSurcharge = spec.NativeMemCost
+		opts.Trace = obs.NewTracer()
+		spTool := newTool(kind)
+		spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("fastpathdiff %s: superpin (nofast=%v): %w", spec.Name, nofast, err)
+		}
+		if spRes.Err != nil {
+			return nil, fmt.Errorf("fastpathdiff %s: superpin (nofast=%v): %w", spec.Name, nofast, spRes.Err)
+		}
+		if spTool.Total() != native.Ins {
+			return nil, fmt.Errorf("fastpathdiff %s: superpin (nofast=%v) counted %d, native executed %d",
+				spec.Name, nofast, spTool.Total(), native.Ins)
+		}
+		events := opts.Trace.Events()
+		if err := VerifyTrace(events, spRes, native.Time); err != nil {
+			return nil, fmt.Errorf("fastpathdiff %s (nofast=%v): %w", spec.Name, nofast, err)
+		}
+		modes[m] = fastPathRun{pin: pinRes, sp: spRes, events: events}
+	}
+	fast, ref := modes[0], modes[1]
+
+	// Serial Pin: everything but the host-only counters must match. The
+	// host-only counters live in Engine.SuperblockIns and Cache.Link*;
+	// compare normalized copies with those zeroed.
+	fastPin, refPin := *fast.pin, *ref.pin
+	fastPin.Engine.SuperblockIns, refPin.Engine.SuperblockIns = 0, 0
+	fastPin.Cache.LinkHits, refPin.Cache.LinkHits = 0, 0
+	fastPin.Cache.LinkMisses, refPin.Cache.LinkMisses = 0, 0
+	fastPin.Cache.LinkInvalidations, refPin.Cache.LinkInvalidations = 0, 0
+	if !reflect.DeepEqual(fastPin, refPin) {
+		return nil, fmt.Errorf("fastpathdiff %s: serial Pin results differ:\nfast:   %+v\nnofast: %+v",
+			spec.Name, fastPin, refPin)
+	}
+	if ref.pin.Engine.SuperblockIns != 0 || ref.pin.Cache.LinkHits != 0 ||
+		ref.pin.Cache.LinkMisses != 0 || ref.pin.Cache.LinkInvalidations != 0 {
+		return nil, fmt.Errorf("fastpathdiff %s: -nofastpath run reported fast-path activity: %+v",
+			spec.Name, hostCounters(ref.pin))
+	}
+
+	// SuperPin: the whole Result — slice schedule, stats, stdout — must be
+	// deep-equal, as must the trace event streams.
+	if !reflect.DeepEqual(fast.sp, ref.sp) {
+		return nil, fmt.Errorf("fastpathdiff %s: SuperPin results differ:\nfast:   %+v\nnofast: %+v",
+			spec.Name, fast.sp, ref.sp)
+	}
+	if !reflect.DeepEqual(fast.events, ref.events) {
+		return nil, fmt.Errorf("fastpathdiff %s: SuperPin trace streams differ (%d vs %d events)",
+			spec.Name, len(fast.events), len(ref.events))
+	}
+
+	// The breakdown quadruple is derived from Result fields, but compare
+	// it explicitly: it is the paper-facing quantity.
+	fn, ff, fs, fp := fast.sp.Breakdown(native.Time)
+	rn, rf, rs, rp := ref.sp.Breakdown(native.Time)
+	if fn != rn || ff != rf || fs != rs || fp != rp {
+		return nil, fmt.Errorf("fastpathdiff %s: breakdowns differ: fast (%d %d %d %d) vs nofast (%d %d %d %d)",
+			spec.Name, fn, ff, fs, fp, rn, rf, rs, rp)
+	}
+
+	return &FastPathDiffReport{
+		Name:          spec.Name,
+		Ins:           native.Ins,
+		PinCycles:     fast.pin.Time,
+		SPCycles:      fast.sp.TotalTime,
+		LinkHits:      fast.pin.Cache.LinkHits,
+		SuperblockIns: fast.pin.Engine.SuperblockIns,
+		Events:        len(fast.events),
+		Checks:        fastPathDiffChecks,
+	}, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import "testing"
+
+// TestRunFastPathDiff is the engine-fast-path determinism check at the
+// harness level: full Pin and SuperPin runs with the dispatch fast paths
+// on and off must agree on every virtual-cycle-visible quantity, and the
+// fast-path runs must actually exercise the machinery (link hits,
+// superblock instructions).
+func TestRunFastPathDiff(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip", "gcc", "mgrid"}
+	for _, kind := range []ToolKind{Icount1, Icount2} {
+		reports, err := RunFastPathDiff(cfg, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(reports) != 3 {
+			t.Fatalf("%s: got %d reports", kind, len(reports))
+		}
+		for _, r := range reports {
+			if r.Ins == 0 || r.PinCycles == 0 || r.SPCycles == 0 || r.Events == 0 {
+				t.Fatalf("%s/%s: empty report %+v", r.Name, kind, r)
+			}
+			// Trace linking engages under both tools; superblocks only
+			// where some instructions carry no calls (icount2 instruments
+			// block heads, leaving tails bare — icount1 covers everything).
+			if r.LinkHits == 0 {
+				t.Errorf("%s/%s: fast-path run recorded no link hits", r.Name, kind)
+			}
+			if kind == Icount2 && r.SuperblockIns == 0 {
+				t.Errorf("%s/%s: fast-path run executed no superblock instructions", r.Name, kind)
+			}
+			if kind == Icount1 && r.SuperblockIns != 0 {
+				t.Errorf("%s/%s: icount1 instruments every instruction but %d ran in superblocks",
+					r.Name, kind, r.SuperblockIns)
+			}
+		}
+	}
+}
+
+// TestRunBenchmarkNoFastPath: the harness-level escape hatch disables the
+// fast paths in every run and zeroes the host counters, while the
+// measured virtual cycles stay identical to a default run.
+func TestRunBenchmarkNoFastPath(t *testing.T) {
+	cfg := obsTestConfig()
+	spec := mustSpec(t, "gzip")
+	fast, err := RunBenchmark(cfg, spec, Icount2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoFastPath = true
+	slow, err := RunBenchmark(cfg, spec, Icount2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Native != slow.Native || fast.Pin != slow.Pin || fast.SP != slow.SP || fast.Ins != slow.Ins {
+		t.Fatalf("virtual results differ: fast %+v vs nofast %+v", fast, slow)
+	}
+	if fast.Host.LinkHits == 0 || fast.Host.SuperblockIns == 0 {
+		t.Fatalf("default run exercised no fast-path machinery: %+v", fast.Host)
+	}
+	if slow.Host.LinkHits != 0 || slow.Host.LinkMisses != 0 || slow.Host.SuperblockIns != 0 {
+		t.Fatalf("NoFastPath run reported fast-path activity: %+v", slow.Host)
+	}
+	if fast.Host.Dispatches != slow.Host.Dispatches {
+		t.Fatalf("dispatch counts differ: %d vs %d", fast.Host.Dispatches, slow.Host.Dispatches)
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"superpin/internal/core"
+	"superpin/internal/workload"
+)
+
+// benchSerialPin measures host-side guest-MIPS of a serial Pin run over
+// one catalog workload, with the dispatch fast paths on or off. The
+// icount2 tool (per-basic-block calls) is used because it is the paper's
+// low-overhead configuration and leaves block tails free for superblock
+// batching; icount1 (per-instruction calls) isolates trace linking.
+func benchSerialPin(b *testing.B, name string, kind ToolKind, nofast bool) {
+	b.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	spec = spec.Scaled(1)
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cost := cfg.PinCost
+	cost.MemSurcharge = spec.PinMemCost
+	cost.NoFastPath = nofast
+
+	var ins uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tool := newTool(kind)
+		res, err := core.RunPin(cfg.Kernel, prog, tool.Factory(), cost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ins += res.Ins
+	}
+	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
+}
+
+func BenchmarkPinGzipIcount2(b *testing.B)       { benchSerialPin(b, "gzip", Icount2, false) }
+func BenchmarkPinGzipIcount2NoFast(b *testing.B) { benchSerialPin(b, "gzip", Icount2, true) }
+func BenchmarkPinGccIcount2(b *testing.B)        { benchSerialPin(b, "gcc", Icount2, false) }
+func BenchmarkPinGccIcount2NoFast(b *testing.B)  { benchSerialPin(b, "gcc", Icount2, true) }
+func BenchmarkPinMgridIcount2(b *testing.B)      { benchSerialPin(b, "mgrid", Icount2, false) }
+func BenchmarkPinMgridIcount2NoFast(b *testing.B) {
+	benchSerialPin(b, "mgrid", Icount2, true)
+}
+func BenchmarkPinMgridIcount1(b *testing.B) { benchSerialPin(b, "mgrid", Icount1, false) }
+func BenchmarkPinMgridIcount1NoFast(b *testing.B) {
+	benchSerialPin(b, "mgrid", Icount1, true)
+}

@@ -62,10 +62,14 @@ func PublishPinMetrics(m *obs.Metrics, res *PinResult) {
 	m.Add("pin.if_calls", res.Engine.IfCalls)
 	m.Add("pin.then_calls", res.Engine.ThenCalls)
 	m.Add("pin.dispatches", res.Engine.Dispatches)
+	m.Add("pin.superblock.ins", res.Engine.SuperblockIns)
 	m.Add("pin.cache.lookups", res.Cache.Lookups)
 	m.Add("pin.cache.misses", res.Cache.Misses)
 	m.Add("pin.cache.compiles", res.Cache.Compiles)
 	m.Add("pin.cache.compiled_ins", res.Cache.CompiledIns)
 	m.Add("pin.cache.flushes", res.Cache.Flushes)
+	m.Add("pin.link.hits", res.Cache.LinkHits)
+	m.Add("pin.link.misses", res.Cache.LinkMisses)
+	m.Add("pin.link.invalidations", res.Cache.LinkInvalidations)
 	m.Set("pin.cycles", float64(res.Time))
 }

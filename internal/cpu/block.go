@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// BlockIns is one predecoded instruction in a straight-line block: the
+// decoded instruction plus the address execution reaches when it falls
+// through (its own address + 4). The executor compares the post-Exec PC
+// against Next to detect taken branches without re-deriving addresses.
+type BlockIns struct {
+	Inst isa.Inst
+	Next uint32
+}
+
+// ExecBlock executes up to max instructions of block, a predecoded
+// straight-line run whose first instruction is at r.PC. It is the
+// batched inner loop of the Pin engine's superblock fast path: no
+// per-instruction cost accounting happens here, so the caller charges
+// the run's cycles, instruction counts and copy-on-write costs once from
+// the returned count.
+//
+// Execution stops, returning the number of instructions that completed,
+// when any of the following occurs:
+//
+//   - max instructions completed;
+//   - the PC diverged from the fall-through address (a taken branch or
+//     jump) — the diverging instruction is counted, matching the
+//     reference loop, which finishes an instruction before checking
+//     where it went;
+//   - the instruction raised an event (ev != EvNone) — counted;
+//   - m.CopyEvents advanced past cowStart (a copy-on-write fault) —
+//     counted, so the caller can charge the copy at the exact
+//     instruction that triggered it;
+//   - the instruction faulted (err != nil) — NOT counted, and the PC is
+//     left at the faulting instruction, exactly like Exec.
+func ExecBlock(r *Regs, m *mem.Memory, block []BlockIns, max int, cowStart uint64) (n int, ev Event, err error) {
+	if max < len(block) {
+		block = block[:max]
+	}
+	for i := range block {
+		ev, err = Exec(r, m, block[i].Inst)
+		if err != nil {
+			return i, EvNone, err
+		}
+		if ev != EvNone || r.PC != block[i].Next || m.CopyEvents != cowStart {
+			return i + 1, ev, nil
+		}
+	}
+	return len(block), EvNone, nil
+}

@@ -1,0 +1,192 @@
+package cpu
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+	"superpin/internal/mem"
+)
+
+// mkBlock lays out instructions at consecutive addresses starting at base
+// and returns the predecoded straight-line block.
+func mkBlock(base uint32, ins ...isa.Inst) []BlockIns {
+	out := make([]BlockIns, len(ins))
+	for i, in := range ins {
+		out[i] = BlockIns{Inst: in, Next: base + uint32(4*(i+1))}
+	}
+	return out
+}
+
+// TestExecBlockMatchesExecLoop: ExecBlock over a straight-line run must
+// leave exactly the state a per-instruction Exec loop leaves.
+func TestExecBlockMatchesExecLoop(t *testing.T) {
+	const base = 0x1000
+	ins := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 7},
+		{Op: isa.OpADD, Rd: 2, Rs1: 2, Rs2: 1},
+		{Op: isa.OpXOR, Rd: 3, Rs1: 3, Rs2: 2},
+		{Op: isa.OpSLLI, Rd: 4, Rs1: 1, Imm: 3},
+		{Op: isa.OpSUB, Rd: 5, Rs1: 4, Rs2: 2},
+	}
+	block := mkBlock(base, ins...)
+
+	ref := Regs{PC: base}
+	mr := mem.New()
+	for _, in := range ins {
+		if _, err := Exec(&ref, mr, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := Regs{PC: base}
+	mg := mem.New()
+	n, ev, err := ExecBlock(&got, mg, block, len(block), mg.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ins) || ev != EvNone {
+		t.Fatalf("n=%d ev=%v, want %d/EvNone", n, ev, len(ins))
+	}
+	if got != ref {
+		t.Fatalf("state diverged:\ngot %+v\nref %+v", got, ref)
+	}
+}
+
+func TestExecBlockStopsAtTakenBranch(t *testing.T) {
+	const base = 0x1000
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 1},
+		isa.Inst{Op: isa.OpBNE, Rs1: 1, Rs2: 0, Imm: 10}, // taken: diverges
+		isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 0, Imm: 99}, // must not run
+	)
+	r := Regs{PC: base}
+	m := mem.New()
+	n, ev, err := ExecBlock(&r, m, block, len(block), m.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The taken branch itself is counted; execution stops after it.
+	if n != 2 || ev != EvNone {
+		t.Fatalf("n=%d ev=%v, want 2/EvNone", n, ev)
+	}
+	if r.R[2] != 0 {
+		t.Fatal("instruction after taken branch executed")
+	}
+	if want := BranchTarget(base+4, block[1].Inst); r.PC != want {
+		t.Fatalf("PC=%#x, want branch target %#x", r.PC, want)
+	}
+}
+
+func TestExecBlockNotTakenBranchFallsThrough(t *testing.T) {
+	const base = 0x1000
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpBNE, Rs1: 0, Rs2: 0, Imm: 10}, // not taken
+		isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 0, Imm: 5},
+	)
+	r := Regs{PC: base}
+	m := mem.New()
+	n, _, err := ExecBlock(&r, m, block, len(block), m.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || r.R[2] != 5 {
+		t.Fatalf("n=%d r2=%d, want 2/5", n, r.R[2])
+	}
+}
+
+func TestExecBlockHonorsMax(t *testing.T) {
+	const base = 0x1000
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1},
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1},
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1},
+	)
+	r := Regs{PC: base}
+	m := mem.New()
+	n, _, err := ExecBlock(&r, m, block, 2, m.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || r.R[1] != 2 || r.PC != base+8 {
+		t.Fatalf("n=%d r1=%d pc=%#x", n, r.R[1], r.PC)
+	}
+	// A max beyond the block length is clamped, not an overrun.
+	if n, _, err = ExecBlock(&r, m, block[2:], 100, m.CopyEvents); err != nil || n != 1 {
+		t.Fatalf("clamped run: n=%d err=%v", n, err)
+	}
+}
+
+func TestExecBlockFaultNotCounted(t *testing.T) {
+	const base = 0x1000
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 2}, // r1 = 2 (misaligned)
+		isa.Inst{Op: isa.OpLW, Rd: 2, Rs1: 1, Imm: 0},   // faults
+	)
+	r := Regs{PC: base}
+	m := mem.New()
+	n, _, err := ExecBlock(&r, m, block, len(block), m.CopyEvents)
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	// Like Exec, the faulting instruction does not count and the PC stays
+	// on it.
+	if n != 1 || r.PC != base+4 {
+		t.Fatalf("n=%d pc=%#x, want 1/%#x", n, r.PC, base+4)
+	}
+}
+
+func TestExecBlockStopsAtCowEvent(t *testing.T) {
+	const base = 0x1000
+	parent := mem.New()
+	if f := parent.StoreWord(0x8000, 42); f != nil {
+		t.Fatal(f)
+	}
+	child := parent.Fork()
+
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 0x20},
+		isa.Inst{Op: isa.OpSLLI, Rd: 1, Rs1: 1, Imm: 10}, // r1 = 0x8000
+		isa.Inst{Op: isa.OpSW, Rd: 2, Rs1: 1, Imm: 0},    // COW copy
+		isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 0, Imm: 1},  // after the event
+	)
+	r := Regs{PC: base}
+	n, ev, err := ExecBlock(&r, child, block, len(block), child.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != EvNone {
+		t.Fatalf("ev=%v", ev)
+	}
+	// The copy-triggering store is counted, then the run breaks so the
+	// caller can charge the copy at that exact instruction.
+	if n != 3 {
+		t.Fatalf("n=%d, want 3 (stop at COW event)", n)
+	}
+	if r.R[3] != 0 {
+		t.Fatal("instruction after COW event executed")
+	}
+	if child.CopyEvents == 0 {
+		t.Fatal("test setup: store did not trigger a copy event")
+	}
+}
+
+func TestExecBlockSyscallEventCounted(t *testing.T) {
+	const base = 0x1000
+	block := mkBlock(base,
+		isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 1},
+		isa.Inst{Op: isa.OpSYSCALL},
+		isa.Inst{Op: isa.OpADDI, Rd: 3, Rs1: 0, Imm: 1},
+	)
+	r := Regs{PC: base}
+	m := mem.New()
+	n, ev, err := ExecBlock(&r, m, block, len(block), m.CopyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || ev != EvSyscall {
+		t.Fatalf("n=%d ev=%v, want 2/EvSyscall", n, ev)
+	}
+	if r.PC != base+8 {
+		t.Fatalf("PC=%#x, want past the syscall", r.PC)
+	}
+}

@@ -13,6 +13,7 @@ package jit
 import (
 	"fmt"
 
+	"superpin/internal/cpu"
 	"superpin/internal/isa"
 	"superpin/internal/mem"
 	"superpin/internal/obs"
@@ -138,14 +139,83 @@ type CompiledIns struct {
 	After  []Call // run after it executes
 }
 
+// Superblock is a maximal run of consecutive compiled instructions that
+// carry no analysis calls and cannot trap into the kernel: no Before or
+// After call sites and no SYSCALL. The dispatch loop executes such a run
+// as one cpu.ExecBlock call, batching cycle, instruction-count and COW
+// accounting once per run instead of once per instruction. Superblocks
+// are a host-side execution strategy only — the virtual cycles charged
+// are identical to the per-instruction reference loop.
+type Superblock struct {
+	// Start is the index into CompiledTrace.Ins of the run's first
+	// instruction; Block[i] predecodes Ins[Start+i].
+	Start int
+	Block []cpu.BlockIns
+	// Cum[i] is the cumulative virtual cost of executing Block[:i+1]
+	// (per-instruction exec cost plus the memory surcharge for memory
+	// ops; copy-on-write charges are excluded and accounted separately).
+	// Monotone non-decreasing, so the dispatch loop can binary-search
+	// for the exact instruction where a cycle budget would trip.
+	Cum []uint64
+}
+
+// numTraceLinks is the size of the per-trace successor cache. Trace
+// exits are branches, so a handful of direct-mapped entries covers the
+// taken/fall-through targets of a trace's few exit points.
+const numTraceLinks = 4
+
+// traceLink is one successor-cache entry: exits whose next PC equals pc
+// may enter next directly, provided the code cache has not been flushed
+// since the link was recorded (epoch match).
+type traceLink struct {
+	pc    uint32
+	epoch uint64
+	next  *CompiledTrace
+}
+
 // CompiledTrace is the code-cache resident, instrumented form of a trace.
 type CompiledTrace struct {
 	Addr uint32
 	Ins  []CompiledIns
+
+	// Sblocks and RunAt are the dispatch fast path's superblock index,
+	// filled in by the pin engine after instrumentation is woven in.
+	// RunAt[i] is the index into Sblocks of the run beginning coverage of
+	// instruction i, or -1 when instruction i is not inside any run.
+	// RunAt is nil when the trace has no runs (or the fast path is off).
+	Sblocks []Superblock
+	RunAt   []int32
+
+	links [numTraceLinks]traceLink
 }
 
 // NumIns returns the number of guest instructions in the compiled trace.
 func (ct *CompiledTrace) NumIns() int { return len(ct.Ins) }
+
+// SetLink records next as the successor trace for exits that transfer to
+// pc, tagged with the code-cache epoch that validates it. This is the
+// analogue of Pin patching a trace's exit branch to jump directly to its
+// successor in the code cache (paper Section 2.2): subsequent exits to
+// pc skip the dispatcher's map lookup.
+func (ct *CompiledTrace) SetLink(pc uint32, next *CompiledTrace, epoch uint64) {
+	ct.links[(pc>>2)%numTraceLinks] = traceLink{pc: pc, epoch: epoch, next: next}
+}
+
+// Link returns the cached successor trace for exits to pc, or nil when
+// no valid link exists. An entry recorded before the last cache flush is
+// dead — the target was evicted — so it is cleared and reported via
+// stale rather than followed.
+func (ct *CompiledTrace) Link(pc uint32, epoch uint64) (next *CompiledTrace, stale bool) {
+	l := &ct.links[(pc>>2)%numTraceLinks]
+	if l.next == nil || l.pc != pc {
+		return nil, false
+	}
+	if l.epoch != epoch {
+		*l = traceLink{}
+		return nil, true
+	}
+	return l.next, false
+}
 
 // Compile lowers a trace into its executable compiled form (without
 // instrumentation; the pin engine's instrumentation pass fills in the
@@ -235,13 +305,21 @@ func (tc *TraceCache) Insert(tr *Trace) {
 // Stats returns cumulative statistics.
 func (tc *TraceCache) Stats() TraceCacheStats { return tc.stats }
 
-// CacheStats are cumulative code-cache statistics.
+// CacheStats are cumulative code-cache statistics. The Link counters
+// track the trace-linking fast path: a hit is a trace exit resolved
+// through the predecessor's successor cache (no map lookup), a miss is
+// an exit that fell back to the dispatcher, and an invalidation is a
+// link found dead because the cache was flushed after it was recorded.
 type CacheStats struct {
 	Lookups     uint64
 	Misses      uint64
 	Compiles    uint64
 	CompiledIns uint64
 	Flushes     uint64
+
+	LinkHits          uint64
+	LinkMisses        uint64
+	LinkInvalidations uint64
 }
 
 // CodeCache maps trace entry addresses to compiled traces, with a
@@ -263,6 +341,7 @@ type CodeCache struct {
 
 	traces   map[uint32]*CompiledTrace
 	resident int
+	epoch    uint64
 	stats    CacheStats
 }
 
@@ -289,15 +368,40 @@ func (c *CodeCache) RecordLookup(hit bool) {
 	}
 }
 
+// RecordLink accumulates one trace-link resolution outcome.
+func (c *CodeCache) RecordLink(hit bool) {
+	if hit {
+		c.stats.LinkHits++
+	} else {
+		c.stats.LinkMisses++
+	}
+}
+
+// RecordLinkInvalidation accumulates one stale-link detection (a link
+// recorded before the last flush).
+func (c *CodeCache) RecordLinkInvalidation() { c.stats.LinkInvalidations++ }
+
+// Epoch returns the cache's flush epoch. It increments on every Flush;
+// trace links record the epoch they were created in and are dead when it
+// no longer matches.
+func (c *CodeCache) Epoch() uint64 { return c.epoch }
+
 // Insert adds a compiled trace, flushing the cache first if it would
-// exceed capacity.
+// exceed capacity. A single trace larger than the entire capacity is
+// admitted capacity-exempt — no flush, and excluded from the resident
+// accounting — because no amount of flushing can make it fit, and
+// counting it would leave resident above capacity forever, wedging the
+// cache into a whole-cache flush on every subsequent insert.
 func (c *CodeCache) Insert(ct *CompiledTrace) {
 	n := ct.NumIns()
-	if c.Capacity > 0 && c.resident+n > c.Capacity && len(c.traces) > 0 {
+	oversized := c.Capacity > 0 && n > c.Capacity
+	if c.Capacity > 0 && !oversized && c.resident+n > c.Capacity && len(c.traces) > 0 {
 		c.Flush()
 	}
 	c.traces[ct.Addr] = ct
-	c.resident += n
+	if !oversized {
+		c.resident += n
+	}
 	c.stats.Compiles++
 	c.stats.CompiledIns += uint64(n)
 	if c.Trace != nil {
@@ -318,6 +422,7 @@ func (c *CodeCache) Flush() {
 	}
 	c.traces = make(map[uint32]*CompiledTrace)
 	c.resident = 0
+	c.epoch++
 	c.stats.Flushes++
 }
 

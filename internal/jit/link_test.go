@@ -1,0 +1,110 @@
+package jit
+
+import "testing"
+
+func mkCompiled(addr uint32, n int) *CompiledTrace {
+	ct := &CompiledTrace{Addr: addr}
+	for i := 0; i < n; i++ {
+		ct.Ins = append(ct.Ins, CompiledIns{Addr: addr + uint32(4*i)})
+	}
+	return ct
+}
+
+// TestCodeCacheOversizedTraceExempt: a single trace larger than the whole
+// capacity must be admitted without flushing and without entering the
+// resident accounting — the regression was resident > Capacity forever,
+// which forced a whole-cache flush on every subsequent insert.
+func TestCodeCacheOversizedTraceExempt(t *testing.T) {
+	c := NewCodeCache(10)
+	c.Insert(mkCompiled(0x100, 4))
+	c.Insert(mkCompiled(0x900, 25)) // larger than the whole cache
+	if got := c.Stats().Flushes; got != 0 {
+		t.Fatalf("oversized insert flushed %d times, want 0", got)
+	}
+	if c.Lookup(0x900) == nil {
+		t.Fatal("oversized trace not resident")
+	}
+	if c.Lookup(0x100) == nil {
+		t.Fatal("oversized insert evicted an unrelated trace")
+	}
+	if got := c.Resident(); got != 4 {
+		t.Fatalf("resident = %d, want 4 (oversized trace is capacity-exempt)", got)
+	}
+
+	// Subsequent inserts behave normally: fill to capacity without a
+	// flush, then one flush when capacity is finally exceeded.
+	c.Insert(mkCompiled(0x200, 6))
+	if got := c.Stats().Flushes; got != 0 {
+		t.Fatalf("insert after oversized flushed %d times, want 0", got)
+	}
+	c.Insert(mkCompiled(0x300, 6))
+	if got := c.Stats().Flushes; got != 1 {
+		t.Fatalf("flushes = %d, want exactly 1", got)
+	}
+	if got := c.Resident(); got != 6 {
+		t.Fatalf("resident after flush = %d, want 6", got)
+	}
+	if c.Lookup(0x900) != nil {
+		t.Fatal("oversized trace survived the flush")
+	}
+}
+
+func TestTraceLinkRoundTrip(t *testing.T) {
+	a := mkCompiled(0x100, 4)
+	b := mkCompiled(0x200, 4)
+	if next, stale := a.Link(0x200, 0); next != nil || stale {
+		t.Fatalf("empty link cache returned %v stale=%v", next, stale)
+	}
+	a.SetLink(0x200, b, 0)
+	next, stale := a.Link(0x200, 0)
+	if next != b || stale {
+		t.Fatalf("Link = %v stale=%v, want b", next, stale)
+	}
+	// A different PC mapping to the same slot must not alias.
+	if next, _ := a.Link(0x200+4*numTraceLinks, 0); next != nil {
+		t.Fatal("link returned for a different PC")
+	}
+}
+
+func TestTraceLinkEpochInvalidation(t *testing.T) {
+	a := mkCompiled(0x100, 4)
+	b := mkCompiled(0x200, 4)
+	a.SetLink(0x200, b, 0)
+	// After a flush the epoch advances; the link is dead and must be
+	// reported stale exactly once (the entry is cleared).
+	next, stale := a.Link(0x200, 1)
+	if next != nil || !stale {
+		t.Fatalf("post-flush Link = %v stale=%v, want nil/stale", next, stale)
+	}
+	if next, stale := a.Link(0x200, 1); next != nil || stale {
+		t.Fatalf("second lookup = %v stale=%v, want nil/not-stale (entry cleared)", next, stale)
+	}
+}
+
+func TestCodeCacheEpochAdvancesOnFlush(t *testing.T) {
+	c := NewCodeCache(10)
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", c.Epoch())
+	}
+	c.Insert(mkCompiled(0x100, 6))
+	c.Insert(mkCompiled(0x200, 6))
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch after capacity flush = %d, want 1", c.Epoch())
+	}
+	c.Flush()
+	if c.Epoch() != 2 {
+		t.Fatalf("epoch after explicit flush = %d, want 2", c.Epoch())
+	}
+}
+
+func TestCodeCacheLinkStats(t *testing.T) {
+	c := NewCodeCache(0)
+	c.RecordLink(true)
+	c.RecordLink(true)
+	c.RecordLink(false)
+	c.RecordLinkInvalidation()
+	st := c.Stats()
+	if st.LinkHits != 2 || st.LinkMisses != 1 || st.LinkInvalidations != 1 {
+		t.Fatalf("link stats = %+v", st)
+	}
+}

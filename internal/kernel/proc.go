@@ -146,6 +146,14 @@ func (p *Proc) Group() PID {
 	return p.PID
 }
 
+// CowPending reports whether Mem holds copy-on-write events not yet
+// charged by ChargeCow (copies triggered outside the runner, e.g. by a
+// kernel syscall writing guest memory). The Pin engine's batched fast
+// path falls back to per-instruction execution while a charge is
+// pending, so the charge lands at the same instruction as it does in
+// the reference loop.
+func (p *Proc) CowPending() bool { return p.Mem.CopyEvents != p.cowMark }
+
 // ChargeCow charges any copy-on-write page copies performed since the
 // last call, returning the cycles charged. It is used by every Runner
 // implementation (native and instrumented) after each guest instruction.

@@ -1,6 +1,8 @@
 package pin
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"superpin/internal/asm"
@@ -24,10 +26,29 @@ loop:
 	syscall
 `
 
-// setupEngine spawns the loop under an engine and returns proc + kernel.
-func setupEngine(b *testing.B, instrument func(*Engine)) (*kernel.Kernel, *kernel.Proc, *Engine) {
+// benchHops is a dispatch-heavy guest loop: a chain of a few hundred
+// two-instruction blocks, each ending in a jump, so almost all the work
+// is inter-trace transfer and the code cache holds a realistic number of
+// traces. It isolates the cost of dispatch itself — the trace-linking
+// benchmarks' subject.
+var benchHops = func() string {
+	const hops = 300
+	var b strings.Builder
+	b.WriteString("\tli r10, 0\n\tli r11, 1000000000\nloop:\n\taddi r10, r10, 1\n\tj h0\n")
+	for i := 0; i < hops; i++ {
+		fmt.Fprintf(&b, "h%d:\n\tadd r12, r12, r10\n", i)
+		if i < hops-1 {
+			fmt.Fprintf(&b, "\tj h%d\n", i+1)
+		}
+	}
+	b.WriteString("\tblt r10, r11, loop\n\tli r1, 1\n\tsyscall\n")
+	return b.String()
+}()
+
+// setupEngine spawns src under an engine and returns proc + kernel.
+func setupEngine(b *testing.B, src string, instrument func(*Engine)) (*kernel.Kernel, *kernel.Proc, *Engine) {
 	b.Helper()
-	p, err := asm.Assemble(benchLoop)
+	p, err := asm.Assemble(src)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -69,13 +90,54 @@ func runN(b *testing.B, e *Engine, k *kernel.Kernel, p *kernel.Proc) {
 }
 
 func BenchmarkEngineUninstrumented(b *testing.B) {
-	k, p, e := setupEngine(b, nil)
+	k, p, e := setupEngine(b, benchLoop, nil)
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineUninstrumentedNoFastPath is the reference loop on the
+// same workload: the ratio to BenchmarkEngineUninstrumented is the
+// superblock fast path's speedup.
+func BenchmarkEngineUninstrumentedNoFastPath(b *testing.B) {
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) { e.NoFastPath = true })
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineDispatchLinked measures inter-trace transfer cost with
+// trace linking on: the hop chain re-dispatches every few instructions,
+// each resolved through the per-trace successor cache.
+func BenchmarkEngineDispatchLinked(b *testing.B) {
+	k, p, e := setupEngine(b, benchHops, nil)
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineDispatchUnlinked is the same hop chain through the
+// dispatcher's map lookup on every transfer.
+func BenchmarkEngineDispatchUnlinked(b *testing.B) {
+	k, p, e := setupEngine(b, benchHops, func(e *Engine) { e.NoFastPath = true })
 	runN(b, e, k, p)
 }
 
 func BenchmarkEngineIcount1Style(b *testing.B) {
 	var n uint64
-	k, p, e := setupEngine(b, func(e *Engine) {
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				for _, ins := range bbl.Ins() {
+					ins.InsertCall(Before, func(*Ctx) { n++ })
+				}
+			}
+		})
+	})
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineIcount1StyleNoFastPath: fully instrumented code has no
+// superblocks, so the delta to BenchmarkEngineIcount1Style is what trace
+// linking alone buys on an instrumented workload.
+func BenchmarkEngineIcount1StyleNoFastPath(b *testing.B) {
+	var n uint64
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) {
+		e.NoFastPath = true
 		e.AddTraceInstrumenter(func(tr *Trace) {
 			for _, bbl := range tr.Bbls() {
 				for _, ins := range bbl.Ins() {
@@ -89,7 +151,25 @@ func BenchmarkEngineIcount1Style(b *testing.B) {
 
 func BenchmarkEngineIcount2Style(b *testing.B) {
 	var n uint64
-	k, p, e := setupEngine(b, func(e *Engine) {
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				c := uint64(bbl.NumIns())
+				bbl.InsertCall(Before, func(*Ctx) { n += c })
+			}
+		})
+	})
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineIcount2StyleNoFastPath: block-head calls leave call-free
+// block tails, so this measures the reference loop on partially
+// instrumented code (superblocks cover the tails when the fast path is
+// on).
+func BenchmarkEngineIcount2StyleNoFastPath(b *testing.B) {
+	var n uint64
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) {
+		e.NoFastPath = true
 		e.AddTraceInstrumenter(func(tr *Trace) {
 			for _, bbl := range tr.Bbls() {
 				c := uint64(bbl.NumIns())
@@ -102,7 +182,7 @@ func BenchmarkEngineIcount2Style(b *testing.B) {
 
 func BenchmarkEngineIfThenDetectionStyle(b *testing.B) {
 	// The SuperPin detection pattern: an inlined predicate at one hot PC.
-	k, p, e := setupEngine(b, func(e *Engine) {
+	k, p, e := setupEngine(b, benchLoop, func(e *Engine) {
 		e.AddTraceInstrumenter(func(tr *Trace) {
 			for _, bbl := range tr.Bbls() {
 				for _, ins := range bbl.Ins() {

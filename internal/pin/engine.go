@@ -2,6 +2,7 @@ package pin
 
 import (
 	"superpin/internal/cpu"
+	"superpin/internal/isa"
 	"superpin/internal/jit"
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
@@ -45,6 +46,17 @@ type CostModel struct {
 	// (<= 0 for unlimited). Applications whose footprint exceeds it
 	// trigger whole-cache flushes and recompilation.
 	CacheCapacity int
+
+	// NoFastPath disables the engine's host-side dispatch fast paths
+	// (trace linking and batched superblock execution), forcing the
+	// per-instruction reference loop. Virtual-cycle results are
+	// byte-identical either way — the fast paths change what the host
+	// pays, never what the guest is charged — so the flag exists for
+	// differential testing and benchmarking, not for correctness. It
+	// rides in the cost model (despite not being a cost) because the
+	// cost model is the one knob plumbed to every engine a run creates,
+	// including the per-slice engines SuperPin forks.
+	NoFastPath bool
 }
 
 // DefaultCost returns the calibrated default engine cost model.
@@ -62,13 +74,17 @@ func DefaultCost() CostModel {
 	}
 }
 
-// Stats are cumulative engine execution statistics.
+// Stats are cumulative engine execution statistics. SuperblockIns counts
+// the subset of ExecIns executed through the batched superblock fast
+// path (zero when the fast path is disabled or every instruction is
+// instrumented).
 type Stats struct {
 	ExecIns       uint64
 	AnalysisCalls uint64
 	IfCalls       uint64
 	ThenCalls     uint64
 	Dispatches    uint64
+	SuperblockIns uint64
 }
 
 // SyscallFilter lets a wrapper (SuperPin's slice engine) intercept guest
@@ -111,6 +127,10 @@ type Engine struct {
 	// instruction count the master recorded.
 	InsLimit uint64
 
+	// NoFastPath mirrors CostModel.NoFastPath (see there); it may also
+	// be toggled directly on the engine before the first Run.
+	NoFastPath bool
+
 	cache         *jit.CodeCache
 	instrumenters []func(*Trace)
 	finiFns       []func(code uint32)
@@ -119,11 +139,23 @@ type Engine struct {
 	idx           int
 	stats         Stats
 	trace         *obs.Tracer
+
+	// linkNext is a successor trace resolved by the previous trace exit's
+	// link-cache hit, consumed by the next dispatch in place of the map
+	// lookup. linkFrom is the previous trace when its exit missed the
+	// link cache; the next dispatch records the resolved successor into
+	// it. At most one of the two is set.
+	linkNext *jit.CompiledTrace
+	linkFrom *jit.CompiledTrace
 }
 
 // NewEngine creates an engine with the given cost model.
 func NewEngine(cost CostModel) *Engine {
-	return &Engine{Cost: cost, cache: jit.NewCodeCache(cost.CacheCapacity)}
+	return &Engine{
+		Cost:       cost,
+		NoFastPath: cost.NoFastPath,
+		cache:      jit.NewCodeCache(cost.CacheCapacity),
+	}
 }
 
 // AddTraceInstrumenter registers a trace-time instrumentation callback,
@@ -174,12 +206,16 @@ func (e *Engine) PublishMetrics(m *obs.Metrics, prefix string) {
 	m.Add(prefix+".if_calls", e.stats.IfCalls)
 	m.Add(prefix+".then_calls", e.stats.ThenCalls)
 	m.Add(prefix+".dispatches", e.stats.Dispatches)
+	m.Add(prefix+".superblock.ins", e.stats.SuperblockIns)
 	cs := e.cache.Stats()
 	m.Add(prefix+".cache.lookups", cs.Lookups)
 	m.Add(prefix+".cache.misses", cs.Misses)
 	m.Add(prefix+".cache.compiles", cs.Compiles)
 	m.Add(prefix+".cache.compiled_ins", cs.CompiledIns)
 	m.Add(prefix+".cache.flushes", cs.Flushes)
+	m.Add(prefix+".link.hits", cs.LinkHits)
+	m.Add(prefix+".link.misses", cs.LinkMisses)
+	m.Add(prefix+".link.invalidations", cs.LinkInvalidations)
 	if e.Shared != nil {
 		ts := e.Shared.Stats()
 		m.Add(prefix+".shared.hits", ts.Hits)
@@ -194,14 +230,36 @@ func (e *Engine) Stats() Stats { return e.stats }
 func (e *Engine) CacheStats() jit.CacheStats { return e.cache.Stats() }
 
 // FlushCache discards all compiled traces (used by tests and by cache
-// pressure experiments).
-func (e *Engine) FlushCache() { e.cache.Flush(); e.cur = nil }
+// pressure experiments). Pending trace-link state dies with the cache
+// generation: the flush bumps the cache epoch, which invalidates every
+// recorded link lazily, and the in-flight linkNext/linkFrom pointers are
+// dropped eagerly here.
+func (e *Engine) FlushCache() {
+	e.cache.Flush()
+	e.cur = nil
+	e.linkNext = nil
+	e.linkFrom = nil
+}
 
 // Run implements kernel.Runner: it executes up to budget cycles of
 // instrumented guest code for p.
+//
+// Two host-side fast paths accelerate the loop without changing any
+// virtual-cycle outcome (disable both with NoFastPath):
+//
+//   - trace linking (Pin paper Section 2.2): each trace exit records its
+//     successor in a small per-trace cache, so the next dispatch is a
+//     pointer chase instead of a map lookup. The dispatch cycles are
+//     still charged and the logical cache lookup is still counted.
+//   - superblock execution: runs of instructions with no analysis calls
+//     execute through cpu.ExecBlock, with cycles, InsCount, ExecIns and
+//     copy-on-write charges batched per run. The run is cut at the exact
+//     instruction where the reference loop's per-instruction budget or
+//     InsLimit check would stop, so stop points are unchanged.
 func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
 	cost := e.Cost
 	kcost := k.Config().Cost
+	fast := !e.NoFastPath
 	ctx := &e.ctx
 	ctx.Regs = &p.Regs
 	ctx.Mem = p.Mem
@@ -212,6 +270,17 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 	}
 	var used kernel.Cycles
 
+	// cowClear caches "no copy-on-write charge is pending" so the hot loop
+	// can skip the p.CowPending probe. It is trusted only when true: it is
+	// set after every chargeCow and dropped whenever something other than
+	// guest execution may have touched guest memory (Run entry, syscall
+	// filters, analysis calls after the charge point).
+	cowClear := false
+	// hasRuns caches "the current trace has at least one superblock", a
+	// per-trace constant, so fully instrumented traces pay one register
+	// test per instruction instead of re-probing RunAt.
+	hasRuns := fast && e.cur != nil && e.cur.RunAt != nil
+
 	for {
 		if e.cur == nil {
 			used += cost.Dispatch
@@ -219,43 +288,153 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 			if e.Shared != nil {
 				used += cost.SharedCheck
 			}
-			ct := e.cache.Lookup(p.Regs.PC)
-			e.cache.RecordLookup(ct != nil)
-			if ct == nil {
-				var tr *jit.Trace
-				sharedHit := false
-				if e.Shared != nil {
-					st, ok := e.Shared.Lookup(p.Regs.PC)
-					e.Shared.RecordLookup(ok)
-					if ok && !st.ContainsBeyondHead(e.SplitPC) {
-						tr = st
-						sharedHit = true
-					}
-				}
-				if tr == nil {
-					var err error
-					tr, err = jit.BuildTraceSplit(p.Mem, p.Regs.PC, e.SplitPC)
-					if err != nil {
-						p.Err = err
-						return used, kernel.StopError
-					}
+			if next := e.linkNext; next != nil && next.Addr == p.Regs.PC {
+				// Linked dispatch: the previous exit resolved its
+				// successor, so the map lookup is skipped. It still counts
+				// as a (hit) lookup so CacheStats match -nofastpath runs.
+				e.linkNext = nil
+				e.cache.RecordLookup(true)
+				e.cur, e.idx = next, 0
+			} else {
+				e.linkNext = nil
+				ct := e.cache.Lookup(p.Regs.PC)
+				e.cache.RecordLookup(ct != nil)
+				if ct == nil {
+					var tr *jit.Trace
+					sharedHit := false
 					if e.Shared != nil {
-						e.Shared.Insert(tr)
+						st, ok := e.Shared.Lookup(p.Regs.PC)
+						e.Shared.RecordLookup(ok)
+						if ok && !st.ContainsBeyondHead(e.SplitPC) {
+							tr = st
+							sharedHit = true
+						}
+					}
+					if tr == nil {
+						var err error
+						tr, err = jit.BuildTraceSplit(p.Mem, p.Regs.PC, e.SplitPC)
+						if err != nil {
+							p.Err = err
+							return used, kernel.StopError
+						}
+						if e.Shared != nil {
+							e.Shared.Insert(tr)
+						}
+					}
+					ct = jit.Compile(tr)
+					view := newTraceView(tr, ct)
+					for _, fn := range e.instrumenters {
+						fn(view)
+					}
+					if fast {
+						sealFastPaths(ct, cost)
+					}
+					e.cache.Insert(ct)
+					if sharedHit {
+						used += kernel.Cycles(ct.NumIns()) * cost.WeavePerIns
+					} else {
+						used += kernel.Cycles(ct.NumIns()) * cost.CompilePerIns
 					}
 				}
-				ct = jit.Compile(tr)
-				view := newTraceView(tr, ct)
-				for _, fn := range e.instrumenters {
-					fn(view)
+				if from := e.linkFrom; from != nil {
+					from.SetLink(p.Regs.PC, ct, e.cache.Epoch())
+					e.linkFrom = nil
 				}
-				e.cache.Insert(ct)
-				if sharedHit {
-					used += kernel.Cycles(ct.NumIns()) * cost.WeavePerIns
-				} else {
-					used += kernel.Cycles(ct.NumIns()) * cost.CompilePerIns
-				}
+				e.cur, e.idx = ct, 0
 			}
-			e.cur, e.idx = ct, 0
+			hasRuns = fast && e.cur.RunAt != nil
+		}
+
+		// Superblock fast path: execute the call-free run starting at the
+		// current instruction in one batched ExecBlock call. Skipped while
+		// an uncharged copy-on-write event is pending (possible after a
+		// kernel syscall wrote guest memory) so the charge lands at the
+		// same instruction as in the reference loop.
+		if hasRuns && (cowClear || !p.CowPending()) {
+			if ri := e.cur.RunAt[e.idx]; ri >= 0 {
+				sb := &e.cur.Sblocks[ri]
+				off := e.idx - sb.Start
+				var pre uint64
+				if off > 0 {
+					pre = sb.Cum[off-1]
+				}
+				avail := len(sb.Block) - off
+				// Budget hoisting: the reference loop executes an
+				// instruction, then stops if used >= budget. Binary-search
+				// the cumulative-cost array for the instruction whose
+				// completion crosses the budget; that instruction still
+				// executes, everything after it does not.
+				allow := avail
+				if used >= budget {
+					allow = 1
+				} else if target := pre + uint64(budget-used); sb.Cum[off+avail-1] >= target {
+					// The budget trips somewhere inside the run (rare):
+					// binary-search for the crossing instruction.
+					lo, hi := off, off+avail
+					for lo < hi {
+						mid := int(uint(lo+hi) >> 1)
+						if sb.Cum[mid] >= target {
+							hi = mid
+						} else {
+							lo = mid + 1
+						}
+					}
+					allow = lo - off + 1
+				}
+				// Same hoisting for the InsLimit pause point.
+				if e.InsLimit != 0 {
+					if p.InsCount >= e.InsLimit {
+						allow = 1
+					} else if rem := e.InsLimit - p.InsCount; uint64(allow) > rem {
+						allow = int(rem)
+					}
+				}
+				n, ev, err := cpu.ExecBlock(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents)
+				if n > 0 {
+					used += kernel.Cycles(sb.Cum[off+n-1]-pre) + chargeCow(p, kcost)
+					cowClear = true
+					p.InsCount += uint64(n)
+					e.stats.ExecIns += uint64(n)
+					e.stats.SuperblockIns += uint64(n)
+					e.idx += n
+				}
+				if err != nil {
+					p.Err = err
+					e.cur = nil
+					return used, kernel.StopError
+				}
+				if ev == cpu.EvSyscall {
+					// Unreachable by construction — superblocks exclude
+					// SYSCALL — but kept identical to the slow path.
+					e.cur = nil
+					if e.Syscall != nil {
+						handled, c, stop := e.Syscall(k, p)
+						used += c
+						cowClear = false
+						if handled {
+							if stop != kernel.StopBudget {
+								return used, stop
+							}
+							if used >= budget || e.limitReached(p) {
+								return used, kernel.StopBudget
+							}
+							continue
+						}
+					}
+					return used, kernel.StopSyscall
+				}
+				if e.idx >= len(e.cur.Ins) || e.cur.Ins[e.idx].Addr != p.Regs.PC {
+					if p.Regs.PC == e.cur.Addr && used < budget && !e.limitReached(p) {
+						e.selfLoop(&used)
+						continue
+					}
+					e.leaveTrace(p.Regs.PC, fast)
+				}
+				if used >= budget || e.limitReached(p) {
+					return used, kernel.StopBudget
+				}
+				continue
+			}
 		}
 
 		ci := &e.cur.Ins[e.idx]
@@ -285,11 +464,14 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 			used += cost.MemSurcharge
 		}
 		used += chargeCow(p, kcost)
+		cowClear = true
 		p.InsCount++
 		e.stats.ExecIns++
 
-		// IPOINT_AFTER analysis calls.
+		// IPOINT_AFTER analysis calls. They may write guest memory, so the
+		// cached no-pending-COW flag is dropped.
 		for i := range ci.After {
+			cowClear = false
 			used += e.runCall(ctx, &ci.After[i])
 			if ctx.StopRequested() {
 				e.cur = nil
@@ -302,6 +484,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 			if e.Syscall != nil {
 				handled, c, stop := e.Syscall(k, p)
 				used += c
+				cowClear = false
 				if handled {
 					if stop != kernel.StopBudget {
 						return used, stop
@@ -319,12 +502,143 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		// compiled instruction; otherwise re-dispatch.
 		e.idx++
 		if e.idx >= len(e.cur.Ins) || e.cur.Ins[e.idx].Addr != p.Regs.PC {
-			e.cur = nil
+			if fast && p.Regs.PC == e.cur.Addr && used < budget && !e.limitReached(p) {
+				e.selfLoop(&used)
+				continue
+			}
+			e.leaveTrace(p.Regs.PC, fast)
 		}
 		if used >= budget || e.limitReached(p) {
 			return used, kernel.StopBudget
 		}
 	}
+}
+
+// selfLoop re-enters the current trace at its head: the exit branched
+// back to the trace's own entry (a hot loop body), so the dispatcher's
+// map lookup and the link-cache round trip are both skipped. Virtual
+// accounting is unchanged — the dispatch cycles are charged and the
+// logical (hit) lookup is counted exactly as the reference loop does.
+// Callers must have checked that the budget and InsLimit have not been
+// reached, since a real trace exit would stop before re-dispatching.
+func (e *Engine) selfLoop(used *kernel.Cycles) {
+	*used += e.Cost.Dispatch
+	if e.Shared != nil {
+		*used += e.Cost.SharedCheck
+	}
+	e.stats.Dispatches++
+	e.cache.RecordLookup(true)
+	e.idx = 0
+}
+
+// leaveTrace ends execution of the current trace with control headed to
+// nextPC. With the fast path on it consults the trace's successor cache:
+// on a hit the target is staged in linkNext for the upcoming dispatch to
+// consume without a map lookup; on a miss the trace is remembered in
+// linkFrom so that dispatch can record the resolved successor. The
+// dispatch cost itself is always charged at the top of the loop, keeping
+// virtual-cycle accounting identical with -nofastpath.
+func (e *Engine) leaveTrace(nextPC uint32, fast bool) {
+	if fast {
+		if next, stale := e.cur.Link(nextPC, e.cache.Epoch()); next != nil {
+			e.cache.RecordLink(true)
+			e.linkNext = next
+		} else {
+			if stale {
+				e.cache.RecordLinkInvalidation()
+			}
+			e.cache.RecordLink(false)
+			e.linkFrom = e.cur
+		}
+	}
+	e.cur = nil
+}
+
+// minSuperblockIns is the shortest call-free run worth batching: the
+// fast path's setup (run lookup, budget search, batched accounting)
+// costs more than the reference loop saves on a run of one.
+const minSuperblockIns = 2
+
+// fastEligible reports whether a compiled instruction may live inside a
+// superblock: it must carry no analysis calls (nothing to run between
+// instructions) and must not trap (SYSCALL returns to the kernel).
+func fastEligible(ci *jit.CompiledIns) bool {
+	return len(ci.Before) == 0 && len(ci.After) == 0 && ci.Inst.Op != isa.OpSYSCALL
+}
+
+// sealFastPaths precomputes a freshly instrumented trace's superblock
+// index: maximal runs of fast-eligible instructions, predecoded for
+// cpu.ExecBlock, with cumulative per-run cycle costs so the dispatch
+// loop can batch accounting and hoist the budget checks out of the
+// per-instruction path. Runs after the tool's instrumenters, which are
+// what decide eligibility.
+func sealFastPaths(ct *jit.CompiledTrace, cost CostModel) {
+	// Sealing runs on every compile, so allocation cost matters: a first
+	// pass sizes single backing arrays for all runs (four allocations per
+	// sealed trace, none for call-saturated ones) before a second pass
+	// fills them.
+	n := len(ct.Ins)
+	runs, covered := 0, 0
+	for i := 0; i < n; {
+		if !fastEligible(&ct.Ins[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && fastEligible(&ct.Ins[j]) {
+			j++
+		}
+		if j-i >= minSuperblockIns {
+			runs++
+			covered += j - i
+		}
+		i = j
+	}
+	if runs == 0 {
+		return
+	}
+	runAt := make([]int32, n)
+	for r := range runAt {
+		runAt[r] = -1
+	}
+	blocks := make([]cpu.BlockIns, covered)
+	cums := make([]uint64, covered)
+	sblocks := make([]jit.Superblock, 0, runs)
+	pos := 0
+	for i := 0; i < n; {
+		if !fastEligible(&ct.Ins[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && fastEligible(&ct.Ins[j]) {
+			j++
+		}
+		if j-i >= minSuperblockIns {
+			sb := jit.Superblock{
+				Start: i,
+				Block: blocks[pos : pos+j-i : pos+j-i],
+				Cum:   cums[pos : pos+j-i : pos+j-i],
+			}
+			pos += j - i
+			var cum uint64
+			ri := int32(len(sblocks))
+			for x := i; x < j; x++ {
+				ci := &ct.Ins[x]
+				cum += uint64(cost.Exec)
+				if ci.Inst.Op.IsMem() {
+					cum += uint64(cost.MemSurcharge)
+				}
+				sb.Block[x-i] = cpu.BlockIns{Inst: ci.Inst, Next: ci.Addr + isa.WordSize}
+				sb.Cum[x-i] = cum
+				runAt[x] = ri
+			}
+			sblocks = append(sblocks, sb)
+		}
+		i = j
+	}
+	ct.Sblocks = sblocks
+	ct.RunAt = runAt
 }
 
 // limitReached reports whether the InsLimit pause point has been hit.
@@ -334,8 +648,13 @@ func (e *Engine) limitReached(p *kernel.Proc) bool {
 
 // ResetPosition discards the engine's intra-trace execution position.
 // Callers that swap the process's register context (SuperPin's thread
-// replay) must call it so dispatch restarts from the new PC.
-func (e *Engine) ResetPosition() { e.cur = nil }
+// replay) must call it so dispatch restarts from the new PC. In-flight
+// trace-link state is keyed to the pre-swap PC, so it is dropped too.
+func (e *Engine) ResetPosition() {
+	e.cur = nil
+	e.linkNext = nil
+	e.linkFrom = nil
+}
 
 // runCall executes one analysis call site and returns its cycle cost.
 func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call) kernel.Cycles {

@@ -203,9 +203,12 @@ func TestSharedCacheRespectsSplitPC(t *testing.T) {
 
 func TestEngineSurvivesCacheFlushMidTrace(t *testing.T) {
 	// A capacity-1-trace cache forces a flush on every compile; the
-	// engine's current-trace pointer must remain valid.
+	// engine's current-trace pointer must remain valid. The capacity must
+	// hold tinyLoop's largest trace (7 instructions) but not two traces,
+	// since a single trace exceeding the whole capacity is now admitted
+	// capacity-exempt and would never trigger a flush.
 	cost := DefaultCost()
-	cost.CacheCapacity = 4
+	cost.CacheCapacity = 8
 	p, err := asm.Assemble(tinyLoop)
 	if err != nil {
 		t.Fatal(err)

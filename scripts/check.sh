@@ -29,7 +29,13 @@ go test ./...
 echo "== go test -race (parallel harness + observability) =="
 go test -race ./internal/bench/... ./internal/obs/...
 
+echo "== benchmarks compile and run once =="
+go test -run='^$' -bench=. -benchtime=1x ./...
+
 echo "== observability smoke (trace invariants) =="
 go run ./cmd/spbench -exp obssmoke -scale 0.02 -benchmarks gzip,mgrid
+
+echo "== dispatch fast-path differential (fast vs -nofastpath) =="
+go run ./cmd/spbench -exp fastpathdiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "ok"
