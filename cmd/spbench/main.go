@@ -10,7 +10,9 @@
 //	spbench -trace-dir traces/   # write per-benchmark Chrome trace JSON
 //	spbench -exp obssmoke        # verify trace invariants end to end
 //	spbench -exp fastpathdiff    # verify engine fast paths change nothing
+//	spbench -exp profdiff        # verify serial and SuperPin profiles match
 //	spbench -nofastpath          # run with the dispatch fast paths off
+//	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
 // (the default) uses the SPBENCH_J environment variable when set, else
@@ -25,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,7 +66,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|profdiff")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -73,12 +76,36 @@ func run(args []string) error {
 		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
+		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the harness to this file")
+		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := writeMemProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "spbench: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := bench.DefaultConfig()
@@ -251,6 +278,27 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if *exp == "profdiff" {
+		reports, err := bench.RunProfDiff(cfg, bench.Icount1)
+		if err != nil {
+			return err
+		}
+		t := report.New("Profile differential: native vs serial Pin vs SuperPin-merged, fast and -nofastpath",
+			"benchmark", "ins", "interval", "samples", "max stack", "slices", "sp cycles", "verdict")
+		for _, r := range reports {
+			t.Row(r.Name, r.Ins, r.Interval, r.Samples, r.MaxStack, r.Slices, uint64(r.SPCycles), "ok")
+		}
+		if err := emit("profdiff", t); err != nil {
+			return err
+		}
+		if len(reports) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range reports[0].Checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
 	if *exp == "obssmoke" {
 		reports, err := bench.RunObsSmoke(cfg, bench.Icount1)
 		if err != nil {
@@ -301,4 +349,18 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeMemProfile snapshots the host heap after a GC.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -18,6 +18,18 @@
 // extension gets the plain-text log), and -metrics out.json writes the
 // run's metrics registry snapshot. Both are off by default and cost
 // nothing when off.
+//
+// Profiling: -profile prof.json and/or -fold prof.folded attach the
+// virtual-time guest profiler (sampling interval -profint, in retired
+// guest instructions), print a hotspot table, and write the JSON
+// artifact and/or flamegraph.pl-ready folded stacks. The profiler
+// charges no virtual cycles and produces byte-identical samples in Pin
+// and SuperPin mode:
+//
+//	superpin -t icount2 -profile gcc.prof.json -fold gcc.folded -- gcc
+//
+// Host-side profiling of the simulator itself: -cpuprofile / -memprofile
+// write runtime/pprof profiles.
 package main
 
 import (
@@ -25,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"superpin/internal/asm"
@@ -32,6 +46,8 @@ import (
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
 	"superpin/internal/pin"
+	"superpin/internal/prof"
+	"superpin/internal/report"
 	"superpin/internal/tools"
 	"superpin/internal/workload"
 )
@@ -66,6 +82,12 @@ func run(args []string) error {
 		lineBytes  = fs.Int("linebytes", 32, "dcache/acache line size in bytes")
 		ways       = fs.Int("ways", 4, "acache associativity")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching); virtual results are identical")
+		profJSON   = fs.String("profile", "", "write the guest profile (PC + shadow call stack samples) as JSON to this file; enables the profiler")
+		profFold   = fs.String("fold", "", "write the guest profile as folded stacks (flamegraph.pl input) to this file; enables the profiler")
+		profInt    = fs.Uint64("profint", 0, "profiler sampling interval in retired guest instructions (0 = 10007 when -profile/-fold given, else off)")
+		profTop    = fs.Int("top", 10, "rows in the profiler hotspot table")
+		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the simulator to this file")
+		memProf    = fs.String("memprofile", "", "write a host heap profile of the simulator to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
@@ -85,6 +107,37 @@ func run(args []string) error {
 		return fmt.Errorf("exactly one application expected, got %d", fs.NArg())
 	}
 	app := fs.Arg(0)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Written on the way out so the heap reflects the whole run; a
+		// failure here is a warning, not a run failure.
+		defer func() {
+			if err := writeMemProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "superpin: memprofile:", err)
+			}
+		}()
+	}
+
+	profInterval := *profInt
+	if profInterval == 0 && (*profJSON != "" || *profFold != "") {
+		// Default interval: prime, so samples do not lock onto loop
+		// periods; ~100 samples per million guest instructions.
+		profInterval = 10007
+	}
 
 	prog, spec, err := loadApp(app, *scale)
 	if err != nil {
@@ -136,7 +189,7 @@ func run(args []string) error {
 		pcost.NoFastPath = *noFastPath
 		pcfg := kcfg
 		pcfg.Trace = tracer
-		res, err := core.RunPin(pcfg, prog, factory, pcost)
+		res, err := core.RunPinProf(pcfg, prog, factory, pcost, profInterval)
 		if err != nil {
 			return fmt.Errorf("pin run: %w", err)
 		}
@@ -146,6 +199,9 @@ func run(args []string) error {
 			fmt.Printf("relative: %.1f%% of native\n", 100*float64(res.Time)/float64(nativeTime))
 		}
 		core.PublishPinMetrics(metrics, res)
+		if err := writeProfOutputs(res.Profile, prog, *profJSON, *profFold, *profTop); err != nil {
+			return err
+		}
 		return writeObsOutputs(*tracePath, tracer, *metricsOut, metrics)
 	}
 
@@ -166,6 +222,7 @@ func run(args []string) error {
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.PinCost.NoFastPath = *noFastPath
 	opts.NativeMemSurcharge = spec.NativeMemCost
+	opts.ProfInterval = profInterval
 	opts.Trace = tracer
 	opts.Metrics = metrics
 	res, err := core.Run(kcfg, prog, factory, opts)
@@ -191,6 +248,9 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Timeline(100))
 	}
+	if err := writeProfOutputs(res.Profile, prog, *profJSON, *profFold, *profTop); err != nil {
+		return err
+	}
 	if err := writeObsOutputs(*tracePath, tracer, *metricsOut, metrics); err != nil {
 		return err
 	}
@@ -198,6 +258,50 @@ func run(args []string) error {
 		return fmt.Errorf("run completed with slice errors: %w", res.Err)
 	}
 	return nil
+}
+
+// writeProfOutputs prints the hotspot table and writes the requested
+// profile artifacts. No-op when p is nil (profiling was off).
+func writeProfOutputs(p *prof.Profile, prog *asm.Program, jsonPath, foldPath string, top int) error {
+	if p == nil {
+		return nil
+	}
+	symtab := prof.NewSymtab(prog.Symbols)
+	title := fmt.Sprintf("Guest hotspots (%d samples, every %d instructions)", len(p.Samples), p.Interval)
+	fmt.Println(report.HotspotTable(title, p, symtab, top))
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		err = p.WriteJSON(f, symtab)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing profile: %w", err)
+		}
+	}
+	if foldPath != "" {
+		if err := os.WriteFile(foldPath, []byte(p.Folded(symtab)), 0o644); err != nil {
+			return fmt.Errorf("writing folded stacks: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeMemProfile snapshots the host heap after a GC.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeObsOutputs writes the requested trace and metrics files.

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/prof"
+	"superpin/internal/workload"
+)
+
+// ProfDiffReport is one benchmark's profile-equivalence outcome: the
+// benchmark was profiled under the native interpreter, serial Pin (fast
+// and -nofastpath) and SuperPin (fast and -nofastpath), and all five
+// sample streams were byte-identical.
+type ProfDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// Interval is the sampling interval used (derived from Ins so every
+	// benchmark yields a comparable sample count).
+	Interval uint64
+	// Samples is the (identical) number of samples in each stream.
+	Samples int
+	// MaxStack is the deepest shadow stack observed in any sample.
+	MaxStack int
+	// Slices is the SuperPin run's timeslice count — the profile merge
+	// is only exercised when this is at least 2.
+	Slices int
+	// SPCycles is the (profiling-independent) SuperPin runtime.
+	SPCycles kernel.Cycles
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// profDiffChecks are the equalities the differential runner asserts.
+var profDiffChecks = []string{
+	"serial Pin profile identical to native (fast and -nofastpath)",
+	"SuperPin merged profile identical to native (fast and -nofastpath)",
+	"folded stacks byte-identical across all five modes",
+	"profiling charged zero virtual cycles (native and SuperPin)",
+}
+
+// RunProfDiff profiles each configured benchmark under all five execution
+// modes — native interpreter, serial Pin with the dispatch fast paths on
+// and off, and SuperPin with the fast paths on and off — and verifies
+// that the merged SuperPin sample streams are byte-identical to the
+// serial ones, and that attaching the profiler changed no virtual-time
+// observable.
+func RunProfDiff(cfg Config, kind ToolKind) ([]*ProfDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*ProfDiffReport, error) {
+		return runProfDiffOne(cfg, specs[i], kind)
+	})
+}
+
+func runProfDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*ProfDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Unprofiled native run: establishes the instruction count (which
+	// sizes the sampling interval) and the zero-cost baseline.
+	plain, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("profdiff %s: native: %w", spec.Name, err)
+	}
+	// ~500 samples per run regardless of benchmark length; the +1 keeps
+	// short runs (and the interval itself) nonzero.
+	interval := plain.Ins/499 + 1
+
+	native, err := core.RunNativeProf(cfg.Kernel, prog, spec.NativeMemCost, interval)
+	if err != nil {
+		return nil, fmt.Errorf("profdiff %s: native profiled: %w", spec.Name, err)
+	}
+	if native.Time != plain.Time || native.Ins != plain.Ins {
+		return nil, fmt.Errorf("profdiff %s: profiling changed the native run: %d/%d vs %d/%d cycles/ins",
+			spec.Name, native.Time, native.Ins, plain.Time, plain.Ins)
+	}
+	ref := native.Profile
+	if len(ref.Samples) == 0 {
+		return nil, fmt.Errorf("profdiff %s: native run produced no samples", spec.Name)
+	}
+	symtab := prof.NewSymtab(prog.Symbols)
+	refFolded := ref.Folded(symtab)
+
+	var spCycles, spPlainCycles kernel.Cycles
+	var slices int
+	for _, nofast := range []bool{false, true} {
+		pinCost := cfg.PinCost
+		pinCost.MemSurcharge = spec.PinMemCost
+		pinCost.NoFastPath = nofast
+		pinTool := newTool(kind)
+		pinRes, err := core.RunPinProf(cfg.Kernel, prog, pinTool.Factory(), pinCost, interval)
+		if err != nil {
+			return nil, fmt.Errorf("profdiff %s: pin (nofast=%v): %w", spec.Name, nofast, err)
+		}
+		if d := ref.Diff(pinRes.Profile); d != "" {
+			return nil, fmt.Errorf("profdiff %s: pin (nofast=%v) profile differs from native: %s",
+				spec.Name, nofast, d)
+		}
+		if got := pinRes.Profile.Folded(symtab); got != refFolded {
+			return nil, fmt.Errorf("profdiff %s: pin (nofast=%v) folded stacks differ from native",
+				spec.Name, nofast)
+		}
+
+		opts := core.DefaultOptions()
+		opts.SliceMSec = cfg.TimesliceMSec
+		opts.MaxSlices = cfg.MaxSlices
+		opts.PinCost = cfg.PinCost
+		opts.PinCost.MemSurcharge = spec.SliceMemCost
+		opts.PinCost.NoFastPath = nofast
+		opts.NativeMemSurcharge = spec.NativeMemCost
+		opts.ProfInterval = interval
+		spTool := newTool(kind)
+		spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("profdiff %s: superpin (nofast=%v): %w", spec.Name, nofast, err)
+		}
+		if spRes.Err != nil {
+			return nil, fmt.Errorf("profdiff %s: superpin (nofast=%v): %w", spec.Name, nofast, spRes.Err)
+		}
+		if d := ref.Diff(spRes.Profile); d != "" {
+			return nil, fmt.Errorf("profdiff %s: superpin (nofast=%v) merged profile differs from native: %s",
+				spec.Name, nofast, d)
+		}
+		if got := spRes.Profile.Folded(symtab); got != refFolded {
+			return nil, fmt.Errorf("profdiff %s: superpin (nofast=%v) folded stacks differ from native",
+				spec.Name, nofast)
+		}
+		if !nofast {
+			spCycles = spRes.TotalTime
+			slices = len(spRes.Slices)
+
+			// Unprofiled SuperPin run (fast paths only: the virtual
+			// result is mode-independent): profiling must not have
+			// moved the slice schedule or the runtime.
+			opts.ProfInterval = 0
+			plainTool := newTool(kind)
+			plainSP, err := core.Run(cfg.Kernel, prog, plainTool.Factory(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("profdiff %s: superpin unprofiled: %w", spec.Name, err)
+			}
+			if plainSP.Err != nil {
+				return nil, fmt.Errorf("profdiff %s: superpin unprofiled: %w", spec.Name, plainSP.Err)
+			}
+			spPlainCycles = plainSP.TotalTime
+			if spPlainCycles != spCycles || len(plainSP.Slices) != slices {
+				return nil, fmt.Errorf("profdiff %s: profiling changed the SuperPin run: %d cycles/%d slices vs %d/%d",
+					spec.Name, spCycles, slices, spPlainCycles, len(plainSP.Slices))
+			}
+		}
+	}
+
+	maxStack := 0
+	for _, s := range ref.Samples {
+		if len(s.Stack) > maxStack {
+			maxStack = len(s.Stack)
+		}
+	}
+	return &ProfDiffReport{
+		Name:     spec.Name,
+		Ins:      native.Ins,
+		Interval: interval,
+		Samples:  len(ref.Samples),
+		MaxStack: maxStack,
+		Slices:   slices,
+		SPCycles: spCycles,
+		Checks:   profDiffChecks,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestRunProfDiff is the profile-equivalence check at the harness level:
+// native, serial Pin (fast/-nofastpath) and SuperPin (fast/-nofastpath)
+// sample streams must be byte-identical, profiling must charge zero
+// virtual cycles, and the runs must actually exercise the merge path
+// (multiple slices) and the shadow stack (nonzero depth).
+func TestRunProfDiff(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip", "gcc", "mgrid"}
+	reports, err := RunProfDiff(cfg, Icount1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.Ins == 0 || r.Samples == 0 || r.SPCycles == 0 {
+			t.Fatalf("%s: empty report %+v", r.Name, r)
+		}
+		if r.Slices < 2 {
+			t.Errorf("%s: only %d slices; profile merge untested", r.Name, r.Slices)
+		}
+		if r.MaxStack == 0 {
+			t.Errorf("%s: no sample carried a shadow-stack frame", r.Name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"superpin/internal/mem"
 	"superpin/internal/obs"
 	"superpin/internal/pin"
+	"superpin/internal/prof"
 )
 
 // Stats are SuperPin execution statistics, including the Section 4.4
@@ -62,6 +63,11 @@ type Result struct {
 	// Stdout is the application's console output (written once, by the
 	// master; slices' replayed writes are suppressed).
 	Stdout []byte
+	// Profile is the merged guest profile (nil unless
+	// Options.ProfInterval was set): the slices' sample streams
+	// concatenated in slice-merge order, byte-identical to a serial
+	// profile of the same program.
+	Profile *prof.Profile
 	// Err aggregates slice divergences and guest faults, nil on a clean
 	// run.
 	Err error
@@ -111,6 +117,14 @@ type Engine struct {
 	sharedAreas  [][]uint64
 	sharedTraces *jit.TraceCache // non-nil with Options.SharedCodeCache
 	masterRing   *kernel.IPRing  // non-nil with DetectorIPHistory
+
+	// masterProbe (non-nil with Options.ProfInterval) shadows the
+	// master's call stack without recording, so each fork can seed its
+	// slice's recording probe; profSamples accumulates the slices'
+	// samples in merge order.
+	masterProbe *prof.Probe
+	profSamples []prof.Sample
+	profDepth   int
 
 	// group is the master thread group (leader first); curBursts is the
 	// schedule log accumulated since the last fork (Options.Threads).
@@ -173,6 +187,13 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	}
 	e.master = k.Spawn("master", m, regs, runner)
 	e.master.Hook = e
+	if opts.ProfInterval > 0 {
+		// The master's probe only maintains the shadow stack (observer
+		// mode): samples are taken by the slices, which cover the
+		// instruction stream exactly once between them.
+		e.masterProbe = prof.NewObserver(opts.ProfInterval)
+		e.master.Prof = e.masterProbe
+	}
 	e.group = []*kernel.Proc{e.master}
 	if opts.Threads {
 		// Deterministic thread replay (Section 8 future work): record
@@ -247,6 +268,13 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	if e.mergedThrough != len(e.slices) {
 		e.errs = append(e.errs,
 			fmt.Errorf("core: only %d of %d slices merged", e.mergedThrough, len(e.slices)))
+	}
+	if e.masterProbe != nil {
+		res.Profile = &prof.Profile{
+			Interval: e.opts.ProfInterval,
+			TotalIns: res.MasterIns,
+			Samples:  e.profSamples,
+		}
 	}
 	res.Err = errors.Join(e.errs...)
 	e.publishMetrics(res)
@@ -424,6 +452,15 @@ func (e *Engine) doFork(kind boundaryKind) {
 	}
 
 	sl.proc = e.k.Fork(e.master, fmt.Sprintf("slice%d", num), runner, false)
+	if e.masterProbe != nil {
+		// The slice's probe continues the master's position and shadow
+		// stack from the fork point; it samples only the slice's own
+		// range (its first sample index is strictly past the fork
+		// position, so a sample landing exactly on the boundary belongs
+		// to the previous slice).
+		sl.probe = e.masterProbe.Fork()
+		sl.proc.Prof = sl.probe
+	}
 	if e.opts.Trace != nil {
 		sl.eng.AttachObs(e.opts.Trace, int32(sl.proc.PID))
 	}
@@ -540,6 +577,15 @@ func (e *Engine) onSliceDone(sl *slice) {
 		s := e.slices[e.mergedThrough]
 		if sa, ok := s.tool.(SliceAware); ok {
 			sa.SliceEnd(s.num)
+		}
+		if s.probe != nil {
+			// Merge the slice's sample stream in slice order: because the
+			// slices partition the instruction stream, the concatenation
+			// is the serial profile.
+			e.profSamples = append(e.profSamples, s.probe.Samples()...)
+			if d := s.probe.MaxDepth(); d > e.profDepth {
+				e.profDepth = d
+			}
 		}
 		s.ctl.autoMerge()
 		e.mergedThrough++

@@ -48,6 +48,11 @@ func (e *Engine) publishMetrics(res *Result) {
 	for _, sl := range e.slices {
 		sl.eng.PublishMetrics(m, "pin")
 	}
+	if res.Profile != nil {
+		m.Set("prof.interval", float64(res.Profile.Interval))
+		m.Add("prof.samples", uint64(len(res.Profile.Samples)))
+		m.Set("prof.max_stack_depth", float64(e.profDepth))
+	}
 	e.k.PublishMetrics(m)
 }
 
@@ -72,4 +77,8 @@ func PublishPinMetrics(m *obs.Metrics, res *PinResult) {
 	m.Add("pin.link.misses", res.Cache.LinkMisses)
 	m.Add("pin.link.invalidations", res.Cache.LinkInvalidations)
 	m.Set("pin.cycles", float64(res.Time))
+	if res.Profile != nil {
+		m.Set("prof.interval", float64(res.Profile.Interval))
+		m.Add("prof.samples", uint64(len(res.Profile.Samples)))
+	}
 }

@@ -125,6 +125,15 @@ type Options struct {
 	// MinSliceMSec floors the adaptive throttle (default SliceMSec/8).
 	MinSliceMSec float64
 
+	// ProfInterval, when positive, attaches the virtual-time guest
+	// profiler (internal/prof): the master maintains a shadow call
+	// stack, each slice samples PC + stack every ProfInterval retired
+	// instructions over its own range, and the merged stream (exposed as
+	// Result.Profile) is byte-identical to a serial run's. Profiling
+	// charges no virtual cycles. Incompatible with Threads: the probe
+	// follows one instruction stream, and a thread group has several.
+	ProfInterval uint64
+
 	// PinCost is the cost model for the slices' instrumentation engines.
 	PinCost pin.CostModel
 
@@ -166,6 +175,9 @@ func (o *Options) normalize() error {
 	}
 	if o.MaxSysRecs < 0 {
 		return fmt.Errorf("core: MaxSysRecs must be non-negative, got %d", o.MaxSysRecs)
+	}
+	if o.ProfInterval > 0 && o.Threads {
+		return fmt.Errorf("core: ProfInterval is incompatible with Threads (the profiler follows a single instruction stream)")
 	}
 	if o.StackWords <= 0 {
 		o.StackWords = 100

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+	"superpin/internal/prof"
+)
+
+// TestProfModeEquivalence is the tentpole invariant: the same program
+// profiled under the native interpreter, serial Pin (fast and reference
+// loops), and SuperPin (fast and -nofastpath) yields byte-identical
+// sample streams, and therefore identical folded stacks.
+func TestProfModeEquivalence(t *testing.T) {
+	const interval = 97 // prime, so samples drift across block shapes
+	prog := buildWorkload(t, 3000, 31, kernel.SysRand)
+	cfg := testKernelCfg()
+
+	native, err := RunNativeProf(cfg, prog, 0, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := native.Profile
+	if ref == nil || len(ref.Samples) == 0 {
+		t.Fatal("native run produced no profile")
+	}
+	if want := native.Ins / interval; uint64(len(ref.Samples)) != want {
+		t.Fatalf("native samples = %d, want Ins/interval = %d", len(ref.Samples), want)
+	}
+	deep := 0
+	for _, s := range ref.Samples {
+		if len(s.Stack) > 0 {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Fatal("no native sample carried a shadow-stack frame")
+	}
+
+	profiles := map[string]*prof.Profile{}
+	for _, nofast := range []bool{false, true} {
+		name := map[bool]string{false: "fast", true: "nofast"}[nofast]
+		cost := pin.DefaultCost()
+		cost.NoFastPath = nofast
+
+		factory, _ := newIcount()
+		pinRes, err := RunPinProf(cfg, prog, factory, cost, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles["pin/"+name] = pinRes.Profile
+
+		spFactory, _ := newIcount()
+		opts := smallOpts(50)
+		opts.ProfInterval = interval
+		opts.PinCost = cost
+		res, err := Run(cfg, prog, spFactory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("superpin %s errors: %v", name, res.Err)
+		}
+		if len(res.Slices) < 2 {
+			t.Fatalf("superpin %s ran only %d slices; profile merge untested", name, len(res.Slices))
+		}
+		profiles["superpin/"+name] = res.Profile
+	}
+
+	symtab := prof.NewSymtab(prog.Symbols)
+	wantFolded := ref.Folded(symtab)
+	if !strings.Contains(wantFolded, "leaf") {
+		t.Fatalf("folded output never attributes leaf:\n%s", wantFolded)
+	}
+	for name, p := range profiles {
+		if p == nil {
+			t.Fatalf("%s: no profile", name)
+		}
+		if d := ref.Diff(p); d != "" {
+			t.Errorf("%s profile differs from native: %s", name, d)
+		}
+		if got := p.Folded(symtab); got != wantFolded {
+			t.Errorf("%s folded stacks differ from native", name)
+		}
+	}
+}
+
+// TestProfSliceBoundarySampling: at interval 1 every retired instruction
+// is a sample, so any boundary tear — a sample dropped, duplicated, or
+// shifted at a timeslice edge — breaks the merged stream immediately.
+func TestProfSliceBoundarySampling(t *testing.T) {
+	prog := buildWorkload(t, 600, 15, kernel.SysRand)
+	cfg := testKernelCfg()
+
+	native, err := RunNativeProf(cfg, prog, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := native.Profile
+	for i, s := range ref.Samples {
+		if s.Index != uint64(i+1) {
+			t.Fatalf("native sample %d has index %d; stream not dense", i, s.Index)
+		}
+	}
+
+	for _, nofast := range []bool{false, true} {
+		factory, _ := newIcount()
+		opts := smallOpts(20) // short slices: many boundaries
+		opts.ProfInterval = 1
+		opts.PinCost.NoFastPath = nofast
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("nofast=%v: superpin errors: %v", nofast, res.Err)
+		}
+		if len(res.Slices) < 2 {
+			t.Fatalf("nofast=%v: only %d slices", nofast, len(res.Slices))
+		}
+		if d := ref.Diff(res.Profile); d != "" {
+			t.Errorf("nofast=%v: merged stream differs from serial: %s", nofast, d)
+		}
+	}
+}
+
+// TestProfQuantumInvariance: the scheduler quantum changes when slices
+// run relative to each other on the virtual machine, but not what they
+// execute — the merged profile must not depend on it.
+func TestProfQuantumInvariance(t *testing.T) {
+	prog := buildWorkload(t, 2000, 31, kernel.SysRand)
+
+	run := func(quantum kernel.Cycles) *prof.Profile {
+		cfg := testKernelCfg()
+		if quantum > 0 {
+			cfg.Cost.Quantum = quantum
+		}
+		factory, _ := newIcount()
+		opts := smallOpts(30)
+		opts.ProfInterval = 113
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("quantum %d: superpin errors: %v", quantum, res.Err)
+		}
+		return res.Profile
+	}
+
+	ref := run(0)
+	if len(ref.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, q := range []kernel.Cycles{37, 1009} {
+		if d := ref.Diff(run(q)); d != "" {
+			t.Errorf("quantum %d changed the profile: %s", q, d)
+		}
+	}
+}
+
+// TestProfZeroVirtualCost: attaching the profiler must not move a single
+// virtual-time observable — the slice schedule, timings, and instruction
+// counts are those of an unprofiled run.
+func TestProfZeroVirtualCost(t *testing.T) {
+	prog := buildWorkload(t, 2000, 31, kernel.SysRand)
+	cfg := testKernelCfg()
+
+	run := func(interval uint64) *Result {
+		factory, _ := newIcount()
+		opts := smallOpts(30)
+		opts.ProfInterval = interval
+		res, err := Run(cfg, prog, factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("interval %d: superpin errors: %v", interval, res.Err)
+		}
+		return res
+	}
+
+	plain := run(0)
+	profiled := run(101)
+	if plain.Profile != nil {
+		t.Fatal("unprofiled run has a profile")
+	}
+	if profiled.Profile == nil || len(profiled.Profile.Samples) == 0 {
+		t.Fatal("profiled run has no samples")
+	}
+	if plain.TotalTime != profiled.TotalTime ||
+		plain.MasterEnd != profiled.MasterEnd ||
+		plain.MasterIns != profiled.MasterIns ||
+		len(plain.Slices) != len(profiled.Slices) {
+		t.Fatalf("profiling changed virtual outcomes:\nplain    total=%d end=%d ins=%d slices=%d\nprofiled total=%d end=%d ins=%d slices=%d",
+			plain.TotalTime, plain.MasterEnd, plain.MasterIns, len(plain.Slices),
+			profiled.TotalTime, profiled.MasterEnd, profiled.MasterIns, len(profiled.Slices))
+	}
+	for i := range plain.Slices {
+		if plain.Slices[i] != profiled.Slices[i] {
+			t.Fatalf("slice %d changed under profiling: %+v vs %+v", i, plain.Slices[i], profiled.Slices[i])
+		}
+	}
+}
+
+// TestProfThreadsRejected: ProfInterval with Threads must fail loudly at
+// option validation, not silently profile one thread of a group.
+func TestProfThreadsRejected(t *testing.T) {
+	prog := buildWorkload(t, 100, 15, kernel.SysRand)
+	factory, _ := newIcount()
+	opts := smallOpts(50)
+	opts.Threads = true
+	opts.ProfInterval = 5
+	if _, err := Run(testKernelCfg(), prog, factory, opts); err == nil {
+		t.Fatal("Run accepted ProfInterval + Threads")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"superpin/internal/kernel"
 	"superpin/internal/mem"
 	"superpin/internal/pin"
+	"superpin/internal/prof"
 )
 
 // NativeResult is the outcome of an uninstrumented baseline run.
@@ -17,17 +18,32 @@ type NativeResult struct {
 	Syscalls uint64
 	ExitCode uint32
 	Stdout   []byte
+	// Profile is the run's guest profile (nil unless requested via
+	// RunNativeProf).
+	Profile *prof.Profile
 }
 
 // RunNative executes program natively (no instrumentation, no monitoring)
 // on a fresh kernel — the "native" bar of the paper's figures.
 func RunNative(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycles) (*NativeResult, error) {
+	return RunNativeProf(cfg, program, memSurcharge, 0)
+}
+
+// RunNativeProf is RunNative with the virtual-time profiler attached when
+// profInterval is positive (0 disables profiling). The profiler charges
+// no cycles, so the result's timings are identical either way.
+func RunNativeProf(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycles, profInterval uint64) (*NativeResult, error) {
 	k := kernel.New(cfg)
 	m := mem.New()
 	program.LoadInto(m)
 	regs := cpu.Regs{PC: program.Entry}
 	regs.R[isa.RegSP] = DefaultStackTop
 	p := k.Spawn("native", m, regs, kernel.NativeRunner{MemSurcharge: memSurcharge})
+	var probe *prof.Probe
+	if profInterval > 0 {
+		probe = prof.NewProbe(profInterval)
+		p.Prof = probe
+	}
 	if err := k.Run(); err != nil {
 		return nil, err
 	}
@@ -46,6 +62,9 @@ func RunNative(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycl
 			}
 		}
 	}
+	if probe != nil {
+		res.Profile = &prof.Profile{Interval: profInterval, TotalIns: res.Ins, Samples: probe.Samples()}
+	}
 	return res, nil
 }
 
@@ -57,6 +76,9 @@ type PinResult struct {
 	Engine   pin.Stats
 	Cache    jit.CacheStats
 	Stdout   []byte
+	// Profile is the run's guest profile (nil unless requested via
+	// RunPinProf).
+	Profile *prof.Profile
 }
 
 // RunPin executes program serially under the instrumentation engine with
@@ -65,6 +87,15 @@ type PinResult struct {
 // false, CreateSharedArea returns the local data), so the same tool code
 // runs unchanged, exactly as in the paper's Figure 2 example.
 func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost pin.CostModel) (*PinResult, error) {
+	return RunPinProf(cfg, program, factory, cost, 0)
+}
+
+// RunPinProf is RunPin with the virtual-time profiler attached when
+// profInterval is positive (0 disables profiling). The probe rides on
+// the leader process only, so multithreaded guests should not be
+// profiled this way; the profiler charges no cycles, so the result's
+// timings are identical either way.
+func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost pin.CostModel, profInterval uint64) (*PinResult, error) {
 	k := kernel.New(cfg)
 	m := mem.New()
 	program.LoadInto(m)
@@ -86,6 +117,11 @@ func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost p
 	}
 
 	p := k.Spawn("pin", m, regs, e)
+	var probe *prof.Probe
+	if profInterval > 0 {
+		probe = prof.NewProbe(profInterval)
+		p.Prof = probe
+	}
 	if cfg.Trace != nil {
 		e.AttachObs(cfg.Trace, int32(p.PID))
 	}
@@ -109,6 +145,9 @@ func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost p
 				res.Time = q.EndTime - p.StartTime
 			}
 		}
+	}
+	if probe != nil {
+		res.Profile = &prof.Profile{Interval: profInterval, TotalIns: res.Ins, Samples: probe.Samples()}
 	}
 	return res, nil
 }

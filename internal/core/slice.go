@@ -6,6 +6,7 @@ import (
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
 	"superpin/internal/pin"
+	"superpin/internal/prof"
 )
 
 // boundaryKind describes how a timeslice ends.
@@ -69,6 +70,10 @@ type slice struct {
 	startSig *Signature
 	endSig   *Signature // the NEXT slice's start signature
 	boundary boundaryKind
+
+	// probe is the slice's profiler probe (Options.ProfInterval), seeded
+	// from the master's shadow stack at the fork point.
+	probe *prof.Probe
 
 	records []sysRecord
 	nextRec int

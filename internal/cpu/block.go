@@ -3,6 +3,7 @@ package cpu
 import (
 	"superpin/internal/isa"
 	"superpin/internal/mem"
+	"superpin/internal/prof"
 )
 
 // BlockIns is one predecoded instruction in a straight-line block: the
@@ -44,6 +45,30 @@ func ExecBlock(r *Regs, m *mem.Memory, block []BlockIns, max int, cowStart uint6
 		if err != nil {
 			return i, EvNone, err
 		}
+		if ev != EvNone || r.PC != block[i].Next || m.CopyEvents != cowStart {
+			return i + 1, ev, nil
+		}
+	}
+	return len(block), EvNone, nil
+}
+
+// ExecBlockProf is ExecBlock with a profiler probe observing every
+// completed instruction. It exists as a separate loop (rather than a nil
+// check inside ExecBlock) so the unprofiled fast path stays branch-free,
+// and so profiled fast-path runs retire instructions through exactly the
+// same per-instruction observation point as the reference loop — the
+// sample stream is identical with the fast paths on or off because both
+// paths drive the probe once per retired instruction, in order.
+func ExecBlockProf(r *Regs, m *mem.Memory, block []BlockIns, max int, cowStart uint64, pr *prof.Probe) (n int, ev Event, err error) {
+	if max < len(block) {
+		block = block[:max]
+	}
+	for i := range block {
+		ev, err = Exec(r, m, block[i].Inst)
+		if err != nil {
+			return i, EvNone, err
+		}
+		pr.OnExec(block[i].Inst, block[i].Next, r.PC)
 		if ev != EvNone || r.PC != block[i].Next || m.CopyEvents != cowStart {
 			return i + 1, ev, nil
 		}

@@ -5,6 +5,7 @@ import (
 
 	"superpin/internal/cpu"
 	"superpin/internal/mem"
+	"superpin/internal/prof"
 )
 
 // PID identifies a simulated process.
@@ -99,6 +100,13 @@ type Proc struct {
 	// bookkeeping) without the kernel knowing its type.
 	Aux any
 
+	// Prof, when non-nil, observes every instruction this process
+	// retires (virtual-time PC sampling and shadow-stack maintenance).
+	// The probe charges no cycles: attaching it changes nothing the
+	// guest or the scheduler can see. Not inherited by Fork or
+	// SpawnThread — each profiled process gets its own probe.
+	Prof *prof.Probe
+
 	// Brk and MmapTop are the address-space bookkeeping for the brk and
 	// mmap system calls. They are inherited across Fork.
 	Brk     uint32
@@ -188,6 +196,7 @@ type NativeRunner struct {
 func (r NativeRunner) Run(k *Kernel, p *Proc, budget Cycles) (Cycles, StopReason) {
 	var used Cycles
 	cost := k.cfg.Cost
+	pr := p.Prof
 	for used < budget {
 		pc := p.Regs.PC
 		ev, in, err := cpu.Step(&p.Regs, p.Mem)
@@ -205,6 +214,9 @@ func (r NativeRunner) Run(k *Kernel, p *Proc, budget Cycles) (Cycles, StopReason
 		}
 		used += p.ChargeCow(cost)
 		p.InsCount++
+		if pr != nil {
+			pr.OnExec(in, pc+4, p.Regs.PC)
+		}
 		if ev == cpu.EvSyscall {
 			return used, StopSyscall
 		}

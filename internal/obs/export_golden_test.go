@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenEvents is a fixed event sequence exercising every branch of both
+// exporters: schedule spans, spawn/fork/exit lifetimes, sleep nesting,
+// and each instant-marker kind with its argument formatting.
+func goldenEvents() []Event {
+	return []Event{
+		{Kind: EvProcSpawn, Time: 0, PID: 1, CPU: -1, Name: "master"},
+		{Kind: EvSchedule, Time: 0, Dur: 200, PID: 1, CPU: 0, Name: "master"},
+		{Kind: EvCompile, Time: 40, PID: 1, CPU: -1, Arg: 0x10000, Arg2: 17},
+		{Kind: EvSyscall, Time: 90, PID: 1, CPU: -1, Arg: 4, Name: "write"},
+		{Kind: EvSliceSpawn, Time: 100, PID: 2, CPU: -1, Arg: 0, Name: "syscall"},
+		{Kind: EvFork, Time: 100, PID: 2, CPU: -1, Arg: 1, Name: "slice0"},
+		{Kind: EvSchedule, Time: 200, Dur: 150, PID: 2, CPU: 1, Name: "slice0"},
+		{Kind: EvSleep, Time: 350, PID: 2, CPU: -1},
+		{Kind: EvSigFullCheck, Time: 360, PID: 2, CPU: -1, Arg: 0x2000, Arg2: 1},
+		{Kind: EvWake, Time: 400, PID: 2, CPU: -1},
+		{Kind: EvSliceDetect, Time: 410, PID: 2, CPU: -1, Arg: 0},
+		{Kind: EvCacheFlush, Time: 420, PID: 2, CPU: -1, Arg: 1234},
+		{Kind: EvSliceMerge, Time: 450, PID: 2, CPU: -1, Arg: 0},
+		{Kind: EvProcExit, Time: 460, PID: 2, CPU: -1, Arg: 0},
+		{Kind: EvProcExit, Time: 500, PID: 1, CPU: -1, Arg: 42},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace-format export byte-for-byte:
+// Perfetto compatibility depends on field names and phase letters that
+// unit assertions on parsed JSON would not catch drifting.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.trace.json", buf.Bytes())
+}
+
+// TestTextExportGolden pins the plain-text log format, which downstream
+// grep/awk tooling (scripts/) parses by column.
+func TestTextExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.trace.txt", buf.Bytes())
+}

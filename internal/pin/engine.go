@@ -252,7 +252,8 @@ func (e *Engine) FlushCache() {
 //     pointer chase instead of a map lookup. The dispatch cycles are
 //     still charged and the logical cache lookup is still counted.
 //   - superblock execution: runs of instructions with no analysis calls
-//     execute through cpu.ExecBlock, with cycles, InsCount, ExecIns and
+//     execute through cpu.ExecBlock (ExecBlockProf when a profiler probe
+//     is attached), with cycles, InsCount, ExecIns and
 //     copy-on-write charges batched per run. The run is cut at the exact
 //     instruction where the reference loop's per-instruction budget or
 //     InsLimit check would stop, so stop points are unchanged.
@@ -260,6 +261,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 	cost := e.Cost
 	kcost := k.Config().Cost
 	fast := !e.NoFastPath
+	pr := p.Prof
 	ctx := &e.ctx
 	ctx.Regs = &p.Regs
 	ctx.Mem = p.Mem
@@ -389,7 +391,14 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 						allow = int(rem)
 					}
 				}
-				n, ev, err := cpu.ExecBlock(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents)
+				var n int
+				var ev cpu.Event
+				var err error
+				if pr != nil {
+					n, ev, err = cpu.ExecBlockProf(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents, pr)
+				} else {
+					n, ev, err = cpu.ExecBlock(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents)
+				}
 				if n > 0 {
 					used += kernel.Cycles(sb.Cum[off+n-1]-pre) + chargeCow(p, kcost)
 					cowClear = true
@@ -467,6 +476,13 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		cowClear = true
 		p.InsCount++
 		e.stats.ExecIns++
+		if pr != nil {
+			// The probe observes the retired instruction here — after its
+			// architectural effects, before After-point analysis calls and
+			// syscall servicing — the same point as the native interpreter
+			// and the superblock fast path, so all modes sample identically.
+			pr.OnExec(ci.Inst, ci.Addr+isa.WordSize, p.Regs.PC)
+		}
 
 		// IPOINT_AFTER analysis calls. They may write guest memory, so the
 		// cached no-pending-COW flag is dropped.

@@ -1,0 +1,108 @@
+package pin
+
+import (
+	"reflect"
+	"testing"
+
+	"superpin/internal/kernel"
+	"superpin/internal/prof"
+)
+
+// runProfiledWithLimits executes testSrc under the engine with a probe
+// attached, pausing at each InsLimit in limits (SuperPin's thread-replay
+// pause/resume) before running to the exit syscall. It returns the
+// complete sample stream.
+func runProfiledWithLimits(t *testing.T, nofast bool, interval uint64, limits []uint64) []prof.Sample {
+	t.Helper()
+	cost := DefaultCost()
+	cost.NoFastPath = nofast
+	s := setupMode(t, testSrc, kernel.DefaultConfig(), cost, nil)
+	pr := prof.NewProbe(interval)
+	s.p.Prof = pr
+	for _, lim := range limits {
+		s.e.InsLimit = lim
+		_, stop := s.e.Run(s.k, s.p, 1<<40)
+		if stop != kernel.StopBudget {
+			t.Fatalf("nofast=%v limit %d: stop %v", nofast, lim, stop)
+		}
+		if s.p.InsCount != lim {
+			t.Fatalf("nofast=%v limit %d: paused at %d", nofast, lim, s.p.InsCount)
+		}
+	}
+	s.e.InsLimit = 0
+	_, stop := s.e.Run(s.k, s.p, 1<<40)
+	if stop != kernel.StopSyscall {
+		t.Fatalf("nofast=%v: final stop %v", nofast, stop)
+	}
+	return pr.Samples()
+}
+
+// TestProfInsLimitEdges: a sample landing exactly on an InsLimit pause
+// point must be recorded once, before the pause, and resuming must not
+// re-record or shift it — in both the fast-path and reference loops.
+func TestProfInsLimitEdges(t *testing.T) {
+	const interval = 5
+	ref := runProfiledWithLimits(t, false, interval, nil)
+	if len(ref) == 0 {
+		t.Fatal("reference run recorded no samples")
+	}
+	for _, limits := range [][]uint64{
+		{10},          // pause exactly on a sample index
+		{10, 15, 20},  // consecutive exact-multiple pauses
+		{7},           // pause between samples
+		{7, 123, 124}, // mixed, including adjacent resume
+		{1, 2, 3},     // immediate pauses from the start
+	} {
+		for _, nofast := range []bool{false, true} {
+			got := runProfiledWithLimits(t, nofast, interval, limits)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("limits %v nofast=%v: sample stream diverged (%d vs %d samples)",
+					limits, nofast, len(got), len(ref))
+			}
+		}
+	}
+}
+
+// TestProfFastPathIdentical: with no pauses at all, the fast-path and
+// reference sample streams must be byte-identical, and attaching the
+// probe must not change any virtual outcome.
+func TestProfFastPathIdentical(t *testing.T) {
+	const interval = 3
+	fast := runProfiledWithLimits(t, false, interval, nil)
+	slow := runProfiledWithLimits(t, true, interval, nil)
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("fast/nofast streams diverged (%d vs %d samples)", len(fast), len(slow))
+	}
+	// Some samples must carry call-stack frames (testSrc calls double).
+	withStack := 0
+	for _, s := range fast {
+		if len(s.Stack) > 0 {
+			withStack++
+		}
+	}
+	if withStack == 0 {
+		t.Fatal("no sample carried a shadow-stack frame")
+	}
+}
+
+// TestProfZeroVirtualCost: a profiled run charges exactly the cycles an
+// unprofiled run does.
+func TestProfZeroVirtualCost(t *testing.T) {
+	run := func(probe bool) (kernel.Cycles, uint64) {
+		s := setupMode(t, testSrc, kernel.DefaultConfig(), DefaultCost(), nil)
+		if probe {
+			s.p.Prof = prof.NewProbe(7)
+		}
+		used, stop := s.e.Run(s.k, s.p, 1<<40)
+		if stop != kernel.StopSyscall {
+			t.Fatalf("stop %v", stop)
+		}
+		return used, s.p.InsCount
+	}
+	plainCycles, plainIns := run(false)
+	profCycles, profIns := run(true)
+	if plainCycles != profCycles || plainIns != profIns {
+		t.Fatalf("profiling changed virtual outcomes: %d/%d vs %d/%d cycles/ins",
+			plainCycles, plainIns, profCycles, profIns)
+	}
+}

@@ -1,0 +1,177 @@
+// Package prof implements the virtual-time guest profiler: deterministic
+// PC sampling with a shadow call stack, usable under plain interpretation,
+// serial Pin, and SuperPin's parallel slices.
+//
+// # The virtual timeline
+//
+// Samples are taken every Interval *retired guest instructions*, not every
+// N virtual cycles. The retired-instruction clock is the only timeline
+// that is identical in every execution mode: cycle clocks differ between
+// native and instrumented runs (instrumentation overhead dilates them) and
+// between serial and sliced runs (each slice pays its own compile and
+// detection costs), but the sequence of retired instructions is exactly
+// the system's core determinism invariant — the master, a serial Pin run,
+// and the concatenation of SuperPin's slices all retire the same
+// instructions in the same order. Sampling on that clock makes the profile
+// a pure function of the program, so per-slice sample streams merged in
+// slice order are byte-identical to the serial profile. That identity is
+// the strongest equivalence witness the reproduction has: it checks every
+// sampled PC and call stack, not just aggregate counters.
+//
+// # The shadow call stack
+//
+// The probe maintains the stack from the instruction stream alone, with
+// the SVR32 linkage idioms:
+//
+//   - a JAL or JALR that links (Rd != zero) is a call: push a frame
+//     recording the callee entry (the branch target) and the return
+//     address (the call's fall-through);
+//   - a JALR that does not link (Rd == zero) is a return or an indirect
+//     jump: pop every frame down to (and including) the one whose return
+//     address matches the target, handling multi-level returns; if no
+//     frame matches, the stack is left untouched (a plain indirect jump);
+//   - a JAL that does not link is a plain jump.
+//
+// Because the rules consume only the instruction stream, the stack is
+// deterministic across execution modes, and a slice can seed its stack
+// from the master's at the fork point.
+//
+// # Zero virtual cost
+//
+// The probe is a runner-level observer, not a Pintool: it charges no
+// virtual cycles and inserts no analysis calls, so attaching it changes
+// nothing the guest or the scheduler can see. A profiled run's cycle
+// counts, slice schedule and tool output are byte-identical to the same
+// run without the probe.
+package prof
+
+import "superpin/internal/isa"
+
+// MaxStackDepth bounds the shadow stack. Frames past the bound are not
+// pushed (their matching returns then pop nothing), so a runaway
+// recursion degrades the profile instead of growing memory without
+// bound. The policy is a pure function of the instruction stream, so it
+// is identical in every execution mode.
+const MaxStackDepth = 4096
+
+// Frame is one shadow-stack entry: the callee's entry address and the
+// return address that will pop it.
+type Frame struct {
+	Entry uint32
+	Ret   uint32
+}
+
+// Sample is one profile sample, taken after the Index-th retired
+// instruction (Index is a multiple of the probe interval).
+type Sample struct {
+	// Index is the 1-based retired-instruction count at the sample point.
+	Index uint64
+	// PC is the address of the next instruction to execute — where
+	// execution stands between instruction Index and Index+1, the same
+	// convention as a timer-interrupt profiler.
+	PC uint32
+	// Stack is the shadow call stack's frame entry addresses, outermost
+	// first. The innermost entry is the function containing PC (empty
+	// when execution is outside any call).
+	Stack []uint32
+}
+
+// Probe samples one process's execution. It is attached to a
+// kernel.Proc and driven by the runners (the interpreter loop, the Pin
+// engine's reference loop, and the superblock fast path) once per
+// retired instruction. Not safe for concurrent use; each process owns
+// its probe.
+type Probe struct {
+	interval uint64
+	pos      uint64 // retired instructions observed so far
+	next     uint64 // pos value at which the next sample fires
+	stack    []Frame
+	samples  []Sample
+	maxDepth int
+	dropped  uint64 // pushes suppressed by MaxStackDepth
+}
+
+// NewProbe returns a recording probe that samples every interval retired
+// instructions. interval must be positive.
+func NewProbe(interval uint64) *Probe {
+	if interval == 0 {
+		panic("prof: interval must be positive")
+	}
+	return &Probe{interval: interval, next: interval}
+}
+
+// NewObserver returns a probe that maintains the shadow stack but never
+// records a sample. SuperPin's master runs one so that each slice can
+// seed its probe (position and stack) from the master's state at the
+// fork point.
+func NewObserver(interval uint64) *Probe {
+	if interval == 0 {
+		panic("prof: interval must be positive")
+	}
+	return &Probe{interval: interval, next: ^uint64(0)}
+}
+
+// Fork returns a recording probe continuing from p's current position
+// and stack — the probe a freshly forked slice runs. Its first sample
+// fires at the smallest interval multiple strictly greater than the
+// fork position, so a sample landing exactly on a slice boundary
+// belongs to the slice that retired the boundary instruction and is
+// never taken twice.
+func (p *Probe) Fork() *Probe {
+	q := &Probe{
+		interval: p.interval,
+		pos:      p.pos,
+		next:     (p.pos/p.interval + 1) * p.interval,
+		stack:    append([]Frame(nil), p.stack...),
+	}
+	return q
+}
+
+// OnExec observes one retired instruction: in is the instruction, fall
+// is its fall-through address (address + 4), and next is the PC after
+// it executed. Callers invoke it immediately after the instruction's
+// architectural effects are applied, before any syscall servicing.
+func (p *Probe) OnExec(in isa.Inst, fall, next uint32) {
+	if in.Op == isa.OpJAL || in.Op == isa.OpJALR {
+		if in.Rd != isa.RegZero {
+			if len(p.stack) < MaxStackDepth {
+				p.stack = append(p.stack, Frame{Entry: next, Ret: fall})
+				if len(p.stack) > p.maxDepth {
+					p.maxDepth = len(p.stack)
+				}
+			} else {
+				p.dropped++
+			}
+		} else if in.Op == isa.OpJALR {
+			// Return (or indirect jump): unwind to the matching frame.
+			for i := len(p.stack) - 1; i >= 0; i-- {
+				if p.stack[i].Ret == next {
+					p.stack = p.stack[:i]
+					break
+				}
+			}
+		}
+	}
+	p.pos++
+	if p.pos >= p.next {
+		st := make([]uint32, len(p.stack))
+		for i, f := range p.stack {
+			st[i] = f.Entry
+		}
+		p.samples = append(p.samples, Sample{Index: p.pos, PC: next, Stack: st})
+		p.next += p.interval
+	}
+}
+
+// Samples returns the samples recorded so far. The slice is owned by
+// the probe; callers must not modify it.
+func (p *Probe) Samples() []Sample { return p.samples }
+
+// Pos returns the number of retired instructions observed.
+func (p *Probe) Pos() uint64 { return p.pos }
+
+// MaxDepth returns the deepest shadow stack observed.
+func (p *Probe) MaxDepth() int { return p.maxDepth }
+
+// Stack returns a copy of the current shadow stack, outermost first.
+func (p *Probe) Stack() []Frame { return append([]Frame(nil), p.stack...) }

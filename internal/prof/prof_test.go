@@ -1,0 +1,236 @@
+package prof
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+var (
+	callIns = isa.Inst{Op: isa.OpJAL, Rd: isa.RegLR}
+	retIns  = isa.Inst{Op: isa.OpJALR, Rd: isa.RegZero}
+	jmpIns  = isa.Inst{Op: isa.OpJAL, Rd: isa.RegZero}
+	addIns  = isa.Inst{Op: isa.OpADD, Rd: 10}
+)
+
+func TestShadowStackCallRet(t *testing.T) {
+	p := NewProbe(1 << 20) // interval far beyond the test stream
+	// call at 0x100 -> 0x200
+	p.OnExec(callIns, 0x104, 0x200)
+	if got := p.Stack(); len(got) != 1 || got[0] != (Frame{Entry: 0x200, Ret: 0x104}) {
+		t.Fatalf("after call: stack %v", got)
+	}
+	// nested call at 0x204 -> 0x300
+	p.OnExec(callIns, 0x208, 0x300)
+	if got := p.Stack(); len(got) != 2 {
+		t.Fatalf("after nested call: stack %v", got)
+	}
+	// return to 0x208 pops the inner frame only
+	p.OnExec(retIns, 0x304, 0x208)
+	if got := p.Stack(); len(got) != 1 || got[0].Entry != 0x200 {
+		t.Fatalf("after inner ret: stack %v", got)
+	}
+	// return to 0x104 pops the outer frame
+	p.OnExec(retIns, 0x20c, 0x104)
+	if got := p.Stack(); len(got) != 0 {
+		t.Fatalf("after outer ret: stack %v", got)
+	}
+	if p.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth = %d, want 2", p.MaxDepth())
+	}
+}
+
+func TestShadowStackMultiPopAndIndirect(t *testing.T) {
+	p := NewProbe(1 << 20)
+	p.OnExec(callIns, 0x104, 0x200) // frame ret 0x104
+	p.OnExec(callIns, 0x208, 0x300) // frame ret 0x208
+	p.OnExec(callIns, 0x308, 0x400) // frame ret 0x308
+	// longjmp-style return straight to 0x104: pops all three frames.
+	p.OnExec(retIns, 0x40c, 0x104)
+	if got := p.Stack(); len(got) != 0 {
+		t.Fatalf("multi-pop left stack %v", got)
+	}
+	// Indirect jump to an address matching no frame leaves the stack.
+	p.OnExec(callIns, 0x104, 0x200)
+	p.OnExec(retIns, 0x20c, 0xdead_0000)
+	if got := p.Stack(); len(got) != 1 {
+		t.Fatalf("indirect jump changed stack: %v", got)
+	}
+	// A non-linking JAL is a plain jump: no push, no pop.
+	p.OnExec(jmpIns, 0x210, 0x500)
+	if got := p.Stack(); len(got) != 1 {
+		t.Fatalf("plain jump changed stack: %v", got)
+	}
+}
+
+func TestShadowStackDepthCap(t *testing.T) {
+	p := NewProbe(1 << 30)
+	for i := 0; i < MaxStackDepth+10; i++ {
+		p.OnExec(callIns, 0x104, 0x200)
+	}
+	if got := len(p.Stack()); got != MaxStackDepth {
+		t.Fatalf("stack depth %d, want cap %d", got, MaxStackDepth)
+	}
+	if p.dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", p.dropped)
+	}
+}
+
+func TestSamplingInterval(t *testing.T) {
+	p := NewProbe(4)
+	for i := uint32(0); i < 10; i++ {
+		pc := 4 * i
+		p.OnExec(addIns, pc+4, pc+4)
+	}
+	got := p.Samples()
+	want := []Sample{
+		{Index: 4, PC: 16, Stack: []uint32{}},
+		{Index: 8, PC: 32, Stack: []uint32{}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("samples: %v", got)
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || got[i].PC != want[i].PC || len(got[i].Stack) != 0 {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if p.Pos() != 10 {
+		t.Fatalf("Pos = %d, want 10", p.Pos())
+	}
+}
+
+// drive advances a probe n instructions of straight-line code starting
+// at the given instruction index (pc = 4*index).
+func drive(p *Probe, start, n uint64) {
+	for i := start; i < start+n; i++ {
+		pc := uint32(4 * i)
+		p.OnExec(addIns, pc+4, pc+4)
+	}
+}
+
+// TestForkMergeEquivalence is the profiler's core invariant in
+// miniature: splitting the instruction stream at arbitrary points —
+// including exactly on a sample boundary — and concatenating the
+// pieces' samples reproduces the serial stream exactly.
+func TestForkMergeEquivalence(t *testing.T) {
+	const interval, total = 4, 40
+	serial := NewProbe(interval)
+	drive(serial, 0, total)
+
+	for _, cuts := range [][]uint64{
+		{7},
+		{8},          // exactly on a sample boundary
+		{4, 8, 12},   // every cut on a boundary
+		{1, 2, 3, 5}, // tiny slices
+		{39},
+	} {
+		master := NewObserver(interval)
+		var merged []Sample
+		prev := uint64(0)
+		for _, cut := range append(cuts, total) {
+			probe := master.Fork()
+			drive(probe, prev, cut-prev)
+			drive(master, prev, cut-prev)
+			merged = append(merged, probe.Samples()...)
+			prev = cut
+		}
+		if len(master.Samples()) != 0 {
+			t.Fatalf("observer recorded samples")
+		}
+		if !reflect.DeepEqual(merged, serial.Samples()) {
+			t.Errorf("cuts %v: merged %v != serial %v", cuts, merged, serial.Samples())
+		}
+	}
+}
+
+func TestSymtab(t *testing.T) {
+	st := NewSymtab(map[string]uint32{"main": 0x100, "zz": 0x100, "kernel0": 0x200})
+	for _, tc := range []struct {
+		pc   uint32
+		want string
+	}{
+		{0x100, "main"}, // tie-break: smallest name
+		{0x1fc, "main"},
+		{0x200, "kernel0"},
+		{0x5000, "kernel0"},
+		{0x50, "0x00000050"}, // below every label
+	} {
+		if got := st.Lookup(tc.pc); got != tc.want {
+			t.Errorf("Lookup(%#x) = %q, want %q", tc.pc, got, tc.want)
+		}
+	}
+	var nilTab *Symtab
+	if got := nilTab.Lookup(0x123); got != "0x00000123" {
+		t.Errorf("nil symtab Lookup = %q", got)
+	}
+}
+
+func testProfile() *Profile {
+	return &Profile{
+		Interval: 10,
+		TotalIns: 60,
+		Samples: []Sample{
+			{Index: 10, PC: 0x110, Stack: nil},
+			{Index: 20, PC: 0x210, Stack: []uint32{0x200}},
+			{Index: 30, PC: 0x310, Stack: []uint32{0x200, 0x300}},
+			{Index: 40, PC: 0x214, Stack: []uint32{0x200}},
+			{Index: 50, PC: 0x318, Stack: []uint32{0x200, 0x300}},
+		},
+	}
+}
+
+func testSymtab() *Symtab {
+	return NewSymtab(map[string]uint32{"main": 0x100, "kernel0": 0x200, "helper": 0x300})
+}
+
+func TestFolded(t *testing.T) {
+	got := testProfile().Folded(testSymtab())
+	want := "kernel0 2\nkernel0;helper 2\nmain 1\n"
+	if got != want {
+		t.Errorf("Folded:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	hs := testProfile().Hotspots(testSymtab())
+	want := []Hotspot{
+		{Name: "helper", Self: 2, Total: 2},
+		{Name: "kernel0", Self: 2, Total: 4},
+		{Name: "main", Self: 1, Total: 1},
+	}
+	if !reflect.DeepEqual(hs, want) {
+		t.Errorf("Hotspots = %+v, want %+v", hs, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := testProfile().WriteJSON(&sb, testSymtab()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{`"interval": 10`, `"total_ins": 60`, `"leaf": "helper"`, `"pc": "0x00000110"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := testProfile(), testProfile()
+	if d := a.Diff(b); d != "" {
+		t.Fatalf("identical profiles diff: %s", d)
+	}
+	b.Samples[2].Stack = []uint32{0x200}
+	if d := a.Diff(b); d == "" || !strings.Contains(d, "sample 2") {
+		t.Fatalf("diff = %q", d)
+	}
+	b = testProfile()
+	b.TotalIns++
+	if d := a.Diff(b); !strings.Contains(d, "total instruction") {
+		t.Fatalf("diff = %q", d)
+	}
+}

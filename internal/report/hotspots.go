@@ -1,0 +1,26 @@
+package report
+
+import "superpin/internal/prof"
+
+// HotspotTable renders a profile's top-n functions (all of them when
+// n <= 0) as a table: self and inclusive sample counts plus their
+// percentages of the total sample count.
+func HotspotTable(title string, p *prof.Profile, t *prof.Symtab, n int) *Table {
+	hs := p.Hotspots(t)
+	if n > 0 && len(hs) > n {
+		hs = hs[:n]
+	}
+	total := uint64(len(p.Samples))
+	tb := New(title, "function", "self", "self%", "total", "total%")
+	for _, h := range hs {
+		tb.Row(h.Name, h.Self, pct(h.Self, total), h.Total, pct(h.Total, total))
+	}
+	return tb
+}
+
+func pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

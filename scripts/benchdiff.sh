@@ -1,0 +1,46 @@
+#!/bin/sh
+# Compare two `spbench -hostjson` artifacts (results/BENCH_<n>.json):
+# wall-clock, guest-MIPS and dispatch fast-path counter deltas between
+# two PRs' runs.
+#
+#   scripts/benchdiff.sh results/BENCH_3.json results/BENCH_4.json
+#
+# Positive MIPS delta = the new run pushes guest instructions faster.
+# Comparisons are only meaningful between runs of the same scale and
+# experiment set on the same host; the script warns when scales differ.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <old.json> <new.json>" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+
+# field FILE KEY: extract a flat numeric JSON field. The artifacts are
+# one-key-per-line MarshalIndent output, so sed is enough — no JSON tool
+# dependency.
+field() {
+    sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\),*$/\1/p" "$1" | head -n 1
+}
+
+for key in scale elapsed_sec guest_mips_min guest_ins_min suite_runs \
+           dispatches link_hits superblock_ins; do
+    o=$(field "$old" "$key")
+    n=$(field "$new" "$key")
+    if [ -z "$o" ] || [ -z "$n" ]; then
+        echo "$key: missing (old='$o' new='$n')" >&2
+        continue
+    fi
+    echo "$key $o $n"
+done | awk '
+{
+    key = $1; o = $2 + 0; n = $3 + 0
+    delta = (o != 0) ? 100 * (n - o) / o : 0
+    printf "%-16s %14g -> %14g  (%+.1f%%)\n", key, o, n, delta
+    if (key == "scale" && o != n) warn = 1
+}
+END {
+    if (warn) print "WARNING: runs used different -scale values; deltas are not comparable" > "/dev/stderr"
+}
+'

@@ -38,4 +38,7 @@ go run ./cmd/spbench -exp obssmoke -scale 0.02 -benchmarks gzip,mgrid
 echo "== dispatch fast-path differential (fast vs -nofastpath) =="
 go run ./cmd/spbench -exp fastpathdiff -scale 0.02 -benchmarks gzip,mgrid
 
+echo "== profiler differential (serial vs SuperPin merged profiles) =="
+go run ./cmd/spbench -exp profdiff -scale 0.02 -benchmarks gzip,mgrid
+
 echo "ok"
