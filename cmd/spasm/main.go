@@ -1,9 +1,17 @@
-// Command spasm assembles, disassembles and natively runs SVR32 assembly
-// files — the guest-program workbench of the SuperPin reproduction.
+// Command spasm assembles, disassembles, lints and natively runs SVR32
+// assembly files — the guest-program workbench of the SuperPin
+// reproduction.
 //
 //	spasm file.svasm            # assemble, print a summary
 //	spasm -d file.svasm         # assemble and disassemble
+//	spasm -lint file.svasm      # run the static-analysis verifier
 //	spasm -run file.svasm       # assemble and run natively; prints exit code
+//
+// -lint runs the load-time verifier (internal/sa) over the assembled
+// image and prints every diagnostic with its source line. Errors (bad
+// branch targets, truncated images, stack-imbalanced loops — things the
+// engine would reject at load time) exit non-zero; warnings alone
+// (uninitialized reads, provable self-modifying stores) exit zero.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"superpin/internal/asm"
 	"superpin/internal/core"
 	"superpin/internal/kernel"
+	"superpin/internal/sa"
 )
 
 func main() {
@@ -27,6 +36,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("spasm", flag.ContinueOnError)
 	var (
 		disasm = fs.Bool("d", false, "print disassembly")
+		lint   = fs.Bool("lint", false, "run the static-analysis verifier; errors exit non-zero")
 		doRun  = fs.Bool("run", false, "run the program natively on the simulated machine")
 		cpus   = fs.Int("cpus", 1, "CPUs of the simulated machine for -run")
 	)
@@ -34,9 +44,10 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: spasm [-d] [-run] file.svasm")
+		return fmt.Errorf("usage: spasm [-d] [-lint] [-run] file.svasm")
 	}
-	src, err := os.ReadFile(fs.Arg(0))
+	file := fs.Arg(0)
+	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
@@ -49,6 +60,11 @@ func run(args []string) error {
 	if *disasm {
 		fmt.Print(asm.Disassemble(prog))
 	}
+	if *lint {
+		if err := runLint(file, prog); err != nil {
+			return err
+		}
+	}
 	if *doRun {
 		cfg := kernel.DefaultConfig()
 		cfg.CPUs = *cpus
@@ -60,6 +76,29 @@ func run(args []string) error {
 		os.Stdout.Write(res.Stdout)
 		fmt.Printf("exit %d after %d instructions (%d cycles, %.3f vsec)\n",
 			res.ExitCode, res.Ins, res.Time, cfg.Cost.Seconds(res.Time))
+	}
+	return nil
+}
+
+// runLint runs the load-time verifier over the assembled image and
+// prints every diagnostic, resolving addresses to source lines through
+// the assembler's line map. Verifier errors fail the lint; warnings
+// alone do not.
+func runLint(file string, prog *asm.Program) error {
+	an := sa.Analyze(prog)
+	diags := an.Diags()
+	for _, d := range diags {
+		if line, ok := prog.Lines[d.Addr]; ok {
+			fmt.Printf("%s:%d: %s: %s (at %#08x)\n", file, line, d.Sev, d.Msg, d.Addr)
+		} else {
+			fmt.Printf("%s: %s: %s at %#08x\n", file, d.Sev, d.Msg, d.Addr)
+		}
+	}
+	errs := an.Errors()
+	fmt.Printf("lint: %d block(s), %d error(s), %d warning(s)\n",
+		an.NumBlocks(), len(errs), len(diags)-len(errs))
+	if len(errs) > 0 {
+		return fmt.Errorf("lint failed with %d error(s)", len(errs))
 	}
 	return nil
 }

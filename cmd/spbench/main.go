@@ -10,8 +10,10 @@
 //	spbench -trace-dir traces/   # write per-benchmark Chrome trace JSON
 //	spbench -exp obssmoke        # verify trace invariants end to end
 //	spbench -exp fastpathdiff    # verify engine fast paths change nothing
+//	spbench -exp sadiff          # verify the static analysis changes nothing
 //	spbench -exp profdiff        # verify serial and SuperPin profiles match
 //	spbench -nofastpath          # run with the dispatch fast paths off
+//	spbench -nosa                # run with the load-time static analysis off
 //	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
@@ -66,7 +68,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|profdiff")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -76,6 +78,7 @@ func run(args []string) error {
 		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
+		noSA       = fs.Bool("nosa", false, "disable the load-time static analysis (verifier, liveness elision, shared predecode)")
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the harness to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
 	)
@@ -114,6 +117,7 @@ func run(args []string) error {
 	cfg.Workers = *jobs
 	cfg.TraceDir = *traceDir
 	cfg.NoFastPath = *noFastPath
+	cfg.NoSA = *noSA
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -268,6 +272,32 @@ func run(args []string) error {
 			}
 		}
 		if err := emit("fastpathdiff", t); err != nil {
+			return err
+		}
+		if len(checks) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
+	if *exp == "sadiff" {
+		t := report.New("Static-analysis differential: SA vs -nosa, identical virtual results",
+			"benchmark", "tool", "ins", "pin cycles", "sp cycles", "shared runs", "saved regs (sa/nosa)", "events", "verdict")
+		var checks []string
+		for _, kind := range []bench.ToolKind{bench.Icount1, bench.Icount2} {
+			reports, err := bench.RunSADiff(cfg, kind)
+			if err != nil {
+				return err
+			}
+			for _, r := range reports {
+				t.Row(r.Name, kind.String(), r.Ins, uint64(r.PinCycles), uint64(r.SPCycles),
+					r.SharedRuns, fmt.Sprintf("%d/%d", r.SavedRegsSA, r.SavedRegsRef), r.Events, "ok")
+				checks = r.Checks
+			}
+		}
+		if err := emit("sadiff", t); err != nil {
 			return err
 		}
 		if len(checks) > 0 {

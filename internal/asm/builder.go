@@ -19,6 +19,11 @@ type Program struct {
 	Segments []Segment
 	// Symbols maps label names to addresses.
 	Symbols map[string]uint32
+	// Lines maps emitted word addresses to 1-based source line numbers.
+	// Populated only by the text assembler (Assemble); nil for
+	// programmatically built images. Diagnostics (spasm -lint) use it to
+	// point back into the .svasm source.
+	Lines map[uint32]int
 }
 
 // Segment is a contiguous run of initialized bytes.

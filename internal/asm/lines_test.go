@@ -1,0 +1,58 @@
+package asm
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+// TestAssembleLineMap checks the address→source-line map the linter
+// uses: every emitted word maps to the 1-based line that produced it,
+// multi-word pseudo-ops (li with a large constant, la) map all their
+// words to the one source line, and .org/.space emit no map entries of
+// their own.
+func TestAssembleLineMap(t *testing.T) {
+	src := `	.entry main
+main:
+	addi r10, r0, 5
+	li r11, 0x12345678
+	la r12, data
+	syscall
+	.org 0x2000
+data:
+	.word 99
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lines == nil {
+		t.Fatal("Assemble left Lines nil")
+	}
+	want := map[uint32]int{
+		0x0:    3, // addi
+		0x4:    4, // li hi word
+		0x8:    4, // li lo word
+		0xc:    5, // la lui
+		0x10:   5, // la ori
+		0x14:   6, // syscall
+		0x2000: 9, // .word
+	}
+	for addr, line := range want {
+		if got := p.Lines[addr]; got != line {
+			t.Errorf("Lines[%#x] = %d, want %d", addr, got, line)
+		}
+	}
+}
+
+// TestBuilderHasNoLineMap: programmatic images have no source text, so
+// the map must stay nil (the linter falls back to address-only output).
+func TestBuilderHasNoLineMap(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.I(isa.OpADDI, 10, isa.RegZero, 1)
+	b.Syscall()
+	p := b.MustFinish()
+	if p.Lines != nil {
+		t.Fatalf("Builder image has a line map: %v", p.Lines)
+	}
+}

@@ -39,6 +39,8 @@ func Assemble(src string) (*Program, error) {
 	var entryLabel string
 	entrySet := false
 
+	srcLines := make(map[uint32]int)
+
 	lines := strings.Split(src, "\n")
 	for ln, raw := range lines {
 		line := stripComment(raw)
@@ -65,8 +67,16 @@ func Assemble(src string) (*Program, error) {
 		op, rest, _ := strings.Cut(line, " ")
 		op = strings.ToLower(strings.TrimSpace(op))
 		args := splitArgs(rest)
+		pcBefore := b.pc
 		if err := assembleLineSafe(b, op, args, &entryLabel, &entrySet); err != nil {
 			return nil, lineErr(ln, "%v", err)
+		}
+		// Map the line's emitted words back to the source (.org moves the
+		// pc without emitting, so it is excluded).
+		if op != ".org" {
+			for a := pcBefore; a < b.pc; a += isa.WordSize {
+				srcLines[a] = ln + 1
+			}
 		}
 	}
 
@@ -83,6 +93,7 @@ func Assemble(src string) (*Program, error) {
 	} else if !entrySet {
 		p.Entry = firstAddr(p)
 	}
+	p.Lines = srcLines
 	return p, nil
 }
 

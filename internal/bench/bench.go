@@ -81,6 +81,11 @@ type Config struct {
 	// harness performs. Virtual-cycle results are identical either way;
 	// the flag exists for differential testing and host-perf comparison.
 	NoFastPath bool
+	// NoSA disables the load-time static analysis (verifier, liveness
+	// elision, shared predecode) in every run the harness performs.
+	// Virtual-cycle results are identical either way (`-exp sadiff`
+	// proves it).
+	NoSA bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -115,6 +120,9 @@ func (c *Config) normalize() {
 	}
 	if c.NoFastPath {
 		c.PinCost.NoFastPath = true
+	}
+	if c.NoSA {
+		c.PinCost.NoSA = true
 	}
 }
 

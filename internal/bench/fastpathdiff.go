@@ -120,10 +120,15 @@ func runFastPathDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*FastPat
 	fast, ref := modes[0], modes[1]
 
 	// Serial Pin: everything but the host-only counters must match. The
-	// host-only counters live in Engine.SuperblockIns and Cache.Link*;
-	// compare normalized copies with those zeroed.
+	// host-only counters live in Engine.SuperblockIns, the SA sealing
+	// counters (superblocks are only sealed in fast mode) and Cache.Link*;
+	// compare normalized copies with those zeroed. PredSaveRegs stays
+	// compared: both modes run the same analysis-call sequence, so it must
+	// be identical.
 	fastPin, refPin := *fast.pin, *ref.pin
 	fastPin.Engine.SuperblockIns, refPin.Engine.SuperblockIns = 0, 0
+	fastPin.Engine.SASharedRuns, refPin.Engine.SASharedRuns = 0, 0
+	fastPin.Engine.SAPrivateRuns, refPin.Engine.SAPrivateRuns = 0, 0
 	fastPin.Cache.LinkHits, refPin.Cache.LinkHits = 0, 0
 	fastPin.Cache.LinkMisses, refPin.Cache.LinkMisses = 0, 0
 	fastPin.Cache.LinkInvalidations, refPin.Cache.LinkInvalidations = 0, 0
@@ -132,7 +137,8 @@ func runFastPathDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*FastPat
 			spec.Name, fastPin, refPin)
 	}
 	if ref.pin.Engine.SuperblockIns != 0 || ref.pin.Cache.LinkHits != 0 ||
-		ref.pin.Cache.LinkMisses != 0 || ref.pin.Cache.LinkInvalidations != 0 {
+		ref.pin.Cache.LinkMisses != 0 || ref.pin.Cache.LinkInvalidations != 0 ||
+		ref.pin.Engine.SASharedRuns != 0 || ref.pin.Engine.SAPrivateRuns != 0 {
 		return nil, fmt.Errorf("fastpathdiff %s: -nofastpath run reported fast-path activity: %+v",
 			spec.Name, hostCounters(ref.pin))
 	}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// SADiffReport is one benchmark's static-analysis differential outcome:
+// the benchmark ran with the load-time static analysis enabled and
+// disabled (-nosa), and every virtual-cycle-visible quantity was
+// identical.
+type SADiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// PinCycles and SPCycles are the (mode-independent) serial Pin and
+	// SuperPin runtimes.
+	PinCycles kernel.Cycles
+	SPCycles  kernel.Cycles
+	// SharedRuns and PrivateRuns report how many superblock runs the
+	// SA-enabled serial Pin run sealed over the analysis's shared
+	// predecode versus a private copy.
+	SharedRuns  uint64
+	PrivateRuns uint64
+	// SavedRegsSA and SavedRegsRef are the registers spilled around
+	// inlined predicates with the analysis on (liveness-narrowed) and off
+	// (full register file), summed over the serial Pin run.
+	SavedRegsSA  uint64
+	SavedRegsRef uint64
+	// Events is the (identical) SuperPin trace length.
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// saDiffChecks are the equalities the differential runner asserts, for
+// human-readable output.
+var saDiffChecks = []string{
+	"serial Pin result identical (cycles, ins, exit, stdout, stats modulo host-only counters)",
+	"SuperPin result deep-equal (slices, stats, breakdown, stdout)",
+	"SuperPin trace event streams identical",
+	"trace invariants hold in both modes",
+	"liveness never widens the predicate save/restore set",
+}
+
+// RunSADiff runs each configured benchmark twice — static analysis on
+// and off — under both serial Pin and SuperPin, and verifies that the
+// analysis changed nothing the virtual machine can observe: cycle
+// counts, instruction counts, exit codes, stdout, slice schedules and
+// trace event streams must all be byte-identical. Only the host-side
+// counters (predicate save/restore registers, shared/private sealing
+// runs) may differ, and the SA run must actually have exercised the
+// shared predecode.
+func RunSADiff(cfg Config, kind ToolKind) ([]*SADiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*SADiffReport, error) {
+		return runSADiffOne(cfg, specs[i], kind)
+	})
+}
+
+func runSADiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*SADiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("sadiff %s: native: %w", spec.Name, err)
+	}
+
+	var modes [2]fastPathRun
+	for m, nosa := range []bool{false, true} {
+		pinCost := cfg.PinCost
+		pinCost.MemSurcharge = spec.PinMemCost
+		pinCost.NoSA = nosa
+		pinTool := newTool(kind)
+		pinRes, err := core.RunPin(cfg.Kernel, prog, pinTool.Factory(), pinCost)
+		if err != nil {
+			return nil, fmt.Errorf("sadiff %s: pin (nosa=%v): %w", spec.Name, nosa, err)
+		}
+		if pinTool.Total() != native.Ins {
+			return nil, fmt.Errorf("sadiff %s: pin (nosa=%v) counted %d, native executed %d",
+				spec.Name, nosa, pinTool.Total(), native.Ins)
+		}
+
+		opts := core.DefaultOptions()
+		opts.SliceMSec = cfg.TimesliceMSec
+		opts.MaxSlices = cfg.MaxSlices
+		opts.PinCost = cfg.PinCost
+		opts.PinCost.MemSurcharge = spec.SliceMemCost
+		opts.PinCost.NoSA = nosa
+		opts.NativeMemSurcharge = spec.NativeMemCost
+		opts.Trace = obs.NewTracer()
+		spTool := newTool(kind)
+		spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("sadiff %s: superpin (nosa=%v): %w", spec.Name, nosa, err)
+		}
+		if spRes.Err != nil {
+			return nil, fmt.Errorf("sadiff %s: superpin (nosa=%v): %w", spec.Name, nosa, spRes.Err)
+		}
+		if spTool.Total() != native.Ins {
+			return nil, fmt.Errorf("sadiff %s: superpin (nosa=%v) counted %d, native executed %d",
+				spec.Name, nosa, spTool.Total(), native.Ins)
+		}
+		events := opts.Trace.Events()
+		if err := VerifyTrace(events, spRes, native.Time); err != nil {
+			return nil, fmt.Errorf("sadiff %s (nosa=%v): %w", spec.Name, nosa, err)
+		}
+		modes[m] = fastPathRun{pin: pinRes, sp: spRes, events: events}
+	}
+	sa, ref := modes[0], modes[1]
+
+	// Serial Pin: everything but the SA host-side counters must match.
+	// The dispatch fast-path counters (SuperblockIns, Link*) stay
+	// compared: the analysis may change what backs a superblock's
+	// predecode, never the run structure itself.
+	saPin, refPin := *sa.pin, *ref.pin
+	saPin.Engine.PredSaveRegs, refPin.Engine.PredSaveRegs = 0, 0
+	saPin.Engine.SASharedRuns, refPin.Engine.SASharedRuns = 0, 0
+	saPin.Engine.SAPrivateRuns, refPin.Engine.SAPrivateRuns = 0, 0
+	if !reflect.DeepEqual(saPin, refPin) {
+		return nil, fmt.Errorf("sadiff %s: serial Pin results differ:\nsa:   %+v\nnosa: %+v",
+			spec.Name, saPin, refPin)
+	}
+	if ref.pin.Engine.SASharedRuns != 0 || ref.pin.Engine.SAPrivateRuns != 0 {
+		return nil, fmt.Errorf("sadiff %s: -nosa run reported SA sealing activity: shared=%d private=%d",
+			spec.Name, ref.pin.Engine.SASharedRuns, ref.pin.Engine.SAPrivateRuns)
+	}
+	// icount1 instruments every instruction, so there are no call-free
+	// runs to seal; only block-granularity tools exercise the shared
+	// predecode (and only with the fast path on).
+	if !cfg.NoFastPath && kind == Icount2 && sa.pin.Engine.SASharedRuns == 0 {
+		return nil, fmt.Errorf("sadiff %s: SA run never sealed a superblock over the shared predecode",
+			spec.Name)
+	}
+	if sa.pin.Engine.PredSaveRegs > ref.pin.Engine.PredSaveRegs {
+		return nil, fmt.Errorf("sadiff %s: liveness widened the predicate save set: sa=%d nosa=%d",
+			spec.Name, sa.pin.Engine.PredSaveRegs, ref.pin.Engine.PredSaveRegs)
+	}
+
+	// SuperPin: the whole Result — slice schedule, stats, stdout — must be
+	// deep-equal, as must the trace event streams. core.Result carries no
+	// pin engine stats, so the SA host counters cannot leak in here.
+	if !reflect.DeepEqual(sa.sp, ref.sp) {
+		return nil, fmt.Errorf("sadiff %s: SuperPin results differ:\nsa:   %+v\nnosa: %+v",
+			spec.Name, sa.sp, ref.sp)
+	}
+	if !reflect.DeepEqual(sa.events, ref.events) {
+		return nil, fmt.Errorf("sadiff %s: SuperPin trace streams differ (%d vs %d events)",
+			spec.Name, len(sa.events), len(ref.events))
+	}
+
+	// The breakdown quadruple is derived from Result fields, but compare
+	// it explicitly: it is the paper-facing quantity.
+	sn, sf, ss, sp := sa.sp.Breakdown(native.Time)
+	rn, rf, rs, rp := ref.sp.Breakdown(native.Time)
+	if sn != rn || sf != rf || ss != rs || sp != rp {
+		return nil, fmt.Errorf("sadiff %s: breakdowns differ: sa (%d %d %d %d) vs nosa (%d %d %d %d)",
+			spec.Name, sn, sf, ss, sp, rn, rf, rs, rp)
+	}
+
+	return &SADiffReport{
+		Name:         spec.Name,
+		Ins:          native.Ins,
+		PinCycles:    sa.pin.Time,
+		SPCycles:     sa.sp.TotalTime,
+		SharedRuns:   sa.pin.Engine.SASharedRuns,
+		PrivateRuns:  sa.pin.Engine.SAPrivateRuns,
+		SavedRegsSA:  sa.pin.Engine.PredSaveRegs,
+		SavedRegsRef: ref.pin.Engine.PredSaveRegs,
+		Events:       len(sa.events),
+		Checks:       saDiffChecks,
+	}, nil
+}

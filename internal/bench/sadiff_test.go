@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestRunSADiff is the static-analysis determinism check at the harness
+// level: full Pin and SuperPin runs with the load-time analysis on and
+// off must agree on every virtual-cycle-visible quantity, while the SA
+// runs actually exercise the machinery (shared sealing, narrowed
+// predicate saves).
+func TestRunSADiff(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip", "gcc", "mgrid"}
+	for _, kind := range []ToolKind{Icount1, Icount2} {
+		reports, err := RunSADiff(cfg, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(reports) != 3 {
+			t.Fatalf("%s: got %d reports", kind, len(reports))
+		}
+		for _, r := range reports {
+			if r.Ins == 0 || r.PinCycles == 0 || r.SPCycles == 0 || r.Events == 0 {
+				t.Fatalf("%s/%s: empty report %+v", r.Name, kind, r)
+			}
+			if kind == Icount2 && r.SharedRuns == 0 {
+				t.Errorf("%s/%s: SA run sealed no shared superblock runs", r.Name, kind)
+			}
+			// SuperPin's boundary detection uses inlined predicates, and
+			// runSADiffOne's serial Pin run shares the same engine code;
+			// the liveness narrowing must never widen the save set
+			// (asserted inside the runner) and the reference must spill
+			// something wherever predicates exist.
+			if r.SavedRegsSA > r.SavedRegsRef {
+				t.Errorf("%s/%s: SA saved more regs (%d) than reference (%d)",
+					r.Name, kind, r.SavedRegsSA, r.SavedRegsRef)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"superpin/internal/obs"
 	"superpin/internal/pin"
 	"superpin/internal/prof"
+	"superpin/internal/sa"
 )
 
 // Stats are SuperPin execution statistics, including the Section 4.4
@@ -117,6 +118,7 @@ type Engine struct {
 	sharedAreas  [][]uint64
 	sharedTraces *jit.TraceCache // non-nil with Options.SharedCodeCache
 	masterRing   *kernel.IPRing  // non-nil with DetectorIPHistory
+	sa           *sa.Analysis    // load-time static analysis (nil with PinCost.NoSA)
 
 	// masterProbe (non-nil with Options.ProfInterval) shadows the
 	// master's call stack without recording, so each fork can seed its
@@ -169,6 +171,16 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	e := &Engine{k: k, opts: opts, factory: factory}
 	if opts.SharedCodeCache {
 		e.sharedTraces = jit.NewTraceCache()
+	}
+	// Load-time static analysis: verify the image once, then share the
+	// read-only liveness/predecode summaries with every slice engine the
+	// run forks (-nosa skips both).
+	if !opts.PinCost.NoSA {
+		an := sa.Analyze(program)
+		if err := an.Err(); err != nil {
+			return nil, err
+		}
+		e.sa = an
 	}
 
 	// The master runs the application uninstrumented, traced by the
@@ -440,6 +452,7 @@ func (e *Engine) doFork(kind boundaryKind) {
 	}
 	sl.eng.AddTraceInstrumenter(sl.tool.Instrument)
 	sl.eng.Shared = e.sharedTraces
+	sl.eng.SA = e.sa
 
 	var runner kernel.Runner = sl.eng
 	var tr *threadedRunner

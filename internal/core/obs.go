@@ -68,6 +68,9 @@ func PublishPinMetrics(m *obs.Metrics, res *PinResult) {
 	m.Add("pin.then_calls", res.Engine.ThenCalls)
 	m.Add("pin.dispatches", res.Engine.Dispatches)
 	m.Add("pin.superblock.ins", res.Engine.SuperblockIns)
+	m.Add("pin.sa.pred_save_regs", res.Engine.PredSaveRegs)
+	m.Add("pin.sa.shared_runs", res.Engine.SASharedRuns)
+	m.Add("pin.sa.private_runs", res.Engine.SAPrivateRuns)
 	m.Add("pin.cache.lookups", res.Cache.Lookups)
 	m.Add("pin.cache.misses", res.Cache.Misses)
 	m.Add("pin.cache.compiles", res.Cache.Compiles)

@@ -9,6 +9,7 @@ import (
 	"superpin/internal/mem"
 	"superpin/internal/pin"
 	"superpin/internal/prof"
+	"superpin/internal/sa"
 )
 
 // NativeResult is the outcome of an uninstrumented baseline run.
@@ -107,11 +108,23 @@ func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, co
 	tool := factory(ctl)
 	e.AddTraceInstrumenter(tool.Instrument)
 
+	// Load-time static analysis: verify the image and hand the engine the
+	// liveness/predecode summaries (-nosa skips both).
+	var an *sa.Analysis
+	if !cost.NoSA {
+		an = sa.Analyze(program)
+		if err := an.Err(); err != nil {
+			return nil, err
+		}
+		e.SA = an
+	}
+
 	// Threads each get their own engine (their own code cache and
 	// execution state), all instrumented by the same tool instance —
 	// like real Pin, where the Pintool is process-wide.
 	k.ThreadRunner = func(*kernel.Proc) kernel.Runner {
 		te := pin.NewEngine(cost)
+		te.SA = an
 		te.AddTraceInstrumenter(tool.Instrument)
 		return te
 	}

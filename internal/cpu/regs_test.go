@@ -1,0 +1,72 @@
+package cpu
+
+import (
+	"math/bits"
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+func filledRegs() *Regs {
+	r := &Regs{}
+	for i := range r.R {
+		r.R[i] = uint32(0x1000 + i*3)
+	}
+	return r
+}
+
+func TestSaveRestoreMasked(t *testing.T) {
+	masks := []uint32{
+		0,
+		1,                        // r0 only
+		1 << 10,                  // one register
+		1 | 1<<3 | 1<<10 | 1<<31, // scattered
+		^uint32(0),               // whole file fast path
+		^uint32(0) &^ 1,          // all but r0
+	}
+	for _, mask := range masks {
+		r := filledRegs()
+		var buf [isa.NumRegs]uint32
+		n := SaveMasked(r, mask, &buf)
+		if want := bits.OnesCount32(mask); n != want {
+			t.Errorf("mask %#x: SaveMasked returned %d, want popcount %d", mask, n, want)
+		}
+		for i := 0; i < isa.NumRegs; i++ {
+			if mask&(1<<i) != 0 && buf[i] != r.R[i] {
+				t.Errorf("mask %#x: buf[%d] = %#x, want %#x", mask, i, buf[i], r.R[i])
+			}
+		}
+		// Clobber everything, then restore: masked registers must come
+		// back, unmasked ones must keep the clobbered value.
+		saved := r.R
+		for i := range r.R {
+			r.R[i] = 0xdead_0000 + uint32(i)
+		}
+		clobbered := r.R
+		RestoreMasked(r, mask, &buf)
+		for i := 0; i < isa.NumRegs; i++ {
+			want := clobbered[i]
+			if mask&(1<<i) != 0 {
+				want = saved[i]
+			}
+			if r.R[i] != want {
+				t.Errorf("mask %#x: after restore R[%d] = %#x, want %#x", mask, i, r.R[i], want)
+			}
+		}
+	}
+}
+
+func TestSaveMaskedFullFileMatchesLoop(t *testing.T) {
+	r := filledRegs()
+	var fast, slow [isa.NumRegs]uint32
+	if n := SaveMasked(r, ^uint32(0), &fast); n != isa.NumRegs {
+		t.Fatalf("full-mask save counted %d regs", n)
+	}
+	for m := ^uint32(0); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		slow[i] = r.R[i]
+	}
+	if fast != slow {
+		t.Fatal("full-file fast path disagrees with the per-bit loop")
+	}
+}

@@ -132,11 +132,20 @@ type Call struct {
 
 // CompiledIns is one guest instruction in a compiled trace together with
 // its woven-in instrumentation.
+//
+// LiveBefore and LiveAfter are statically-live register masks (bit i set
+// means ri may be read before being overwritten on some path from here),
+// stamped by the pin engine from the load-time static analysis when one
+// is attached. Zero means "unknown" — the analysis always sets bit 0
+// (r0) on masks it computed — and consumers must then assume every
+// register is live. They are only stamped on instructions carrying calls.
 type CompiledIns struct {
-	Addr   uint32
-	Inst   isa.Inst
-	Before []Call // run before the instruction executes
-	After  []Call // run after it executes
+	Addr       uint32
+	Inst       isa.Inst
+	Before     []Call // run before the instruction executes
+	After      []Call // run after it executes
+	LiveBefore uint32 // live registers entering the instruction
+	LiveAfter  uint32 // live registers after the instruction
 }
 
 // Superblock is a maximal run of consecutive compiled instructions that
@@ -365,6 +374,15 @@ func (c *CodeCache) RecordLookup(hit bool) {
 	c.stats.Lookups++
 	if !hit {
 		c.stats.Misses++
+	}
+}
+
+// Traces calls fn for every resident compiled trace, in no particular
+// order. It is a read-only walk for tests and diagnostics; fn must not
+// insert into or flush the cache.
+func (c *CodeCache) Traces(fn func(*CompiledTrace)) {
+	for _, ct := range c.traces {
+		fn(ct)
 	}
 }
 

@@ -567,6 +567,9 @@ func (k *Kernel) traceSchedule(running []*Proc) {
 
 // flushCPUSlot emits the pending occupancy span of context i, if any.
 func (k *Kernel) flushCPUSlot(i int) {
+	if k.cfg.Trace == nil {
+		return
+	}
 	s := k.cpuSlots[i]
 	if s.pid == 0 || k.Now <= s.since {
 		return

@@ -10,6 +10,7 @@ import (
 	"superpin/internal/isa"
 	"superpin/internal/kernel"
 	"superpin/internal/mem"
+	"superpin/internal/sa"
 )
 
 // benchLoop is a tight guest loop for engine-throughput benchmarks.
@@ -177,6 +178,43 @@ func BenchmarkEngineIcount2StyleNoFastPath(b *testing.B) {
 			}
 		})
 	})
+	runN(b, e, k, p)
+}
+
+// boundaryProbe is the SuperPin boundary-check shape: one inlined
+// predicate on every basic-block head, with the block tails left
+// uninstrumented.
+func boundaryProbe(n *uint64) func(*Engine) {
+	return func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				bbl.InsHead().InsertIfCall(Before, func(*Ctx) bool {
+					*n++
+					return false
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkEngineIfcallProbe(b *testing.B) {
+	var n uint64
+	k, p, e := setupEngine(b, benchLoop, boundaryProbe(&n))
+	runN(b, e, k, p)
+}
+
+// BenchmarkEngineIfcallProbeSA is the same boundary probe with the
+// load-time static analysis attached (as cmd/superpin does by default):
+// the predicate save/restore set shrinks from the full 32-register file
+// to the liveness mask at each probe site.
+func BenchmarkEngineIfcallProbeSA(b *testing.B) {
+	prog, err := asm.Assemble(benchLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n uint64
+	k, p, e := setupEngine(b, benchLoop, boundaryProbe(&n))
+	e.SA = sa.Analyze(prog)
 	runN(b, e, k, p)
 }
 

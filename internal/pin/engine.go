@@ -6,6 +6,7 @@ import (
 	"superpin/internal/jit"
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
+	"superpin/internal/sa"
 )
 
 // CostModel holds the engine's calibrated per-operation cycle costs. The
@@ -57,6 +58,14 @@ type CostModel struct {
 	// cost model is the one knob plumbed to every engine a run creates,
 	// including the per-slice engines SuperPin forks.
 	NoFastPath bool
+
+	// NoSA disables the load-time static-analysis pass (internal/sa):
+	// no verifier, no liveness-guided predicate save/restore elision,
+	// no shared predecode for superblock sealing. Like NoFastPath it is
+	// host-side only — virtual results are byte-identical either way
+	// (`spbench -exp sadiff` proves it) — and rides in the cost model
+	// for the same plumbing reason.
+	NoSA bool
 }
 
 // DefaultCost returns the calibrated default engine cost model.
@@ -78,6 +87,15 @@ func DefaultCost() CostModel {
 // the subset of ExecIns executed through the batched superblock fast
 // path (zero when the fast path is disabled or every instruction is
 // instrumented).
+//
+// PredSaveRegs, SASharedRuns and SAPrivateRuns are host-side counters
+// like SuperblockIns: PredSaveRegs counts registers saved and restored
+// around inlined if/then predicates (the static-analysis liveness masks
+// shrink it), and SASharedRuns/SAPrivateRuns count superblock runs
+// sealed over the analysis's shared load-time predecode versus runs that
+// fell back to a private copy (stale against current guest memory). Both
+// stay zero when no analysis is attached. None of them affect
+// virtual-cycle results.
 type Stats struct {
 	ExecIns       uint64
 	AnalysisCalls uint64
@@ -85,6 +103,9 @@ type Stats struct {
 	ThenCalls     uint64
 	Dispatches    uint64
 	SuperblockIns uint64
+	PredSaveRegs  uint64
+	SASharedRuns  uint64
+	SAPrivateRuns uint64
 }
 
 // SyscallFilter lets a wrapper (SuperPin's slice engine) intercept guest
@@ -131,7 +152,18 @@ type Engine struct {
 	// be toggled directly on the engine before the first Run.
 	NoFastPath bool
 
+	// SA, when non-nil, is the load-time static analysis of the guest
+	// program (internal/sa). The engine consumes it in two host-side
+	// ways: per-instruction liveness masks elide dead registers from the
+	// save/restore modeled around inlined if/then predicates, and the
+	// analysis's shared predecode backs superblock sealing. It must be
+	// set before the first Run and is read-only thereafter, so one
+	// analysis may be shared by every engine of a run (including
+	// SuperPin's concurrently executing slice engines).
+	SA *sa.Analysis
+
 	cache         *jit.CodeCache
+	sealScratch   []runSpan // reused across seal calls to avoid per-compile allocs
 	instrumenters []func(*Trace)
 	finiFns       []func(code uint32)
 	ctx           jit.Ctx
@@ -207,6 +239,9 @@ func (e *Engine) PublishMetrics(m *obs.Metrics, prefix string) {
 	m.Add(prefix+".then_calls", e.stats.ThenCalls)
 	m.Add(prefix+".dispatches", e.stats.Dispatches)
 	m.Add(prefix+".superblock.ins", e.stats.SuperblockIns)
+	m.Add(prefix+".sa.pred_save_regs", e.stats.PredSaveRegs)
+	m.Add(prefix+".sa.shared_runs", e.stats.SASharedRuns)
+	m.Add(prefix+".sa.private_runs", e.stats.SAPrivateRuns)
 	cs := e.cache.Stats()
 	m.Add(prefix+".cache.lookups", cs.Lookups)
 	m.Add(prefix+".cache.misses", cs.Misses)
@@ -328,8 +363,11 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 					for _, fn := range e.instrumenters {
 						fn(view)
 					}
+					if e.SA != nil {
+						annotateLiveness(e.SA, ct)
+					}
 					if fast {
-						sealFastPaths(ct, cost)
+						e.seal(ct)
 					}
 					e.cache.Insert(ct)
 					if sharedHit {
@@ -455,7 +493,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		// the instrumented instruction — the semantics SuperPin's
 		// boundary detection needs.
 		for i := range ci.Before {
-			used += e.runCall(ctx, &ci.Before[i])
+			used += e.runCall(ctx, &ci.Before[i], ci.LiveBefore)
 			if ctx.StopRequested() {
 				e.cur = nil
 				return used, kernel.StopExit
@@ -488,7 +526,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		// cached no-pending-COW flag is dropped.
 		for i := range ci.After {
 			cowClear = false
-			used += e.runCall(ctx, &ci.After[i])
+			used += e.runCall(ctx, &ci.After[i], ci.LiveAfter)
 			if ctx.StopRequested() {
 				e.cur = nil
 				return used, kernel.StopExit
@@ -582,19 +620,61 @@ func fastEligible(ci *jit.CompiledIns) bool {
 	return len(ci.Before) == 0 && len(ci.After) == 0 && ci.Inst.Op != isa.OpSYSCALL
 }
 
-// sealFastPaths precomputes a freshly instrumented trace's superblock
-// index: maximal runs of fast-eligible instructions, predecoded for
+// sealFastPaths precomputes a trace's superblock index without a static
+// analysis attached — the reference sealing path, kept for tests and as
+// the documentation of what seal computes.
+func sealFastPaths(ct *jit.CompiledTrace, cost CostModel) {
+	(&Engine{Cost: cost}).seal(ct)
+}
+
+// sharedRun returns the analysis's load-time predecode slice covering
+// the run ct.Ins[i:j], or nil when no analysis is attached or the
+// predecode no longer matches the freshly compiled trace. Traces are
+// address-contiguous, so a run maps onto one region slice; each entry is
+// validated against the compiled instruction, which catches predecode
+// gone stale through self-modifying code — execution must follow what
+// the trace (compiled from current guest memory) says, never the
+// load-time image.
+func (e *Engine) sharedRun(ct *jit.CompiledTrace, i, j int) []cpu.BlockIns {
+	if e.SA == nil {
+		return nil
+	}
+	pre, ok := e.SA.Predecoded(ct.Ins[i].Addr)
+	if !ok || len(pre) < j-i {
+		return nil
+	}
+	pre = pre[: j-i : j-i]
+	for x := i; x < j; x++ {
+		if pre[x-i].Inst != ct.Ins[x].Inst {
+			return nil
+		}
+	}
+	return pre
+}
+
+// runSpan is one superblock run found by seal's sizing pass.
+type runSpan struct {
+	i, j   int
+	shared []cpu.BlockIns // non-nil: use the analysis's predecode
+}
+
+// seal precomputes a freshly instrumented trace's superblock index:
+// maximal runs of fast-eligible instructions, predecoded for
 // cpu.ExecBlock, with cumulative per-run cycle costs so the dispatch
 // loop can batch accounting and hoist the budget checks out of the
 // per-instruction path. Runs after the tool's instrumenters, which are
 // what decide eligibility.
-func sealFastPaths(ct *jit.CompiledTrace, cost CostModel) {
-	// Sealing runs on every compile, so allocation cost matters: a first
-	// pass sizes single backing arrays for all runs (four allocations per
-	// sealed trace, none for call-saturated ones) before a second pass
-	// fills them.
+//
+// Sealing runs on every compile, so allocation cost matters: a sizing
+// pass finds the runs (into an engine-owned scratch slice) before a fill
+// pass allocates single backing arrays. With a static analysis attached,
+// runs that still match the load-time image borrow its shared predecode
+// instead of building a private copy.
+func (e *Engine) seal(ct *jit.CompiledTrace) {
+	cost := e.Cost
 	n := len(ct.Ins)
-	runs, covered := 0, 0
+	spans := e.sealScratch[:0]
+	covered, private := 0, 0
 	for i := 0; i < n; {
 		if !fastEligible(&ct.Ins[i]) {
 			i++
@@ -605,56 +685,82 @@ func sealFastPaths(ct *jit.CompiledTrace, cost CostModel) {
 			j++
 		}
 		if j-i >= minSuperblockIns {
-			runs++
+			sp := runSpan{i: i, j: j, shared: e.sharedRun(ct, i, j)}
 			covered += j - i
+			if sp.shared == nil {
+				private += j - i
+			}
+			spans = append(spans, sp)
 		}
 		i = j
 	}
-	if runs == 0 {
+	e.sealScratch = spans
+	if len(spans) == 0 {
 		return
 	}
 	runAt := make([]int32, n)
 	for r := range runAt {
 		runAt[r] = -1
 	}
-	blocks := make([]cpu.BlockIns, covered)
+	var blocks []cpu.BlockIns
+	if private > 0 {
+		blocks = make([]cpu.BlockIns, private)
+	}
 	cums := make([]uint64, covered)
-	sblocks := make([]jit.Superblock, 0, runs)
-	pos := 0
-	for i := 0; i < n; {
-		if !fastEligible(&ct.Ins[i]) {
-			i++
-			continue
+	sblocks := make([]jit.Superblock, 0, len(spans))
+	bpos, cpos := 0, 0
+	for _, sp := range spans {
+		i, j := sp.i, sp.j
+		sb := jit.Superblock{
+			Start: i,
+			Block: sp.shared,
+			Cum:   cums[cpos : cpos+j-i : cpos+j-i],
 		}
-		j := i + 1
-		for j < n && fastEligible(&ct.Ins[j]) {
-			j++
-		}
-		if j-i >= minSuperblockIns {
-			sb := jit.Superblock{
-				Start: i,
-				Block: blocks[pos : pos+j-i : pos+j-i],
-				Cum:   cums[pos : pos+j-i : pos+j-i],
+		cpos += j - i
+		if sp.shared == nil {
+			sb.Block = blocks[bpos : bpos+j-i : bpos+j-i]
+			bpos += j - i
+			if e.SA != nil {
+				e.stats.SAPrivateRuns++
 			}
-			pos += j - i
-			var cum uint64
-			ri := int32(len(sblocks))
-			for x := i; x < j; x++ {
-				ci := &ct.Ins[x]
-				cum += uint64(cost.Exec)
-				if ci.Inst.Op.IsMem() {
-					cum += uint64(cost.MemSurcharge)
-				}
+		} else {
+			e.stats.SASharedRuns++
+		}
+		var cum uint64
+		ri := int32(len(sblocks))
+		for x := i; x < j; x++ {
+			ci := &ct.Ins[x]
+			cum += uint64(cost.Exec)
+			if ci.Inst.Op.IsMem() {
+				cum += uint64(cost.MemSurcharge)
+			}
+			if sp.shared == nil {
 				sb.Block[x-i] = cpu.BlockIns{Inst: ci.Inst, Next: ci.Addr + isa.WordSize}
-				sb.Cum[x-i] = cum
-				runAt[x] = ri
 			}
-			sblocks = append(sblocks, sb)
+			sb.Cum[x-i] = cum
+			runAt[x] = ri
 		}
-		i = j
+		sblocks = append(sblocks, sb)
 	}
 	ct.Sblocks = sblocks
 	ct.RunAt = runAt
+}
+
+// annotateLiveness stamps the analysis's per-instruction liveness masks
+// onto the call-carrying instructions of a freshly compiled trace, so
+// runCall's predicate save/restore can skip dead registers. Instructions
+// without calls are left unstamped (the masks are only consulted at call
+// sites).
+func annotateLiveness(a *sa.Analysis, ct *jit.CompiledTrace) {
+	for i := range ct.Ins {
+		ci := &ct.Ins[i]
+		if len(ci.Before) > 0 {
+			ci.LiveBefore = a.LiveIn(ci.Addr)
+		}
+		if len(ci.After) > 0 {
+			ci.LiveAfter = a.LiveOut(ci.Addr)
+		}
+	}
 }
 
 // limitReached reports whether the InsLimit pause point has been hit.
@@ -672,17 +778,45 @@ func (e *Engine) ResetPosition() {
 	e.linkFrom = nil
 }
 
+// allLive is the save/restore mask covering the whole register file,
+// used when no liveness information is stamped on the call site (a zero
+// mask means "unknown" — the static analysis always sets bit 0).
+const allLive = ^uint32(0)
+
 // runCall executes one analysis call site and returns its cycle cost.
-func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call) kernel.Cycles {
+// live is the statically-live register mask at the site (zero when
+// unknown).
+//
+// Around an inlined if/then predicate, Pin saves the registers the
+// predicate could observe clobbered and restores them afterwards; with
+// liveness information it only spills the statically-live subset. The
+// engine models that host-side work here: snapshot the live registers,
+// run the predicate, restore. Predicates never write guest registers
+// (they are pure observers), so the restore is semantically a no-op and
+// virtual results are identical with or without the analysis — only the
+// PredSaveRegs host counter moves. A stale mask (self-modifying code
+// after load) is harmless for the same reason.
+func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call, live uint32) kernel.Cycles {
 	cost := e.Cost
 	if c.Fn != nil {
 		e.stats.AnalysisCalls++
 		c.Fn(ctx)
 		return cost.Call
 	}
+	mask := live
+	if mask == 0 {
+		mask = allLive
+	}
+	var buf [isa.NumRegs]uint32
+	pc := ctx.Regs.PC
+	n := cpu.SaveMasked(ctx.Regs, mask, &buf)
 	e.stats.IfCalls++
 	cy := cost.IfCall
-	if c.If(ctx) && c.Then != nil {
+	fire := c.If(ctx)
+	cpu.RestoreMasked(ctx.Regs, mask, &buf)
+	ctx.Regs.PC = pc
+	e.stats.PredSaveRegs += uint64(n)
+	if fire && c.Then != nil {
 		e.stats.ThenCalls++
 		c.Then(ctx)
 		cy += cost.ThenCall

@@ -1,0 +1,165 @@
+package pin
+
+import (
+	"math/bits"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/jit"
+	"superpin/internal/kernel"
+	"superpin/internal/sa"
+)
+
+// saTestSrc is a counted loop with a provable exit: the static analysis
+// can see that only the loop-carried registers (r10, r11) and the exit
+// syscall's argument registers survive each instrumentation point, so
+// the predicate save/restore set shrinks from the full register file to
+// a handful.
+const saTestSrc = `
+	.entry main
+main:
+	li r10, 0
+	li r11, 2000
+loop:
+	addi r12, r10, 3
+	add r13, r12, r12
+	xor r14, r13, r10
+	addi r10, r10, 1
+	blt r10, r11, loop
+	li r1, 1
+	li r2, 0
+	syscall
+`
+
+// icount2Instrument is the boundary-probe shape SuperPin uses: one
+// inlined predicate on the head instruction of every basic block,
+// leaving the rest of the block uninstrumented (so superblock batching
+// still has runs to seal).
+func icount2Instrument(probes *uint64) func(*Engine) {
+	return func(e *Engine) {
+		e.AddTraceInstrumenter(func(tr *Trace) {
+			for _, bbl := range tr.Bbls() {
+				bbl.InsHead().InsertIfCall(Before, func(c *Ctx) bool {
+					*probes++
+					return false
+				})
+			}
+		})
+	}
+}
+
+// TestSALivenessElision runs identical If-call instrumentation with and
+// without the analysis attached. Virtual outcomes must be identical —
+// liveness only changes which registers the host saves around a
+// predicate — while the saved-register count must shrink strictly.
+func TestSALivenessElision(t *testing.T) {
+	prog, err := asm.Assemble(saTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := sa.Analyze(prog)
+	if err := an.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	kcfg := kernel.DefaultConfig()
+	kcfg.MaxCycles = 2_000_000_000
+	var probesSA, probesRef uint64
+
+	withSA := setupMode(t, saTestSrc, kcfg, DefaultCost(), func(e *Engine) {
+		e.SA = an
+		icount2Instrument(&probesSA)(e)
+	})
+	if err := withSA.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref := setupMode(t, saTestSrc, kcfg, DefaultCost(), icount2Instrument(&probesRef))
+	if err := ref.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical guest outcomes.
+	if withSA.p.Regs != ref.p.Regs {
+		t.Errorf("registers diverged:\nsa  %+v\nref %+v", withSA.p.Regs, ref.p.Regs)
+	}
+	if withSA.p.InsCount != ref.p.InsCount || withSA.p.CPUTime != ref.p.CPUTime ||
+		withSA.p.ExitCode != ref.p.ExitCode {
+		t.Errorf("accounting diverged: sa ins=%d cpu=%d exit=%d, ref ins=%d cpu=%d exit=%d",
+			withSA.p.InsCount, withSA.p.CPUTime, withSA.p.ExitCode,
+			ref.p.InsCount, ref.p.CPUTime, ref.p.ExitCode)
+	}
+	if probesSA != probesRef || probesSA == 0 {
+		t.Errorf("probe counts diverged: sa %d, ref %d", probesSA, probesRef)
+	}
+
+	ss, rs := withSA.e.Stats(), ref.e.Stats()
+	if ss.IfCalls != rs.IfCalls || ss.IfCalls == 0 {
+		t.Errorf("IfCalls: sa %d, ref %d", ss.IfCalls, rs.IfCalls)
+	}
+	// Without analysis every predicate saves the whole file.
+	if want := rs.IfCalls * uint64(len(ref.p.Regs.R)); rs.PredSaveRegs != want {
+		t.Errorf("ref PredSaveRegs = %d, want full file %d", rs.PredSaveRegs, want)
+	}
+	// With analysis the per-predicate save set must shrink strictly.
+	if ss.PredSaveRegs == 0 || ss.PredSaveRegs >= rs.PredSaveRegs {
+		t.Errorf("PredSaveRegs not narrowed: sa %d vs ref %d", ss.PredSaveRegs, rs.PredSaveRegs)
+	}
+	// Per-probe average should be far below the 32-register file for
+	// this loop — the masks really are narrow, not just off-by-one.
+	if avg := float64(ss.PredSaveRegs) / float64(ss.IfCalls); avg > 16 {
+		t.Errorf("average save set %.1f regs, expected a narrow mask", avg)
+	}
+	// The analysis-backed predecode sharing must have engaged, and the
+	// reference engine must not report any SA activity.
+	if ss.SASharedRuns == 0 {
+		t.Error("SASharedRuns = 0: superblock sealing never borrowed the shared predecode")
+	}
+	if rs.SASharedRuns != 0 || rs.SAPrivateRuns != 0 {
+		t.Errorf("engine without analysis reported SA runs: %+v", rs)
+	}
+}
+
+// TestSAAnnotateLiveness checks the mask stamping directly: only
+// call-carrying instructions get masks, and stamped masks match the
+// analysis queries and carry the r0 marker bit.
+func TestSAAnnotateLiveness(t *testing.T) {
+	prog, err := asm.Assemble(saTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := sa.Analyze(prog)
+	if err := an.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var probes uint64
+	s := setupMode(t, saTestSrc, kernel.DefaultConfig(), DefaultCost(), func(e *Engine) {
+		e.SA = an
+		icount2Instrument(&probes)(e)
+	})
+	if err := s.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	s.e.cache.Traces(func(ct *jit.CompiledTrace) {
+		for i := range ct.Ins {
+			ci := &ct.Ins[i]
+			if len(ci.Before) > 0 {
+				if ci.LiveBefore != an.LiveIn(ci.Addr) {
+					t.Errorf("LiveBefore(%#x) = %#x, want %#x", ci.Addr, ci.LiveBefore, an.LiveIn(ci.Addr))
+				}
+				if ci.LiveBefore&1 == 0 {
+					t.Errorf("LiveBefore(%#x) missing the r0 marker bit", ci.Addr)
+				}
+				if bits.OnesCount32(ci.LiveBefore) >= 32 {
+					t.Errorf("LiveBefore(%#x) not narrowed: %#x", ci.Addr, ci.LiveBefore)
+				}
+				checked++
+			} else if ci.LiveBefore != 0 {
+				t.Errorf("uninstrumented %#x got LiveBefore %#x", ci.Addr, ci.LiveBefore)
+			}
+		}
+	})
+	if checked == 0 {
+		t.Fatal("no instrumented instructions found in the code cache")
+	}
+}

@@ -1,0 +1,202 @@
+package sa
+
+import (
+	"fmt"
+	"math/bits"
+
+	"superpin/internal/isa"
+)
+
+// verify runs the post-CFG verifier passes. The traversal diagnostics
+// (undecodable/bad-target/misaligned/fall-off/truncated) were emitted
+// during discovery; this adds the stack-depth dataflow, the
+// never-written-register scan, the provable-self-modifying-store scan,
+// and the unreachable-bytes summary.
+func (a *Analysis) verify() {
+	a.verifyStackDepth()
+	a.verifyUninitReads()
+	a.verifySMCStores()
+	a.verifyUnreachable()
+}
+
+// Stack-depth lattice values beyond a known depth.
+const (
+	depthUnset    = -1 << 30 // block not yet visited
+	depthConflict = -1<<30 + 1
+)
+
+// verifyStackDepth runs a forward stack-depth dataflow over the
+// entry-reachable blocks: the entry starts at depth 0, `addi sp, sp, imm`
+// moves the depth, any other write to sp makes it unknown, and calls are
+// assumed balanced (a callee entry restarts at 0; the return site
+// continues at the caller's depth). Joins that disagree degrade to
+// "unknown" silently — except on a back edge (the target dominates the
+// source), where a disagreement means the loop body accumulates net
+// stack depth on every iteration: a stack-imbalanced loop, reported as
+// an error.
+func (a *Analysis) verifyStackDepth() {
+	if a.entryBlock < 0 {
+		return
+	}
+	in := make([]int32, len(a.blocks))
+	for i := range in {
+		in[i] = depthUnset
+	}
+	in[a.entryBlock] = 0
+	work := []int{a.entryBlock}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := a.blocks[id]
+		r := a.regions[b.ri]
+		out := in[id]
+		for i := b.start; i < b.end; i++ {
+			ins := r.ins[i]
+			if ins.Op == isa.OpADDI && ins.Rd == isa.RegSP && ins.Rs1 == isa.RegSP {
+				if out > depthConflict {
+					out -= ins.Imm // pushes are negative immediates
+				}
+			} else if ins.DstReg() == isa.RegSP {
+				out = depthConflict
+			}
+		}
+		for ei, s := range b.succs {
+			next := out
+			if b.kinds[ei] == edgeCall {
+				next = 0 // a callee tracks its own frame
+			}
+			cur := in[s]
+			switch {
+			case cur == depthUnset:
+				in[s] = next
+				work = append(work, s)
+			case cur == next || cur == depthConflict:
+				// settled
+			case next == depthConflict:
+				in[s] = depthConflict
+				work = append(work, s)
+			default:
+				// Known-vs-known disagreement. On a back edge this is a
+				// loop that shifts sp every iteration; elsewhere it is
+				// just an irregular (but finite) join, degraded silently.
+				if a.dominates(s, id) {
+					sb := a.blocks[s]
+					a.diags = append(a.diags, Diag{Sev: SevError, Code: CodeStackImbalance,
+						Addr: a.regions[b.ri].wordAddr(b.end - 1),
+						Msg: fmt.Sprintf("loop back edge to %#08x carries stack depth %d, header entered at %d",
+							a.regions[sb.ri].wordAddr(sb.start), next, cur)})
+				}
+				in[s] = depthConflict
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// verifyUninitReads warns about registers that reachable code reads but
+// that nothing in the program ever writes. The loader initializes r0
+// (hardwired) and sp, so those are exempt; everything else starts as
+// whatever the kernel zeroed it to, which working programs should not
+// depend on.
+//
+// Unlike the liveness dataflow, this pass does not treat SYSCALL as
+// reading every register (liveness must, because SysSpawn copies the
+// whole file to the child) — that would flag every never-written
+// register in any program that exits. Which argument registers a
+// syscall reads depends on the syscall number, so only r1 (the number
+// itself, always read) counts here.
+func (a *Analysis) verifyUninitReads() {
+	var read, written uint32
+	var firstRead [isa.NumRegs]uint32
+	for _, b := range a.blocks {
+		if !b.entryReach {
+			continue
+		}
+		r := a.regions[b.ri]
+		for i := b.start; i < b.end; i++ {
+			u := r.ins[i].SrcRegs() &^ 1
+			if r.ins[i].Op == isa.OpSYSCALL {
+				u = 1 << isa.RegSys
+			}
+			for m := u &^ read; m != 0; m &= m - 1 {
+				firstRead[bits.TrailingZeros32(m)] = r.wordAddr(i)
+			}
+			read |= u
+			if d := r.ins[i].DstReg(); d > 0 {
+				written |= 1 << uint(d)
+			}
+		}
+	}
+	written |= 1 | 1<<isa.RegSP
+	for m := read &^ written; m != 0; m &= m - 1 {
+		reg := bits.TrailingZeros32(m)
+		a.diags = append(a.diags, Diag{Sev: SevWarn, Code: CodeUninitRead, Addr: firstRead[reg],
+			Msg: fmt.Sprintf("r%d is read but never written anywhere in the program", reg)})
+	}
+}
+
+// verifySMCStores flags stores whose target address is statically
+// provable (block-local lui/ori/addi constant propagation — the La
+// idiom) and lies inside discovered code. The engine executes
+// self-modifying code correctly, so this is a warning, not an error.
+func (a *Analysis) verifySMCStores() {
+	for _, b := range a.blocks {
+		if !b.entryReach {
+			continue
+		}
+		r := a.regions[b.ri]
+		var known uint32 = 1 // r0 is the constant 0
+		var vals [isa.NumRegs]uint32
+		for i := b.start; i < b.end; i++ {
+			ins := r.ins[i]
+			if ins.Op.IsStore() && known&(1<<ins.Rs1) != 0 {
+				ea := vals[ins.Rs1] + uint32(ins.Imm)
+				if ri, wi, ok := a.locate(ea &^ (isa.WordSize - 1)); ok && a.regions[ri].reach[wi] != reachNone {
+					a.diags = append(a.diags, Diag{Sev: SevWarn, Code: CodeSMCStore,
+						Addr: r.wordAddr(i),
+						Msg:  fmt.Sprintf("store provably targets code at %#08x (self-modifying code)", ea)})
+				}
+			}
+			d := ins.DstReg()
+			if d <= 0 {
+				continue
+			}
+			rd := uint8(d)
+			switch {
+			case ins.Op == isa.OpLUI:
+				vals[rd] = uint32(ins.Imm) << 16
+				known |= 1 << rd
+			case ins.Op == isa.OpORI && known&(1<<ins.Rs1) != 0:
+				vals[rd] = vals[ins.Rs1] | uint32(ins.Imm)
+				known |= 1 << rd
+			case ins.Op == isa.OpADDI && known&(1<<ins.Rs1) != 0:
+				vals[rd] = vals[ins.Rs1] + uint32(ins.Imm)
+				known |= 1 << rd
+			default:
+				known &^= 1 << rd
+			}
+		}
+	}
+}
+
+// verifyUnreachable emits one summary warning counting image words that
+// are neither discovered code nor valid encodings — likely data, but
+// possibly rot; either way nothing the verifier can vouch for.
+func (a *Analysis) verifyUnreachable() {
+	count := 0
+	var first uint32
+	for _, r := range a.regions {
+		for i := 0; i < r.words(); i++ {
+			if r.reach[i] == reachNone && !r.ok[i] {
+				if count == 0 {
+					first = r.wordAddr(i)
+				}
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		a.diags = append(a.diags, Diag{Sev: SevWarn, Code: CodeUnreachable, Addr: first,
+			Msg: fmt.Sprintf("%d unreachable word(s) do not decode (data or rot; first at %#08x)", count, first)})
+	}
+}

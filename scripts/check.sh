@@ -20,6 +20,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== obsguard (obs zero-cost nil-guard invariant) =="
+go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core
+
 echo "== go build =="
 go build ./...
 
@@ -40,5 +43,8 @@ go run ./cmd/spbench -exp fastpathdiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "== profiler differential (serial vs SuperPin merged profiles) =="
 go run ./cmd/spbench -exp profdiff -scale 0.02 -benchmarks gzip,mgrid
+
+echo "== static-analysis differential (analysis on vs -nosa) =="
+go run ./cmd/spbench -exp sadiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "ok"

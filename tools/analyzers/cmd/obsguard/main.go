@@ -1,0 +1,36 @@
+// Command obsguard runs the repository's observability nil-guard vet
+// pass over package directories:
+//
+//	go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core
+//
+// It prints one line per unguarded obs.Tracer/obs.Metrics emission site
+// and exits non-zero when any are found. See tools/analyzers/obsguard
+// for the invariant.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"superpin/tools/analyzers/obsguard"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obsguard <package-dir> ...")
+		os.Exit(2)
+	}
+	findings, err := obsguard.CheckDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsguard:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "obsguard: %d unguarded emission site(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Package guardcases is the obsguard test corpus. Lines expecting a
+// finding carry a trailing "want" marker comment; everything else must
+// be clean. The test harness compares analyzer output against these
+// markers, so keep them on the same line as the call.
+package guardcases
+
+import "superpin/internal/obs"
+
+type holder struct {
+	tr *obs.Tracer
+	m  *obs.Metrics
+}
+
+type nested struct{ h holder }
+
+func directUnguarded(t *obs.Tracer, m *obs.Metrics) {
+	t.Emit(obs.Event{}) // want
+	m.Add("x", 1)       // want
+	m.Set("y", 2)       // want
+}
+
+func guardedByIf(t *obs.Tracer, m *obs.Metrics) {
+	if t != nil {
+		t.Emit(obs.Event{})
+	}
+	if m != nil {
+		m.Add("x", 1)
+		m.Set("y", 2)
+	}
+}
+
+func guardedByEnabled(t *obs.Tracer) {
+	if t.Enabled() {
+		t.Emit(obs.Event{})
+	}
+}
+
+func guardedByConjunction(t *obs.Tracer, on bool) {
+	if on && t != nil {
+		t.Emit(obs.Event{})
+	}
+}
+
+func guardedByEarlyReturn(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	t.Emit(obs.Event{})
+}
+
+func guardedByEarlyReturnDisjunction(m *obs.Metrics, off bool) {
+	if off || m == nil {
+		return
+	}
+	m.Add("x", 1)
+}
+
+func guardedElseBranch(t *obs.Tracer) {
+	if t == nil {
+		_ = t
+	} else {
+		t.Emit(obs.Event{})
+	}
+}
+
+func wrongExpressionGuarded(n nested, other *obs.Tracer) {
+	if other != nil {
+		n.h.tr.Emit(obs.Event{}) // want
+	}
+}
+
+func fieldChainGuarded(n nested) {
+	if n.h.tr == nil {
+		return
+	}
+	n.h.tr.Emit(obs.Event{})
+}
+
+func guardAfterCall(t *obs.Tracer) {
+	t.Emit(obs.Event{}) // want
+	if t == nil {
+		return
+	}
+}
+
+func guardWithoutBailout(t *obs.Tracer) {
+	if t == nil {
+		_ = t // does not leave the block
+	}
+	t.Emit(obs.Event{}) // want
+}
+
+func suppressed(t *obs.Tracer) {
+	//obsguard:ignore — cold path, construction is free here
+	t.Emit(obs.Event{})
+	t.Emit(obs.Event{}) //obsguard:ignore
+}
+
+func localRebind(h holder) {
+	m := h.m
+	if m == nil {
+		return
+	}
+	m.Add("x", 1)
+	h.m.Add("y", 1) // want (the guard covers m, not h.m)
+}
+
+// unrelated Add/Set/Emit methods must not be flagged.
+type counter struct{ n int }
+
+func (c *counter) Add(s string, v uint64) { c.n++ }
+
+func notObs(c *counter) {
+	c.Add("x", 1)
+}
