@@ -12,6 +12,9 @@
 //	spbench -exp fastpathdiff    # verify engine fast paths change nothing
 //	spbench -exp sadiff          # verify the static analysis changes nothing
 //	spbench -exp profdiff        # verify serial and SuperPin profiles match
+//	spbench -exp pardiff         # verify host-parallel runs change nothing
+//	spbench -workers 4           # execute each run's slices on 4 goroutines
+//	spbench -scaling 1,2,4,8     # measure wall-clock vs per-run workers
 //	spbench -nofastpath          # run with the dispatch fast paths off
 //	spbench -nosa                # run with the load-time static analysis off
 //	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
@@ -30,6 +33,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +46,9 @@ import (
 type hostPerf struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Workers    int     `json:"workers"`
+	// SPWorkers is the per-run slice-level worker count (-workers); the
+	// Scaling curve, when present, sweeps it with host fan-out off.
+	SPWorkers  int     `json:"sp_workers"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Scale      float64 `json:"scale"`
 	SuiteRuns  int     `json:"suite_runs"`
@@ -56,6 +63,10 @@ type hostPerf struct {
 	// Pin runs) so the artifact shows how much the fast paths engaged.
 	NoFastPath bool               `json:"nofastpath"`
 	Host       bench.HostCounters `json:"host_counters"`
+	// Scaling is the -scaling sweep: wall-clock of a serial SuperPin-only
+	// pass over the configured benchmarks at each per-run worker count,
+	// with speedup relative to the first point.
+	Scaling []bench.ScalePoint `json:"scaling,omitempty"`
 }
 
 func main() {
@@ -68,13 +79,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|scaling")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
 		benchmarks = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all 26)")
 		csvDir     = fs.String("csv", "", "directory to also write <experiment>.csv files into")
 		jobs       = fs.Int("j", 0, "host worker-pool size (0 = $SPBENCH_J, else GOMAXPROCS; 1 = serial)")
+		workers    = fs.Int("workers", 0, "slice-level worker goroutines inside each SuperPin run (results identical at any value; 0 = $SUPERPIN_WORKERS, then 1)")
+		scaling    = fs.String("scaling", "", "comma-separated per-run worker counts to sweep for the wall-clock scaling curve (e.g. 1,2,4,8)")
 		hostJSON   = fs.String("hostjson", "", "file to write host-perf metrics (wall-clock, guest-MIPS) into")
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
@@ -115,6 +128,7 @@ func run(args []string) error {
 	cfg.Scale = *scale
 	cfg.MaxSlices = *maxSlices
 	cfg.Workers = *jobs
+	cfg.SPWorkers = *workers
 	cfg.TraceDir = *traceDir
 	cfg.NoFastPath = *noFastPath
 	cfg.NoSA = *noSA
@@ -329,6 +343,27 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if *exp == "pardiff" {
+		reports, err := bench.RunParDiff(cfg)
+		if err != nil {
+			return err
+		}
+		t := report.New("Host-parallelism differential: 1/2/4/8 workers, identical virtual results",
+			"benchmark", "ins", "slices", "icount1 cycles", "icount2 cycles", "events", "verdict")
+		for _, r := range reports {
+			t.Row(r.Name, r.Ins, r.Slices, uint64(r.Icount1Cycles), uint64(r.Icount2Cycles), r.Events, "ok")
+		}
+		if err := emit("pardiff", t); err != nil {
+			return err
+		}
+		if len(reports) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range reports[0].Checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
 	if *exp == "obssmoke" {
 		reports, err := bench.RunObsSmoke(cfg, bench.Icount1)
 		if err != nil {
@@ -350,22 +385,51 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if *exp == "scaling" {
+		// Standalone scaling sweep: default to the canonical worker counts.
+		if *scaling == "" {
+			*scaling = "1,2,4,8"
+		}
+		ran = true
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("(scale %.2f, timeslice %.0f ms, elapsed %s)\n", cfg.Scale, cfg.TimesliceMSec, elapsed.Round(time.Millisecond))
 
+	var scalePoints []bench.ScalePoint
+	if *scaling != "" {
+		ws, err := parseWorkerList(*scaling)
+		if err != nil {
+			return err
+		}
+		scalePoints, err = bench.RunScaling(cfg, ws)
+		if err != nil {
+			return err
+		}
+		st := report.New("Wall-clock vs per-run workers (SuperPin-only serial sweep, virtual results identical)",
+			"workers", "elapsed (s)", "speedup")
+		for _, p := range scalePoints {
+			st.Row(p.Workers, fmt.Sprintf("%.3f", p.ElapsedSec), fmt.Sprintf("%.2fx", p.Speedup))
+		}
+		if err := emit("scaling", st); err != nil {
+			return err
+		}
+	}
+
 	if *hostJSON != "" {
 		hp := hostPerf{
 			ElapsedSec: elapsed.Seconds(),
 			Workers:    *jobs,
+			SPWorkers:  *workers,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Scale:      cfg.Scale,
 			SuiteRuns:  suiteRuns,
 			GuestIns:   suiteIns,
 			NoFastPath: *noFastPath,
 			Host:       hostTotals,
+			Scaling:    scalePoints,
 		}
 		if hp.ElapsedSec > 0 {
 			hp.GuestMIPS = float64(suiteIns) / (hp.ElapsedSec * 1e6)
@@ -379,6 +443,19 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseWorkerList parses a comma-separated list of worker counts.
+func parseWorkerList(s string) ([]int, error) {
+	var ws []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -scaling entry %q", part)
+		}
+		ws = append(ws, v)
+	}
+	return ws, nil
 }
 
 // writeMemProfile snapshots the host heap after a GC.

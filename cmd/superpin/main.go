@@ -75,6 +75,7 @@ func run(args []string) error {
 		budget     = fs.Int("sampler-budget", 1000, "per-slice instruction budget for the sampler tool")
 		timeline   = fs.Bool("timeline", false, "print an ASCII schedule of the run (paper Figure 1)")
 		detector   = fs.String("detector", "state", "boundary detector: state (paper Section 4.4) | iphistory (the rejected alternative)")
+		workers    = fs.Int("workers", 0, "host goroutines executing slices concurrently (results are byte-identical at any value; 0 = $SUPERPIN_WORKERS, then 1)")
 		threads    = fs.Bool("threads", false, "enable deterministic thread replay for multithreaded guests (Section 8)")
 		tracePath  = fs.String("trace", "", "write the measured run's event trace to this file (.json = Chrome trace format for Perfetto, else plain text)")
 		metricsOut = fs.String("metrics", "", "write the measured run's metrics registry to this file as JSON")
@@ -226,6 +227,7 @@ func run(args []string) error {
 	opts.PinCost.NoSA = *noSA
 	opts.NativeMemSurcharge = spec.NativeMemCost
 	opts.ProfInterval = profInterval
+	opts.Workers = *workers
 	opts.Trace = tracer
 	opts.Metrics = metrics
 	res, err := core.Run(kcfg, prog, factory, opts)

@@ -72,6 +72,12 @@ type Config struct {
 	// image and engine, and results are collected in catalog order, so
 	// output is byte-identical for every Workers value.
 	Workers int
+	// SPWorkers is the host-parallelism degree inside each SuperPin run
+	// (core.Options.Workers): independent slices execute concurrently on
+	// that many goroutines with a deterministic merge, so virtual-cycle
+	// results are identical for every value. Zero leaves the per-run
+	// default ($SUPERPIN_WORKERS, then serial).
+	SPWorkers int
 	// TraceDir, when non-empty, attaches a tracer to every SuperPin run
 	// and writes each run's Chrome trace-format JSON (loadable in
 	// Perfetto) to <TraceDir>/<benchmark>.<tool>.trace.json.
@@ -231,6 +237,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	opts.PinCost = cfg.PinCost
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.NativeMemSurcharge = spec.NativeMemCost
+	opts.Workers = cfg.SPWorkers
 	if cfg.TraceDir != "" {
 		opts.Trace = obs.NewTracer()
 	}

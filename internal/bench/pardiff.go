@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// ParDiffWorkers are the host worker counts the differential runner
+// sweeps: 1 (the serial reference) plus three parallel configurations.
+var ParDiffWorkers = []int{1, 2, 4, 8}
+
+// ParDiffReport is one benchmark's host-parallelism determinism outcome:
+// the benchmark ran under SuperPin at every worker count in
+// ParDiffWorkers, twice (icount1 with the guest profiler attached,
+// icount2 with the shared code cache), and every virtual-cycle-visible
+// quantity was byte-identical to the serial reference.
+type ParDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// Icount1Cycles and Icount2Cycles are the (worker-count-independent)
+	// SuperPin runtimes of the two tool modes.
+	Icount1Cycles kernel.Cycles
+	Icount2Cycles kernel.Cycles
+	// Slices is the icount1 run's slice count (identical at every worker
+	// count), and Events its trace length.
+	Slices int
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// parDiffChecks are the equalities the differential runner asserts, for
+// human-readable output.
+var parDiffChecks = []string{
+	"SuperPin result deep-equal at 1/2/4/8 workers (cycles, slices, stats, stdout, profile)",
+	"trace event streams byte-identical at every worker count",
+	"breakdown quadruple identical at every worker count",
+	"tool totals equal the native instruction count in every run",
+	"trace invariants hold at every worker count",
+}
+
+// RunParDiff runs each configured benchmark under SuperPin at 1, 2, 4
+// and 8 host workers — once per tool mode: icount1 with the virtual-time
+// profiler sampling (ProfInterval 997), icount2 with the shared code
+// cache — and verifies that host parallelism changed nothing the virtual
+// machine can observe: the full core.Result (slice schedule, statistics,
+// merged profile, stdout), the trace event stream and the Figure 6
+// breakdown must be byte-identical to the single-worker reference.
+func RunParDiff(cfg Config) ([]*ParDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*ParDiffReport, error) {
+		return runParDiffOne(cfg, specs[i])
+	})
+}
+
+// parRun is one worker count's measurement set.
+type parRun struct {
+	sp     *core.Result
+	events []obs.Event
+}
+
+func runParDiffOne(cfg Config, spec workload.Spec) (*ParDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("pardiff %s: native: %w", spec.Name, err)
+	}
+
+	report := &ParDiffReport{Name: spec.Name, Ins: native.Ins, Checks: parDiffChecks}
+	for _, kind := range []ToolKind{Icount1, Icount2} {
+		var ref parRun
+		for _, w := range ParDiffWorkers {
+			opts := core.DefaultOptions()
+			opts.SliceMSec = cfg.TimesliceMSec
+			opts.MaxSlices = cfg.MaxSlices
+			opts.PinCost = cfg.PinCost
+			opts.PinCost.MemSurcharge = spec.SliceMemCost
+			opts.NativeMemSurcharge = spec.NativeMemCost
+			opts.Workers = w
+			opts.Trace = obs.NewTracer()
+			// Each tool mode stresses a different cross-worker surface:
+			// icount1 merges the profiler's per-slice sample streams,
+			// icount2 shares one barrier-published trace cache.
+			if kind == Icount1 {
+				opts.ProfInterval = 997
+			} else {
+				opts.SharedCodeCache = true
+			}
+			tool := newTool(kind)
+			spRes, err := core.Run(cfg.Kernel, prog, tool.Factory(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("pardiff %s: superpin (%s, workers=%d): %w", spec.Name, kind, w, err)
+			}
+			if spRes.Err != nil {
+				return nil, fmt.Errorf("pardiff %s: superpin (%s, workers=%d): %w", spec.Name, kind, w, spRes.Err)
+			}
+			if tool.Total() != native.Ins {
+				return nil, fmt.Errorf("pardiff %s: superpin (%s, workers=%d) counted %d, native executed %d",
+					spec.Name, kind, w, tool.Total(), native.Ins)
+			}
+			events := opts.Trace.Events()
+			if err := VerifyTrace(events, spRes, native.Time); err != nil {
+				return nil, fmt.Errorf("pardiff %s (%s, workers=%d): %w", spec.Name, kind, w, err)
+			}
+			run := parRun{sp: spRes, events: events}
+			if w == ParDiffWorkers[0] {
+				ref = run
+				continue
+			}
+
+			// The whole Result — slice schedule, stats, merged profile,
+			// stdout — must be deep-equal, as must the trace streams.
+			if !reflect.DeepEqual(run.sp, ref.sp) {
+				return nil, fmt.Errorf("pardiff %s (%s): results differ at %d workers:\nserial:   %+v\nparallel: %+v",
+					spec.Name, kind, w, ref.sp, run.sp)
+			}
+			if !reflect.DeepEqual(run.events, ref.events) {
+				return nil, fmt.Errorf("pardiff %s (%s): trace streams differ at %d workers (%d vs %d events)",
+					spec.Name, kind, w, len(ref.events), len(run.events))
+			}
+
+			// The breakdown quadruple is derived from Result fields, but
+			// compare it explicitly: it is the paper-facing quantity.
+			rn, rf, rs, rp := ref.sp.Breakdown(native.Time)
+			wn, wf, ws, wp := run.sp.Breakdown(native.Time)
+			if rn != wn || rf != wf || rs != ws || rp != wp {
+				return nil, fmt.Errorf("pardiff %s (%s): breakdowns differ: serial (%d %d %d %d) vs %d workers (%d %d %d %d)",
+					spec.Name, kind, rn, rf, rs, rp, w, wn, wf, ws, wp)
+			}
+		}
+		if kind == Icount1 {
+			report.Icount1Cycles = ref.sp.TotalTime
+			report.Slices = len(ref.sp.Slices)
+			report.Events = len(ref.events)
+		} else {
+			report.Icount2Cycles = ref.sp.TotalTime
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestRunParDiff is the harness-level host-parallelism determinism
+// check: SuperPin runs at 1, 2, 4 and 8 workers must be byte-identical —
+// results, trace streams, breakdowns — under both an every-instruction
+// tool with profiling and a block-head tool with the shared code cache.
+func TestRunParDiff(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip", "mgrid"}
+	reports, err := RunParDiff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.Ins == 0 || r.Icount1Cycles == 0 || r.Icount2Cycles == 0 ||
+			r.Slices == 0 || r.Events == 0 {
+			t.Fatalf("%s: empty report %+v", r.Name, r)
+		}
+		if len(r.Checks) == 0 {
+			t.Fatalf("%s: no checks recorded", r.Name)
+		}
+	}
+}
+
+// TestRunScaling checks the scaling sweep plumbing: points for every
+// requested worker count, non-zero wall-clock, and the virtual-cycle
+// identity assertion internal to RunScaling.
+func TestRunScaling(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip"}
+	points, err := RunScaling(cfg, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pt := range points {
+		if pt.ElapsedSec <= 0 || pt.Speedup <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+	if points[0].Workers != 1 || points[1].Workers != 2 {
+		t.Fatalf("worker counts %d,%d", points[0].Workers, points[1].Workers)
+	}
+}

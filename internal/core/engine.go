@@ -133,6 +133,11 @@ type Engine struct {
 	group     []*kernel.Proc
 	curBursts []burst
 
+	// workers is the resolved host-parallelism degree (see
+	// Options.Workers); above 1 the slices' guest-phase events are
+	// privately buffered and drained at the serial walk position.
+	workers int
+
 	stats Stats
 	errs  []error
 }
@@ -167,10 +172,24 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	} else {
 		cfg.Trace = opts.Trace
 	}
+	if opts.Workers != 0 {
+		cfg.Workers = opts.Workers
+	}
 	k := kernel.New(cfg)
-	e := &Engine{k: k, opts: opts, factory: factory}
+	e := &Engine{k: k, opts: opts, factory: factory,
+		workers: kernel.ResolveWorkers(cfg.Workers)}
 	if opts.SharedCodeCache {
 		e.sharedTraces = jit.NewTraceCache()
+		// Traces built by a slice during a quantum publish into the
+		// shared cache at the quantum barrier, in slice order — the same
+		// schedule whether the guest phases ran serially or on pool
+		// workers, so shared-cache hit patterns (and therefore timing)
+		// are identical at every worker count.
+		k.QuantumHook = func() {
+			for _, sl := range e.slices {
+				sl.eng.PublishShared()
+			}
+		}
 	}
 	// Load-time static analysis: verify the image once, then share the
 	// read-only liveness/predecode summaries with every slice engine the
@@ -258,6 +277,17 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	e.armTimer()
 
 	kerr := k.Run()
+
+	// Fold the slices' privately accumulated guest-phase counters into
+	// the run statistics in slice order: totals are identical at every
+	// worker count.
+	for _, sl := range e.slices {
+		e.stats.QuickChecks += sl.stats.quickChecks
+		e.stats.FullChecks += sl.stats.fullChecks
+		e.stats.StackChecks += sl.stats.stackChecks
+		e.stats.FalseQuickMatches += sl.stats.falseQuickMatches
+		e.stats.Divergences += sl.stats.divergences
+	}
 
 	res := &Result{
 		ExitCode:    e.exitCode,
@@ -452,6 +482,9 @@ func (e *Engine) doFork(kind boundaryKind) {
 	}
 	sl.eng.AddTraceInstrumenter(sl.tool.Instrument)
 	sl.eng.Shared = e.sharedTraces
+	// Barrier publication in serial runs too, so shared-cache behavior
+	// is byte-identical at every worker count (see Run's QuantumHook).
+	sl.eng.SharedBarrier = true
 	sl.eng.SA = e.sa
 
 	var runner kernel.Runner = sl.eng
@@ -475,7 +508,17 @@ func (e *Engine) doFork(kind boundaryKind) {
 		sl.proc.Prof = sl.probe
 	}
 	if e.opts.Trace != nil {
-		sl.eng.AttachObs(e.opts.Trace, int32(sl.proc.PID))
+		if e.workers > 1 {
+			// Parallel run: the slice's guest phase executes on a pool
+			// worker, so its engine events buffer privately and the
+			// kernel drains them into the main tracer at the slice's
+			// position in the serial quantum walk.
+			sl.buf = obs.NewTracer()
+			sl.proc.ObsBuf = sl.buf
+			sl.eng.AttachObs(sl.buf, int32(sl.proc.PID))
+		} else {
+			sl.eng.AttachObs(e.opts.Trace, int32(sl.proc.PID))
+		}
 	}
 	e.emit(obs.EvSliceSpawn, sl.proc.PID, uint64(num), 0, kind.String())
 	cost := e.k.Config().Cost

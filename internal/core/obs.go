@@ -17,6 +17,28 @@ func (e *Engine) emit(kind obs.Kind, pid kernel.PID, arg, arg2 uint64, name stri
 	})
 }
 
+// emitSlice records an event originating from a slice's guest-phase code
+// (detection checks, playback, threaded replay). In a parallel run those
+// sites execute on pool workers, so the event lands in the slice's
+// private buffer and the kernel folds it into the main tracer at the
+// slice's position in the serial quantum walk; serially it goes straight
+// to the main tracer. Either way the final stream is identical.
+// Reading e.k.Now off the main goroutine is race-free: the kernel only
+// advances virtual time between quanta, while the pool is quiescent.
+func (e *Engine) emitSlice(sl *slice, kind obs.Kind, pid kernel.PID, arg, arg2 uint64, name string) {
+	dst := e.opts.Trace
+	if sl.buf != nil {
+		dst = sl.buf
+	}
+	if dst == nil {
+		return
+	}
+	dst.Emit(obs.Event{
+		Kind: kind, Time: uint64(e.k.Now), PID: int32(pid), CPU: -1,
+		Arg: arg, Arg2: arg2, Name: name,
+	})
+}
+
 // publishMetrics publishes the run's statistics into the registry: the
 // core orchestration counters under "core.", the slices' engine and
 // code-cache statistics summed under "pin.", and the kernel aggregates

@@ -125,6 +125,15 @@ type Options struct {
 	// MinSliceMSec floors the adaptive throttle (default SliceMSec/8).
 	MinSliceMSec float64
 
+	// Workers is the host-parallelism degree: independent slices execute
+	// their guest phases concurrently on a pool of Workers goroutines
+	// (one per guest CPU slot), with every side effect — syscall
+	// playback, merges, trace events, shared-cache publication —
+	// applied on the main goroutine in the serial walk order, so
+	// results are byte-identical to a serial run. Zero (the default)
+	// consults $SUPERPIN_WORKERS and falls back to 1 (serial).
+	Workers int
+
 	// ProfInterval, when positive, attaches the virtual-time guest
 	// profiler (internal/prof): the master maintains a shadow call
 	// stack, each slice samples PC + stack every ProfInterval retired

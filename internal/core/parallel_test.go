@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+)
+
+// parRun executes one traced SuperPin run of prog at the given worker
+// count and returns the full result, the merged tool count, and the
+// trace event stream — everything the determinism contract covers.
+func parRun(t *testing.T, prog *asm.Program, opts Options, workers int) (*Result, uint64, []obs.Event) {
+	t.Helper()
+	tr := obs.NewTracer()
+	opts.Trace = tr
+	opts.Workers = workers
+	factory, count := newIcount()
+	res, err := Run(testKernelCfg(), prog, factory, opts)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("workers=%d: %v", workers, res.Err)
+	}
+	return res, count(), tr.Events()
+}
+
+// assertWorkerInvariance runs prog at 1, 2, 4 and 8 workers and fails
+// unless every run is byte-identical to the serial one: the whole Result
+// (virtual cycles, stats, per-slice info), the merged tool output, and
+// the trace stream.
+func assertWorkerInvariance(t *testing.T, name string, prog *asm.Program, opts Options) {
+	t.Helper()
+	ref, refCount, refEvents := parRun(t, prog, opts, 1)
+	if len(refEvents) == 0 {
+		t.Fatalf("%s: serial run emitted no events", name)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, count, events := parRun(t, prog, opts, w)
+		if count != refCount {
+			t.Errorf("%s workers=%d: tool count %d, serial %d", name, w, count, refCount)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("%s workers=%d: Result diverged from serial", name, w)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("%s workers=%d: trace diverged (%d vs %d events)",
+				name, w, len(events), len(refEvents))
+		}
+	}
+}
+
+// TestParallelSliceBoundariesDeterministic pins down the three slice
+// boundary kinds under concurrency: timeout-forked slices (small
+// timeslice), record-budget-forked slices (tiny syscall record budget),
+// and the exit-bounded final slice (timeslice larger than the whole
+// program).
+func TestParallelSliceBoundariesDeterministic(t *testing.T) {
+	prog := buildWorkload(t, 3000, 31, kernel.SysRand)
+	t.Run("fork-at-timeout", func(t *testing.T) {
+		opts := smallOpts(20)
+		opts.MaxSysRecs = 0
+		assertWorkerInvariance(t, "timeout", prog, opts)
+	})
+	t.Run("fork-at-syscall-budget", func(t *testing.T) {
+		opts := smallOpts(200)
+		opts.MaxSysRecs = 3
+		assertWorkerInvariance(t, "sysbudget", prog, opts)
+	})
+	t.Run("exit-bounded", func(t *testing.T) {
+		opts := smallOpts(10_000)
+		assertWorkerInvariance(t, "exit", prog, opts)
+	})
+	t.Run("throttled", func(t *testing.T) {
+		opts := smallOpts(20)
+		opts.MaxSlices = 2
+		assertWorkerInvariance(t, "throttled", prog, opts)
+	})
+}
+
+// TestParallelRepeatedRunsIdentical exercises randomized worker
+// completion order: repeated 4-worker runs race their guest phases
+// differently every time, yet each merged outcome must equal the first.
+func TestParallelRepeatedRunsIdentical(t *testing.T) {
+	prog := buildWorkload(t, 2000, 15, kernel.SysRand)
+	opts := smallOpts(20)
+	ref, refCount, refEvents := parRun(t, prog, opts, 4)
+	for i := 0; i < 4; i++ {
+		res, count, events := parRun(t, prog, opts, 4)
+		if count != refCount || !reflect.DeepEqual(res, ref) ||
+			!reflect.DeepEqual(events, refEvents) {
+			t.Fatalf("repeat %d: 4-worker run diverged from first 4-worker run", i)
+		}
+	}
+}
+
+// TestParallelThreadedReplayDeterministic runs the multithreaded
+// application under the pool: thread-group members themselves stay
+// inline (shared memory image), but threaded slices and the master still
+// fan out, and group teardown settles in-flight tasks mid-quantum.
+func TestParallelThreadedReplayDeterministic(t *testing.T) {
+	prog, err := asm.Assemble(threadedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [2]uint64
+	run := func(w int) *Result {
+		factory := func(ctl *ToolCtl) Tool {
+			local := make([]uint64, 1)
+			shared := ctl.CreateSharedArea(local, MergeSum)
+			slot := 0
+			if w > 1 {
+				slot = 1
+			}
+			return perInsShared{local: local, shared: shared, out: &counts[slot], master: ctl.SliceNum() == -1}
+		}
+		opts := smallOpts(20)
+		opts.Threads = true
+		opts.Workers = w
+		res, err := Run(testKernelCfg(), prog, factory, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("workers=%d: %v", w, res.Err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4} {
+		res := run(w)
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d: threaded Result diverged from serial", w)
+		}
+		if counts[1] != counts[0] {
+			t.Errorf("workers=%d: replayed icount %d, serial %d", w, counts[1], counts[0])
+		}
+	}
+}
+
+// TestParallelSharedCacheEpochStress forces constant code-cache churn —
+// a capacity far below the working set flushes and recompiles traces
+// throughout the run — while slices publish into the shared cache from
+// concurrent guest phases. Epoch-versioned invalidation must keep every
+// worker count byte-identical.
+func TestParallelSharedCacheEpochStress(t *testing.T) {
+	prog := buildWorkload(t, 2500, 31, kernel.SysRand)
+	opts := smallOpts(20)
+	opts.SharedCodeCache = true
+	opts.PinCost.CacheCapacity = 24 // absurdly small: constant flushes
+	ref, refCount, refEvents := parRun(t, prog, opts, 1)
+	if ref.Stats.Forks < 3 {
+		t.Fatalf("only %d slices; stress needs several", ref.Stats.Forks)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, count, events := parRun(t, prog, opts, w)
+		if count != refCount {
+			t.Errorf("workers=%d: tool count %d, serial %d", w, count, refCount)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d: Result diverged under cache churn", w)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("workers=%d: trace diverged under cache churn", w)
+		}
+	}
+}

@@ -57,6 +57,20 @@ type sysRecord struct {
 // a slice (register/memory patching without entering the kernel).
 const playbackCost kernel.Cycles = 10
 
+// sliceStats are the detection/divergence counters a slice's guest-phase
+// code (instrumenters, playback filters, the threaded replayer) mutates.
+// In a parallel run those closures execute on pool workers, so each slice
+// accumulates privately; Run folds the counters into Stats in slice order
+// after the kernel stops, which keeps the merged totals identical to a
+// serial run's.
+type sliceStats struct {
+	quickChecks       uint64
+	fullChecks        uint64
+	stackChecks       uint64
+	falseQuickMatches uint64
+	divergences       int
+}
+
 // slice is one instrumented timeslice: a forked process running the
 // application under a fresh Pin engine and tool instance, from its fork
 // point to the next slice's start.
@@ -66,6 +80,13 @@ type slice struct {
 	eng  *pin.Engine
 	tool Tool
 	ctl  *ToolCtl
+
+	// stats accumulates guest-phase counters privately (see sliceStats);
+	// buf, when non-nil (parallel runs with tracing), buffers the
+	// slice's guest-phase events until the kernel drains them at the
+	// slice's position in the serial quantum walk.
+	stats sliceStats
+	buf   *obs.Tracer
 
 	startSig *Signature
 	endSig   *Signature // the NEXT slice's start signature
@@ -105,14 +126,14 @@ func (sl *slice) playbackFilter(e *Engine) pin.SyscallFilter {
 		if sl.nextRec >= len(sl.records) {
 			sl.err = fmt.Errorf("core: slice %d diverged: unexpected %s at %#08x past %d records (boundary %v)",
 				sl.num, kernel.SyscallName(sysno), p.Regs.PC-4, len(sl.records), sl.boundary)
-			e.stats.Divergences++
+			sl.stats.divergences++
 			return true, 0, kernel.StopExit
 		}
 		rec := sl.records[sl.nextRec]
 		if sysno != rec.Sysno || args != rec.Args {
 			sl.err = fmt.Errorf("core: slice %d diverged: replayed %s(%v) but master recorded %s(%v)",
 				sl.num, kernel.SyscallName(sysno), args, kernel.SyscallName(rec.Sysno), rec.Args)
-			e.stats.Divergences++
+			sl.stats.divergences++
 			return true, 0, kernel.StopExit
 		}
 		sl.nextRec++
@@ -122,7 +143,7 @@ func (sl *slice) playbackFilter(e *Engine) pin.SyscallFilter {
 			(sl.boundary == boundarySyscall || sl.boundary == boundaryExit) {
 			// The final record is a syscall- or exit-bounded slice's end
 			// boundary: replaying it is the detection event.
-			e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
+			e.emitSlice(sl, obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 			return true, playbackCost, kernel.StopExit
 		}
 		return true, playbackCost, kernel.StopBudget
@@ -143,19 +164,19 @@ func (sl *slice) detectionInstrumenter(e *Engine) func(*pin.Trace) {
 		}
 		sig := sl.endSig
 		fullCheck := func(c *pin.Ctx) {
-			e.stats.FullChecks++
+			sl.stats.fullChecks++
 			match, stackChecked := sig.fullMatch(c.Regs, c.Mem)
 			if stackChecked {
-				e.stats.StackChecks++
+				sl.stats.stackChecks++
 			}
 			if match {
 				sl.endDetected = true
-				e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
-				e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
+				e.emitSlice(sl, obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
+				e.emitSlice(sl, obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 				c.RequestStop()
 			} else {
-				e.stats.FalseQuickMatches++
-				e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
+				sl.stats.falseQuickMatches++
+				e.emitSlice(sl, obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
 			}
 		}
 		for _, bbl := range tr.Bbls() {
@@ -170,7 +191,7 @@ func (sl *slice) detectionInstrumenter(e *Engine) func(*pin.Trace) {
 					continue
 				}
 				ins.InsertIfCall(pin.Before, func(c *pin.Ctx) bool {
-					e.stats.QuickChecks++
+					sl.stats.quickChecks++
 					return sig.quickMatch(c.Regs)
 				})
 				ins.InsertThenCall(pin.Before, fullCheck)
@@ -201,19 +222,19 @@ func (sl *slice) ipHistoryInstrumenter(e *Engine) func(*pin.Trace) {
 					}
 					last := wantLast
 					ins.InsertIfCall(pin.Before, func(c *pin.Ctx) bool {
-						e.stats.QuickChecks++
+						sl.stats.quickChecks++
 						return sl.lastPushed == last
 					})
 					ins.InsertThenCall(pin.Before, func(c *pin.Ctx) {
-						e.stats.FullChecks++
+						sl.stats.fullChecks++
 						if sl.ipRing.MatchesSnapshot(sig.IPs) {
 							sl.endDetected = true
-							e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
-							e.emit(obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
+							e.emitSlice(sl, obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 1, "")
+							e.emitSlice(sl, obs.EvSliceDetect, sl.proc.PID, uint64(sl.num), 0, "")
 							c.RequestStop()
 						} else {
-							e.stats.FalseQuickMatches++
-							e.emit(obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
+							sl.stats.falseQuickMatches++
+							e.emitSlice(sl, obs.EvSigFullCheck, sl.proc.PID, uint64(sl.num), 0, "")
 						}
 					})
 				}

@@ -107,7 +107,7 @@ func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cyc
 				if r.active != 0 {
 					r.contexts[r.active] = p.Regs
 				}
-				r.e.emit(obs.EvSliceDetect, r.sl.proc.PID, uint64(r.sl.num), 0, "")
+				r.e.emitSlice(r.sl, obs.EvSliceDetect, r.sl.proc.PID, uint64(r.sl.num), 0, "")
 				return used, kernel.StopExit
 			}
 			b := r.sl.bursts[r.cursor]
@@ -121,7 +121,7 @@ func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cyc
 				if !ok {
 					r.sl.err = fmt.Errorf("core: slice %d replay references unknown thread %d",
 						r.sl.num, b.Tid)
-					r.e.stats.Divergences++
+					r.sl.stats.divergences++
 					return used, kernel.StopExit
 				}
 				p.Regs = ctx
@@ -141,7 +141,7 @@ func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cyc
 		executed := p.InsCount - before
 		if executed > r.left {
 			r.sl.err = fmt.Errorf("core: slice %d overran a burst of thread %d", r.sl.num, r.active)
-			r.e.stats.Divergences++
+			r.sl.stats.divergences++
 			return used, kernel.StopExit
 		}
 		r.left -= executed
@@ -164,7 +164,7 @@ func (r *threadedRunner) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cyc
 		case kernel.StopSyscall:
 			r.sl.err = fmt.Errorf("core: slice %d syscall escaped playback at %#08x",
 				r.sl.num, p.Regs.PC)
-			r.e.stats.Divergences++
+			r.sl.stats.divergences++
 			return used, kernel.StopExit
 		}
 	}
@@ -180,7 +180,7 @@ func (sl *slice) threadedPlaybackFilter(e *Engine, r *threadedRunner) pin.Syscal
 		if sl.nextRec >= len(sl.records) {
 			sl.err = fmt.Errorf("core: slice %d diverged: unexpected %s past %d records",
 				sl.num, kernel.SyscallName(sysno), len(sl.records))
-			e.stats.Divergences++
+			sl.stats.divergences++
 			return true, 0, kernel.StopExit
 		}
 		rec := sl.records[sl.nextRec]
@@ -188,7 +188,7 @@ func (sl *slice) threadedPlaybackFilter(e *Engine, r *threadedRunner) pin.Syscal
 			sl.err = fmt.Errorf("core: slice %d diverged: thread %d replayed %s(%v), master recorded %s(%v) on thread %d",
 				sl.num, r.active, kernel.SyscallName(sysno), args,
 				kernel.SyscallName(rec.Sysno), rec.Args, rec.Tid)
-			e.stats.Divergences++
+			sl.stats.divergences++
 			return true, 0, kernel.StopExit
 		}
 		sl.nextRec++

@@ -12,6 +12,7 @@ package jit
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
@@ -263,6 +264,12 @@ type TraceCacheStats struct {
 	Misses uint64
 }
 
+// traceCacheShards is the number of entry-address shards in a shared
+// TraceCache. Sharding keeps barrier publication cache-friendly and
+// bounds any one map's growth; the shard of an entry depends only on its
+// address, never on who built it.
+const traceCacheShards = 16
+
 // TraceCache is a translation cache shared across engines — the paper's
 // Section 8 future-work idea of sharing the code cache across all
 // timeslices. It stores *uninstrumented* built traces: translation (the
@@ -270,49 +277,103 @@ type TraceCacheStats struct {
 // weaves its own instrumentation, since analysis calls are bound to
 // per-slice tool state.
 //
-// Like everything in the simulation it is used from a single goroutine
-// and needs no locking.
+// Concurrency contract (what keeps parallel runs byte-identical to
+// serial runs): engines running on pool workers only *read* the cache
+// (Lookup) and count outcomes through the atomic statistics
+// (RecordLookup). Newly built traces are not inserted mid-quantum —
+// each engine keeps them pending privately and the scheduler publishes
+// every engine's pending set, in slice order, at the quantum barrier
+// (Publish), while all workers are quiescent. Publication is therefore a
+// pure function of virtual time, identical for every worker count, and
+// the map writes are ordered against worker reads by the pool's round
+// protocol — no locks needed. Each Publish batch that lands at least one
+// new entry advances the cache epoch.
 type TraceCache struct {
-	traces map[uint32]*Trace
-	stats  TraceCacheStats
+	shards [traceCacheShards]map[uint32]*Trace
+	epoch  uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewTraceCache creates an empty shared translation cache.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{traces: make(map[uint32]*Trace)}
+	tc := &TraceCache{}
+	for i := range tc.shards {
+		tc.shards[i] = make(map[uint32]*Trace)
+	}
+	return tc
 }
 
+// shardOf maps a (word-aligned) trace entry address to its shard.
+func shardOf(pc uint32) uint32 { return (pc >> 2) % traceCacheShards }
+
 // Lookup returns the shared trace entered at pc, if present. Lookup is a
-// pure read — it mutates no statistics — so a cache could safely serve
+// pure read — it mutates no statistics — so the cache safely serves
 // concurrent readers; the engine that owns the lookup records its outcome
 // with RecordLookup.
 func (tc *TraceCache) Lookup(pc uint32) (*Trace, bool) {
-	tr, ok := tc.traces[pc]
+	tr, ok := tc.shards[shardOf(pc)][pc]
 	return tr, ok
 }
 
-// RecordLookup accumulates one lookup outcome into the statistics. It is
-// the only mutating part of the former Lookup and is called by the cache's
-// owning engine, keeping ownership of writes explicit.
+// RecordLookup accumulates one lookup outcome into the statistics. The
+// counters are atomic: every engine on every worker records through the
+// same pair.
 func (tc *TraceCache) RecordLookup(hit bool) {
 	if hit {
-		tc.stats.Hits++
+		tc.hits.Add(1)
 	} else {
-		tc.stats.Misses++
+		tc.misses.Add(1)
 	}
 }
 
-// Insert publishes a built trace for other engines to reuse. Re-inserting
-// an existing entry keeps the first (all engines build identical traces
-// from the same code).
-func (tc *TraceCache) Insert(tr *Trace) {
-	if _, dup := tc.traces[tr.Addr]; !dup {
-		tc.traces[tr.Addr] = tr
+// Insert publishes a built trace for other engines to reuse, returning
+// whether it created a new entry. Re-inserting an existing entry keeps
+// the first (all engines build identical traces from the same code).
+// Callers must hold the publication barrier: Insert runs only while no
+// engine executes on a pool worker.
+func (tc *TraceCache) Insert(tr *Trace) bool {
+	s := tc.shards[shardOf(tr.Addr)]
+	if _, dup := s[tr.Addr]; dup {
+		return false
 	}
+	s[tr.Addr] = tr
+	return true
+}
+
+// Publish inserts a batch of built traces (one engine's pending set, in
+// build order) at the quantum barrier, advancing the cache epoch if any
+// entry is new. It returns the number of entries created.
+func (tc *TraceCache) Publish(trs []*Trace) int {
+	n := 0
+	for _, tr := range trs {
+		if tc.Insert(tr) {
+			n++
+		}
+	}
+	if n > 0 {
+		tc.epoch++
+	}
+	return n
+}
+
+// Epoch returns the publication epoch: the number of Publish batches
+// that added at least one entry. Deterministic across worker counts.
+func (tc *TraceCache) Epoch() uint64 { return tc.epoch }
+
+// Len returns the number of published traces.
+func (tc *TraceCache) Len() int {
+	n := 0
+	for _, s := range tc.shards {
+		n += len(s)
+	}
+	return n
 }
 
 // Stats returns cumulative statistics.
-func (tc *TraceCache) Stats() TraceCacheStats { return tc.stats }
+func (tc *TraceCache) Stats() TraceCacheStats {
+	return TraceCacheStats{Hits: tc.hits.Load(), Misses: tc.misses.Load()}
+}
 
 // CacheStats are cumulative code-cache statistics. The Link counters
 // track the trace-linking fast path: a hit is a trace exit resolved

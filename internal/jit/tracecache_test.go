@@ -1,0 +1,113 @@
+package jit
+
+import (
+	"sync"
+	"testing"
+)
+
+// buildTraces builds the distinct traces of a small program (one per
+// basic-block entry) for cache tests.
+func buildTraces(t *testing.T) []*Trace {
+	t.Helper()
+	m, p := loadSrc(t, `
+main:
+	addi r1, r1, 1
+	beq r1, r2, alt
+	addi r3, r3, 1
+	j main
+alt:
+	addi r4, r4, 1
+	addi r5, r5, 1
+	j main
+`)
+	const progIns = 7
+	var trs []*Trace
+	for pc := p.Entry; pc < p.Entry+progIns*4; pc += 4 {
+		tr, err := BuildTrace(m, pc)
+		if err != nil {
+			t.Fatalf("pc %#x: %v", pc, err)
+		}
+		trs = append(trs, tr)
+	}
+	return trs
+}
+
+// TestTraceCacheInsertFirstWins checks the duplicate-publication rule:
+// every engine builds identical traces from the same code, so the first
+// published copy is kept and re-insertion is a no-op.
+func TestTraceCacheInsertFirstWins(t *testing.T) {
+	trs := buildTraces(t)
+	tc := NewTraceCache()
+	if !tc.Insert(trs[0]) {
+		t.Fatal("first insert reported duplicate")
+	}
+	clone := *trs[0]
+	if tc.Insert(&clone) {
+		t.Fatal("duplicate insert reported new entry")
+	}
+	got, ok := tc.Lookup(trs[0].Addr)
+	if !ok || got != trs[0] {
+		t.Fatal("lookup did not return the first-published trace")
+	}
+}
+
+// TestTraceCacheEpochAdvancesPerBatch checks that the epoch counts
+// publication batches that landed something new — the version number the
+// deterministic merge relies on.
+func TestTraceCacheEpochAdvancesPerBatch(t *testing.T) {
+	trs := buildTraces(t)
+	tc := NewTraceCache()
+	if tc.Publish(trs[:2]) != 2 || tc.Epoch() != 1 {
+		t.Fatalf("first batch: len=%d epoch=%d", tc.Len(), tc.Epoch())
+	}
+	// Re-publishing the same batch adds nothing and must not bump the epoch.
+	if tc.Publish(trs[:2]) != 0 || tc.Epoch() != 1 {
+		t.Fatalf("duplicate batch bumped epoch to %d", tc.Epoch())
+	}
+	if tc.Publish(trs[2:]) == 0 || tc.Epoch() != 2 {
+		t.Fatalf("second batch: epoch=%d, want 2", tc.Epoch())
+	}
+}
+
+// TestTraceCacheConcurrentReadersWithBarrierPublish reproduces the
+// pool's access pattern under the race detector: rounds of concurrent
+// readers (Lookup + atomic RecordLookup), separated by barriers where a
+// single goroutine publishes the next batch. The cache itself is
+// lock-free; the barrier is the correctness contract.
+func TestTraceCacheConcurrentReadersWithBarrierPublish(t *testing.T) {
+	trs := buildTraces(t)
+	tc := NewTraceCache()
+	const readers = 4
+	for round := 0; round < len(trs); round++ {
+		tc.Publish(trs[round : round+1])
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, tr := range trs {
+					_, hit := tc.Lookup(tr.Addr)
+					tc.RecordLookup(hit)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	st := tc.Stats()
+	rounds := uint64(len(trs))
+	lookups := rounds * readers * uint64(len(trs))
+	if st.Hits+st.Misses != lookups {
+		t.Fatalf("recorded %d outcomes, want %d", st.Hits+st.Misses, lookups)
+	}
+	// Round r sees r+1 published traces.
+	wantHits := uint64(0)
+	for r := uint64(1); r <= rounds; r++ {
+		wantHits += r * readers
+	}
+	if st.Hits != wantHits {
+		t.Fatalf("hits = %d, want %d", st.Hits, wantHits)
+	}
+	if tc.Len() != len(trs) || tc.Epoch() != rounds {
+		t.Fatalf("len=%d epoch=%d, want %d/%d", tc.Len(), tc.Epoch(), len(trs), rounds)
+	}
+}

@@ -24,7 +24,9 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
@@ -50,6 +52,31 @@ type Config struct {
 	// lifecycle transition, syscall stop and (coalesced) CPU-occupancy
 	// interval. Nil — the default — costs one pointer check per site.
 	Trace *obs.Tracer
+	// Workers is the host worker-pool size for executing guest phases of
+	// independent processes concurrently within a quantum. Values <= 0
+	// resolve through $SUPERPIN_WORKERS, defaulting to 1 (serial). Every
+	// virtual-time result is byte-identical for every Workers value; the
+	// pool only changes host wall-clock time.
+	Workers int
+}
+
+// WorkersEnv is the environment variable consulted when Config.Workers
+// (or a CLI's -workers flag) is zero or negative.
+const WorkersEnv = "SUPERPIN_WORKERS"
+
+// ResolveWorkers picks the kernel worker-pool size: an explicit positive
+// value wins, then the SUPERPIN_WORKERS environment override, then 1
+// (serial — the default keeps single-run artifacts byte-stable).
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1
 }
 
 // DefaultConfig returns the paper's evaluation machine: 8 physical cores
@@ -73,6 +100,12 @@ type Kernel struct {
 	// application became multithreaded.
 	ThreadHook func(parent, child *Proc)
 
+	// QuantumHook, when non-nil, runs after every scheduling quantum,
+	// while all pool workers are quiescent. SuperPin uses it to publish
+	// slice-built JIT traces into the shared code cache at a point that is
+	// identical in serial and parallel runs.
+	QuantumHook func()
+
 	// Now is the current virtual time.
 	Now Cycles
 
@@ -86,6 +119,12 @@ type Kernel struct {
 	liveProcs int
 	randState uint64
 	guestErrs []error
+
+	// pool runs guest phases of independent processes on spare host
+	// cores; nil when Workers resolves to 1. poolStats aggregates its
+	// host-side occupancy counters (excluded from virtual results).
+	pool      *workerPool
+	poolStats poolStats
 
 	// cpuSlots holds the coalesced per-context occupancy state for the
 	// tracer: one EvSchedule span is emitted per contiguous interval a
@@ -258,6 +297,7 @@ func (k *Kernel) SleepProc(p *Proc) {
 	if p.State != StateRunnable {
 		return
 	}
+	k.settle(p)
 	p.State = StateSleeping
 	p.sleepSince = k.Now
 	k.dequeue(p)
@@ -292,6 +332,7 @@ func (k *Kernel) Exit(p *Proc, code uint32) {
 }
 
 func (k *Kernel) exitOne(p *Proc, code uint32) {
+	k.settle(p)
 	if p.State == StateSleeping {
 		p.SleepTime += k.Now - p.sleepSince
 		// Close the open sleep interval so exporters see balanced spans.
@@ -370,6 +411,18 @@ var ErrMaxCycles = errors.New("kernel: MaxCycles exceeded")
 // faults terminate the faulting process and are reported (joined) in the
 // returned error; deadlock and the MaxCycles safety limit abort the run.
 func (k *Kernel) Run() error {
+	if w := ResolveWorkers(k.cfg.Workers); w > 1 && k.pool == nil {
+		// Workers-1 pool goroutines; the scheduler goroutine itself is
+		// the remaining worker (it claims and steals guest phases while
+		// walking the quantum in order).
+		k.pool = newWorkerPool(k, w-1)
+		k.poolStats.workers = uint64(w)
+		defer func() {
+			k.pool.shutdown()
+			k.poolStats.workerRuns += k.pool.claimed.Load()
+			k.pool = nil
+		}()
+	}
 	quantum := k.cfg.Cost.Quantum
 	for k.liveProcs > 0 {
 		if k.cfg.MaxCycles != 0 && k.Now > k.cfg.MaxCycles {
@@ -392,6 +445,9 @@ func (k *Kernel) Run() error {
 			continue
 		}
 		k.runQuantum(quantum)
+		if k.QuantumHook != nil {
+			k.QuantumHook()
+		}
 		k.Now += quantum
 	}
 	k.fireTimers() // flush anything scheduled exactly at the end
@@ -459,7 +515,11 @@ func (k *Kernel) runQuantum(quantum Cycles) {
 		sharedFrom = 2*p - n
 	}
 
-	for i, proc := range running {
+	// Budgets depend only on the snapshot taken above, never on what the
+	// quantum's earlier processes did, so serial and parallel walks hand
+	// every process the same budget.
+	budgets := make([]Cycles, n)
+	for i := range running {
 		factor := smp
 		if i >= sharedFrom {
 			factor *= cost.HTFactor
@@ -468,7 +528,15 @@ func (k *Kernel) runQuantum(quantum Cycles) {
 		if budget == 0 {
 			budget = 1
 		}
-		k.runProc(proc, budget)
+		budgets[i] = budget
+	}
+
+	if k.pool != nil {
+		k.runProcsParallel(running, budgets)
+	} else {
+		for i, proc := range running {
+			k.runProc(proc, budgets[i])
+		}
 	}
 
 	// Charge wait time to runnable processes that did not get a context,
@@ -495,29 +563,63 @@ func (k *Kernel) runQuantum(quantum Cycles) {
 // runProc gives p up to budget cycles of guest work, servicing syscalls
 // exactly as they occur so no budget is lost to quantum rounding.
 func (k *Kernel) runProc(p *Proc, budget Cycles) {
+	left, stop := k.runGuestPhase(p, budget)
+	k.drainObs(p)
+	k.finishProc(p, left, stop)
+}
+
+// runGuestPhase pays p's carried work debt and then runs guest code until
+// the budget is gone or the runner stops for a non-budget reason. It
+// mutates only p (and p's private memory image), never shared kernel
+// state, which is what makes it safe to run off the scheduler goroutine
+// for processes whose runners are kernel-free (SuperPin slices service
+// syscalls internally by record-and-playback).
+func (k *Kernel) runGuestPhase(p *Proc, budget Cycles) (Cycles, StopReason) {
 	if p.debt >= budget {
 		p.debt -= budget
 		p.CPUTime += budget
-		return
+		return 0, StopBudget
 	}
 	budget -= p.debt
 	p.CPUTime += p.debt
 	p.debt = 0
+	if p.State != StateRunnable {
+		return budget, StopBudget
+	}
+	return k.guestLoop(p, budget)
+}
 
-	for budget > 0 && p.State == StateRunnable {
-		insMark := p.InsCount
-		used, stop := p.Runner.Run(k, p, budget)
-		if p.BurstHook != nil && p.InsCount > insMark {
-			p.BurstHook(p.InsCount - insMark)
-		}
-		if used > budget {
-			p.debt += used - budget
-			p.CPUTime += budget
-			budget = 0
-		} else {
-			p.CPUTime += used
-			budget -= used
-		}
+// guestLoop performs one runner dispatch: it runs p's Runner once,
+// accounts the cycles consumed (overrun beyond the budget becomes debt),
+// and returns the remaining budget with the stop reason. Note no debt
+// prelude: debt accrued mid-quantum (e.g. a fork performed while
+// servicing a syscall) is deferred to the next quantum, exactly as the
+// pre-split serial loop deferred it.
+func (k *Kernel) guestLoop(p *Proc, budget Cycles) (Cycles, StopReason) {
+	insMark := p.InsCount
+	used, stop := p.Runner.Run(k, p, budget)
+	if p.BurstHook != nil && p.InsCount > insMark {
+		p.BurstHook(p.InsCount - insMark)
+	}
+	if used > budget {
+		p.debt += used - budget
+		p.CPUTime += budget
+		budget = 0
+	} else {
+		p.CPUTime += used
+		budget -= used
+	}
+	return budget, stop
+}
+
+// finishProc applies the stop reason a guest phase ended with and keeps
+// running p until its budget is spent or it leaves the runnable state.
+// Applying a stop mutates shared kernel state (syscall service, exits,
+// sleeps, timers), so finishProc always runs on the scheduler goroutine,
+// at p's position in the quantum's walk order — which is how the parallel
+// walk reproduces serial effect ordering exactly.
+func (k *Kernel) finishProc(p *Proc, budget Cycles, stop StopReason) {
+	for {
 		switch stop {
 		case StopBudget:
 			return
@@ -540,6 +642,20 @@ func (k *Kernel) runProc(p *Proc, budget Cycles) {
 				fmt.Errorf("kernel: pid %d (%s) died: %w", p.PID, p.Name, p.Err))
 			k.Exit(p, ^uint32(0))
 		}
+		if budget <= 0 || p.State != StateRunnable {
+			return
+		}
+		budget, stop = k.guestLoop(p, budget)
+		k.drainObs(p)
+	}
+}
+
+// drainObs flushes p's buffered trace events into the main tracer, so
+// events emitted while p ran off the scheduler goroutine land at p's walk
+// position. No-op for unbuffered processes.
+func (k *Kernel) drainObs(p *Proc) {
+	if p.ObsBuf != nil && k.cfg.Trace != nil {
+		p.ObsBuf.DrainTo(k.cfg.Trace)
 	}
 }
 
@@ -627,6 +743,18 @@ func (k *Kernel) PublishMetrics(m *obs.Metrics) {
 	m.Add("kernel.syscalls", sys)
 	m.Add("kernel.stdout_bytes", uint64(len(k.Stdout)))
 	m.Set("kernel.cycles", float64(k.Now))
+	if ps := k.poolStats; ps.workers > 0 {
+		// Host-side pool occupancy: absent from serial runs so their
+		// metrics output is unchanged, and never part of virtual results.
+		m.Add("kernel.pool.workers", ps.workers)
+		m.Add("kernel.pool.rounds", ps.rounds)
+		m.Add("kernel.pool.tasks", ps.tasks)
+		m.Add("kernel.pool.worker_runs", ps.workerRuns)
+		m.Add("kernel.pool.main_runs", ps.mainRuns)
+		m.Add("kernel.pool.main_steals", ps.mainSteals)
+		m.Add("kernel.pool.merge_stalls", ps.mergeStalls)
+		m.Add("kernel.pool.max_queue_depth", ps.maxQueueDepth)
+	}
 }
 
 // SortProcsByPID sorts a process slice by PID, for deterministic reports.

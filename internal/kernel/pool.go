@@ -1,0 +1,358 @@
+package kernel
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Parallel quantum execution.
+//
+// Within one scheduling quantum every scheduled process receives a budget
+// computed from the quantum-start snapshot alone, and processes whose
+// runners are kernel-free until their first stop (SuperPin slices service
+// recorded syscalls internally; the master runs native code until its
+// next real syscall) only touch their own Proc and private memory during
+// a guest phase. Those phases are therefore data-independent and can run
+// concurrently on spare host cores.
+//
+// Determinism comes from keeping *effects* on the scheduler goroutine in
+// the serial walk order: the scheduler walks the quantum's processes in
+// queue order, claims-or-waits for each one's guest phase, then applies
+// its stop (syscalls, exits, sleeps, trace events) inline before moving
+// to the next. Virtual time, accounting, trace streams and results are
+// byte-identical to a serial run for every worker count.
+
+// parTask states.
+const (
+	taskUnclaimed int32 = iota
+	taskClaimed
+	taskDone
+)
+
+// parTask is one process's guest phase within a quantum, claimable by
+// exactly one executor (a pool worker or the scheduler goroutine) via a
+// CAS on state. The taskDone store/load pair publishes the phase's
+// results — left, stop and every write to the process — to the scheduler.
+type parTask struct {
+	proc   *Proc
+	budget Cycles
+	state  atomic.Int32
+	left   Cycles
+	stop   StopReason
+	// skipped marks a task settled before it ever ran because its process
+	// was exited or slept from an earlier walk position; the scheduler
+	// then runs the phase inline at the task's own position, where it
+	// reduces to the debt prelude — exactly the serial walk's behavior.
+	skipped bool
+}
+
+// poolStats aggregates host-side pool occupancy counters. They describe
+// the host execution only and never feed back into virtual results.
+type poolStats struct {
+	workers       uint64 // resolved pool size (including the scheduler)
+	rounds        uint64 // quanta walked with the pool active
+	tasks         uint64 // parallel-safe guest phases enqueued
+	workerRuns    uint64 // phases executed by pool workers
+	mainRuns      uint64 // phases the scheduler claimed at their walk position
+	mainSteals    uint64 // phases the scheduler stole while waiting
+	mergeStalls   uint64 // walk positions that had to wait for an executor
+	maxQueueDepth uint64 // most parallel-safe phases in one quantum
+}
+
+// parSafe reports whether p's guest phase may run off the scheduler
+// goroutine. Thread-group members share one memory image and
+// burst-logged processes feed the global schedule log, so both stay
+// inline in walk order; everything else — slices, the master, plain
+// pin or native processes — owns all its mutable state for the duration
+// of a phase.
+func (k *Kernel) parSafe(p *Proc) bool {
+	return p.memShare == nil && p.BurstHook == nil
+}
+
+// runTask executes t's guest phase and publishes the results.
+func (k *Kernel) runTask(t *parTask) {
+	t.left, t.stop = k.runGuestPhase(t.proc, t.budget)
+	t.state.Store(taskDone)
+}
+
+// runProcsParallel runs one quantum's processes with guest phases fanned
+// out over the worker pool and effects applied in serial walk order.
+func (k *Kernel) runProcsParallel(running []*Proc, budgets []Cycles) {
+	// Reuse one task buffer across rounds: the previous round's ack
+	// barrier guarantees no worker still touches it.
+	if cap(k.pool.buf) < len(running) {
+		k.pool.buf = make([]parTask, len(running))
+	}
+	tasks := k.pool.buf[:len(running)]
+	for i := range tasks {
+		tasks[i] = parTask{}
+	}
+	parallel := 0
+	for i, p := range running {
+		if k.parSafe(p) {
+			tasks[i].proc = p
+			tasks[i].budget = budgets[i]
+			p.ptask = &tasks[i]
+			parallel++
+		}
+	}
+	dispatch := parallel >= 2 // a lone phase is cheaper run inline
+	if dispatch {
+		k.pool.begin(tasks)
+	}
+	k.poolStats.rounds++
+	k.poolStats.tasks += uint64(parallel)
+	if d := uint64(parallel); d > k.poolStats.maxQueueDepth {
+		k.poolStats.maxQueueDepth = d
+	}
+
+	for i, p := range running {
+		t := p.ptask
+		if t == nil {
+			k.runProc(p, budgets[i])
+			continue
+		}
+		if t.state.CompareAndSwap(taskUnclaimed, taskClaimed) {
+			k.runTask(t)
+			k.poolStats.mainRuns++
+		} else {
+			k.waitTask(t, tasks, i+1)
+		}
+		if t.skipped {
+			// Settled unrun: give the phase its serial-walk turn now. The
+			// process has left the runnable state, so this is just the
+			// debt prelude.
+			t.left, t.stop = k.runGuestPhase(p, t.budget)
+		}
+		p.ptask = nil
+		if p.Exited() && t.stop != StopBudget {
+			// Force-exited after its phase ran (guest abort teardown):
+			// there is no one left to apply the stop for.
+			t.stop = StopBudget
+		}
+		k.drainObs(p)
+		k.finishProc(p, t.left, t.stop)
+	}
+	if dispatch {
+		k.pool.end()
+	}
+}
+
+// waitTask blocks until t's executor publishes its results, stealing
+// later unclaimed tasks meanwhile so the scheduler never idles while
+// phases remain.
+func (k *Kernel) waitTask(t *parTask, tasks []parTask, next int) {
+	if t.state.Load() == taskDone {
+		return
+	}
+	k.poolStats.mergeStalls++
+	hot := 0
+	if k.pool.multicore {
+		hot = 128
+	}
+	spins := 0
+	for t.state.Load() != taskDone {
+		stole := false
+		for j := next; j < len(tasks); j++ {
+			s := &tasks[j]
+			if s.proc != nil && s.state.CompareAndSwap(taskUnclaimed, taskClaimed) {
+				k.runTask(s)
+				k.poolStats.mainSteals++
+				stole = true
+				break
+			}
+		}
+		if !stole {
+			spins++
+			if spins > hot {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// settle resolves p's in-flight parallel task before the kernel mutates
+// p from another process's walk position (group exit, forced sleep). An
+// unclaimed task is marked skipped — the serial walk would not have run
+// it past the debt prelude either, and the walk still performs that
+// prelude at p's own position. A claimed task is waited out and its
+// results merge at p's walk position as usual. The wait case needs a
+// cross-process abort mid-quantum — the multithreaded-guest teardown
+// path — where the completed phase is charged to a process about to be
+// force-exited anyway.
+func (k *Kernel) settle(p *Proc) {
+	t := p.ptask
+	if t == nil {
+		return
+	}
+	if t.state.CompareAndSwap(taskUnclaimed, taskClaimed) {
+		t.skipped = true
+		t.left, t.stop = t.budget, StopBudget
+		t.state.Store(taskDone)
+		return
+	}
+	for t.state.Load() != taskDone {
+		runtime.Gosched()
+	}
+}
+
+// workerPool runs guest phases on persistent goroutines, one per spare
+// host worker. Each quantum is a round announced by a single atomic
+// generation bump that hot-spinning workers notice within nanoseconds —
+// a channel handoff per round would cost microseconds of futex wake
+// latency, which dwarfs the sub-microsecond guest phases of a 200-cycle
+// quantum. Workers claim tasks through a shared cursor and CAS, then
+// acknowledge; end spins until every worker has acknowledged, after
+// which no worker touches the task array or any process state. Workers
+// park on a channel only after a long idle spin (serial stretches of the
+// simulation), and begin wakes them again.
+type workerPool struct {
+	k       *Kernel
+	n       int
+	tasks   []parTask
+	buf     []parTask // round task storage, reused (scheduler-owned)
+	cursor  atomic.Int64
+	gen     atomic.Uint64 // round generation; the bump publishes tasks
+	acks    atomic.Int64  // workers done scanning the current round
+	parked  atomic.Int64
+	wake    chan struct{}
+	quit    atomic.Bool
+	claimed atomic.Uint64
+	// multicore selects the spin-then-park tiers: with spare host cores,
+	// hot spinning keeps round handoff in the nanoseconds; on a single
+	// core every spin steals time from the scheduler goroutine, so
+	// waiters yield immediately instead.
+	multicore bool
+}
+
+func newWorkerPool(k *Kernel, n int) *workerPool {
+	wp := &workerPool{k: k, n: n, wake: make(chan struct{}, n),
+		multicore: runtime.GOMAXPROCS(0) > 1}
+	for w := 0; w < n; w++ {
+		go wp.work()
+	}
+	return wp
+}
+
+// begin opens a round. The generation bump publishes the task array and
+// the kernel state — Now, the cost model — phases read: workers load the
+// generation (acquire) before touching either. On a single-core host
+// parked workers stay parked — waking them per round would only hand the
+// core back and forth — and the scheduler claims every task at its walk
+// position instead.
+func (wp *workerPool) begin(tasks []parTask) {
+	wp.tasks = tasks
+	wp.cursor.Store(0)
+	wp.acks.Store(0)
+	wp.gen.Add(1)
+	if wp.multicore && wp.parked.Load() > 0 {
+		wp.wakeAll()
+	}
+}
+
+// end closes the round: it returns only after every worker acknowledged
+// leaving the scan, so the scheduler may reuse the task buffer and
+// mutate process state freely until the next begin. A parked worker
+// counts as out of the round on a single-core host: it parked before the
+// round began (parking re-checks the generation first) and no wakeup is
+// sent mid-run, so it cannot touch the task array. On multicore hosts
+// begin wakes every worker, and a waking worker briefly stays counted as
+// parked while it re-enters the scan — so there the barrier insists on
+// full acknowledgement.
+func (wp *workerPool) end() {
+	hot := 0
+	if wp.multicore {
+		hot = 64
+	}
+	for spins := 0; ; spins++ {
+		acks := wp.acks.Load()
+		if wp.multicore {
+			if acks == int64(wp.n) {
+				break
+			}
+		} else if acks+wp.parked.Load() >= int64(wp.n) {
+			break
+		}
+		if spins >= hot {
+			runtime.Gosched()
+		}
+	}
+	wp.tasks = nil
+}
+
+// shutdown terminates the worker goroutines.
+func (wp *workerPool) shutdown() {
+	wp.quit.Store(true)
+	wp.gen.Add(1)
+	wp.wakeAll()
+}
+
+// wakeAll tops the wake channel up with one token per worker; stale
+// tokens only cause a spurious generation re-check.
+func (wp *workerPool) wakeAll() {
+	for i := 0; i < wp.n; i++ {
+		select {
+		case wp.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (wp *workerPool) work() {
+	// Single core: park almost immediately — any spinning here steals
+	// the only core from the scheduler goroutine.
+	hotSpin, yieldSpin := 0, 1
+	if wp.multicore {
+		hotSpin, yieldSpin = 256, 4096
+	}
+	var last uint64
+	idle := 0
+	for {
+		g := wp.gen.Load()
+		if g != last {
+			last = g
+			idle = 0
+			if wp.quit.Load() {
+				return
+			}
+			for {
+				i := int(wp.cursor.Add(1)) - 1
+				if i >= len(wp.tasks) {
+					break
+				}
+				t := &wp.tasks[i]
+				if t.proc == nil {
+					continue
+				}
+				if t.state.CompareAndSwap(taskUnclaimed, taskClaimed) {
+					wp.k.runTask(t)
+					wp.claimed.Add(1)
+				}
+			}
+			wp.acks.Add(1)
+			continue
+		}
+		if wp.quit.Load() {
+			return
+		}
+		idle++
+		switch {
+		case idle < hotSpin:
+			// Hot spin on the generation cacheline: the next round is
+			// usually a few microseconds away.
+		case idle < yieldSpin:
+			runtime.Gosched()
+		default:
+			// Long serial stretch: park until the next round. The
+			// parked increment vs. begin's generation bump is a
+			// store-load race both sides re-check, so a wakeup can be
+			// spurious but never lost.
+			wp.parked.Add(1)
+			if wp.gen.Load() == last && !wp.quit.Load() {
+				<-wp.wake
+			}
+			wp.parked.Add(-1)
+			idle = 0
+		}
+	}
+}

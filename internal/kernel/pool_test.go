@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"superpin/internal/obs"
+)
+
+// poolRun executes a fixed multi-process workload at the given pool size
+// and returns everything a serial run would be judged by: final virtual
+// time, per-PID exit codes, and the full trace event stream.
+func poolRun(t *testing.T, workers int) (Cycles, []uint32, []obs.Event) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Workers = workers
+	tr := obs.NewTracer()
+	cfg.Trace = tr
+	k := New(cfg)
+	// Heterogeneous mix: different loop lengths finish in different
+	// quanta, syscalls interleave sleep/wake transitions, and the odd
+	// process exits mid-round while others still run.
+	var procs []*Proc
+	for i := 0; i < 6; i++ {
+		m, regs := buildProg(t, loopExit(500+i*377, 10+i))
+		procs = append(procs, k.Spawn("app", m, regs, NativeRunner{}))
+	}
+	m, regs := buildProg(t, `
+	li r10, 0
+loop:
+	li r1, 10       ; SysYield
+	syscall
+	addi r10, r10, 1
+	li r11, 40
+	blt r10, r11, loop
+	li r1, 1
+	li r2, 77
+	syscall
+`)
+	procs = append(procs, k.Spawn("yielder", m, regs, NativeRunner{}))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]uint32, len(procs))
+	for i, p := range procs {
+		if !p.Exited() {
+			t.Fatalf("workers=%d: proc %d not exited", workers, i)
+		}
+		codes[i] = p.ExitCode
+	}
+	return k.Now, codes, tr.Events()
+}
+
+// TestParallelRunDeterministic is the kernel-level half of the tentpole
+// guarantee: for any pool size, virtual time, exit codes and the trace
+// stream are byte-identical to the serial run.
+func TestParallelRunDeterministic(t *testing.T) {
+	refNow, refCodes, refEvents := poolRun(t, 1)
+	if len(refEvents) == 0 {
+		t.Fatal("serial run produced no trace events")
+	}
+	for _, w := range []int{2, 4, 8} {
+		now, codes, events := poolRun(t, w)
+		if now != refNow {
+			t.Errorf("workers=%d: Now=%d, serial %d", w, now, refNow)
+		}
+		if !reflect.DeepEqual(codes, refCodes) {
+			t.Errorf("workers=%d: exit codes %v, serial %v", w, codes, refCodes)
+		}
+		if !reflect.DeepEqual(events, refEvents) {
+			t.Errorf("workers=%d: trace diverged (%d vs %d events)",
+				w, len(events), len(refEvents))
+		}
+	}
+}
+
+// TestParallelRunRepeatable re-runs the same parallel configuration:
+// worker completion order is nondeterministic, merged results must not be.
+func TestParallelRunRepeatable(t *testing.T) {
+	refNow, refCodes, refEvents := poolRun(t, 4)
+	for i := 0; i < 4; i++ {
+		now, codes, events := poolRun(t, 4)
+		if now != refNow || !reflect.DeepEqual(codes, refCodes) ||
+			!reflect.DeepEqual(events, refEvents) {
+			t.Fatalf("run %d: workers=4 results diverged across repeats", i)
+		}
+	}
+}
+
+// TestPoolMetricsPublished checks that a parallel run accounts its pool
+// activity and a serial run publishes no pool keys at all.
+func TestPoolMetricsPublished(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	k := New(cfg)
+	for i := 0; i < 4; i++ {
+		m, regs := buildProg(t, loopExit(2000, i))
+		k.Spawn("app", m, regs, NativeRunner{})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewMetrics()
+	k.PublishMetrics(reg)
+	if got := reg.Counter("kernel.pool.workers"); got != 4 {
+		t.Fatalf("kernel.pool.workers = %d, want 4", got)
+	}
+	if reg.Counter("kernel.pool.rounds") == 0 {
+		t.Fatal("parallel run recorded no pool rounds")
+	}
+	if reg.Counter("kernel.pool.tasks") == 0 {
+		t.Fatal("parallel run enqueued no tasks")
+	}
+	runs := reg.Counter("kernel.pool.worker_runs") + reg.Counter("kernel.pool.main_runs") +
+		reg.Counter("kernel.pool.main_steals")
+	if runs != reg.Counter("kernel.pool.tasks") {
+		t.Fatalf("executed phases %d != enqueued tasks %d",
+			runs, reg.Counter("kernel.pool.tasks"))
+	}
+
+	serial := New(smallConfig())
+	m, regs := buildProg(t, loopExit(100, 0))
+	serial.Spawn("app", m, regs, NativeRunner{})
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewMetrics()
+	serial.PublishMetrics(reg2)
+	if got := reg2.Counter("kernel.pool.workers"); got != 0 {
+		t.Fatalf("serial run published pool metrics (workers=%d)", got)
+	}
+}
+
+// TestResolveWorkers covers the precedence chain: explicit value, then
+// $SUPERPIN_WORKERS, then serial.
+func TestResolveWorkers(t *testing.T) {
+	t.Setenv(WorkersEnv, "")
+	if got := ResolveWorkers(3); got != 3 {
+		t.Fatalf("explicit 3 resolved to %d", got)
+	}
+	if got := ResolveWorkers(0); got != 1 {
+		t.Fatalf("default resolved to %d, want 1", got)
+	}
+	t.Setenv(WorkersEnv, "6")
+	if got := ResolveWorkers(0); got != 6 {
+		t.Fatalf("env override resolved to %d, want 6", got)
+	}
+	if got := ResolveWorkers(2); got != 2 {
+		t.Fatalf("explicit beats env: got %d, want 2", got)
+	}
+	t.Setenv(WorkersEnv, "bogus")
+	if got := ResolveWorkers(0); got != 1 {
+		t.Fatalf("bogus env resolved to %d, want 1", got)
+	}
+}

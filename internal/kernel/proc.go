@@ -5,6 +5,7 @@ import (
 
 	"superpin/internal/cpu"
 	"superpin/internal/mem"
+	"superpin/internal/obs"
 	"superpin/internal/prof"
 )
 
@@ -107,6 +108,14 @@ type Proc struct {
 	// SpawnThread — each profiled process gets its own probe.
 	Prof *prof.Probe
 
+	// ObsBuf, when non-nil, receives trace events emitted on behalf of
+	// this process while its guest phase runs off the scheduler
+	// goroutine; the kernel drains it into the main tracer at the
+	// process's position in the quantum walk, so parallel trace output
+	// is byte-identical to serial output. Runners and instrumentation
+	// attached to a process must emit through it when it is set.
+	ObsBuf *obs.Tracer
+
 	// Brk and MmapTop are the address-space bookkeeping for the brk and
 	// mmap system calls. They are inherited across Fork.
 	Brk     uint32
@@ -140,7 +149,8 @@ type Proc struct {
 	debt       Cycles // syscall/fault cost carried into the next quantum
 	sleepSince Cycles
 	exitFns    []func(*Proc)
-	cowMark    uint64 // last-seen Mem.CopyEvents, for charging deltas
+	cowMark    uint64   // last-seen Mem.CopyEvents, for charging deltas
+	ptask      *parTask // in-flight parallel guest phase (nil outside a quantum)
 }
 
 // Exited reports whether p has terminated.

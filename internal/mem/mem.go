@@ -34,6 +34,7 @@ package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"superpin/internal/isa"
 )
@@ -54,15 +55,28 @@ const invalidPN = ^uint32(0)
 // page is a refcounted 4 KiB page. refs counts the number of Memory images
 // that reference the page; a page with refs > 1 must be copied before it
 // is written.
+//
+// refs and code are atomic because images sharing pages may run on
+// different host workers within one kernel quantum. The invariants that
+// make the copy-on-write protocol safe without locks:
+//
+//   - data is only ever written through a page with refs == 1, and a page
+//     observed at refs == 1 by its writing owner cannot gain references
+//     concurrently (new references come only from forking an image that
+//     already maps the page — and at refs == 1 the writer's image is the
+//     only one that does).
+//   - a shared page's data is immutable, so a concurrently built code
+//     view is a pure function of stable bytes; racing builders store
+//     equivalent values.
 type page struct {
 	data [PageSize]byte
-	refs int32
+	refs atomic.Int32
 
 	// code is the lazily-built predecoded view of this page, or nil.
 	// Stores through writePage clear it (self-modifying code); COW
 	// duplicates start without it. A shared page is never written in
 	// place, so a non-nil code is always consistent with data.
-	code *codePage
+	code atomic.Pointer[codePage]
 }
 
 // codePage caches the decoded form of every word in one page.
@@ -93,7 +107,31 @@ func predecode(data *[PageSize]byte) *codePage {
 // page instead. Its predecode view is built once at init.
 var zeroPage page
 
-func init() { zeroPage.code = predecode(&zeroPage.data) }
+func init() { zeroPage.code.Store(predecode(&zeroPage.data)) }
+
+// arenaSlab is the number of page frames allocated per arena slab. Each
+// slab is ~128 KiB; slabs are never reused, so a released page keeps its
+// slab alive until every frame in it is unreferenced (a small, bounded
+// retention in exchange for one allocation per 32 materializations).
+const arenaSlab = 32
+
+// pageArena is a slab allocator for page frames. Each Memory owns one,
+// so parallel workers materializing copy-on-write pages allocate from
+// disjoint arenas instead of contending on the global heap for every
+// 4 KiB frame.
+type pageArena struct {
+	free []page
+}
+
+// alloc returns a fresh zeroed page frame.
+func (a *pageArena) alloc() *page {
+	if len(a.free) == 0 {
+		a.free = make([]page, arenaSlab)
+	}
+	pg := &a.free[0]
+	a.free = a.free[1:]
+	return pg
+}
 
 // Fault describes an invalid guest memory access.
 type Fault struct {
@@ -112,12 +150,19 @@ func (f *Fault) Error() string {
 
 // Memory is one process's view of guest memory.
 //
-// Memory is not safe for concurrent use; the discrete-event kernel runs
-// guest processes one at a time, so no locking is needed or wanted. The
-// experiment harness runs many simulations concurrently, but each owns a
-// private Memory, so this stays true.
+// A Memory value is single-owner: exactly one goroutine may use it at a
+// time (the kernel hands each image to at most one worker per guest
+// phase). Distinct images that *share pages* through Fork may be used
+// concurrently — the page-level atomics above carry that safely — but
+// the Memory struct itself (page map, TLBs, arena, counters) is never
+// shared between goroutines without a handoff.
 type Memory struct {
 	pages map[uint32]*page
+
+	// arena allocates page frames in slabs, so a fork-heavy parallel run
+	// materializes copy-on-write pages from per-image arenas instead of
+	// hammering the global allocator from every worker at once.
+	arena pageArena
 
 	// One-entry software TLBs: the page number and page of the last read
 	// and the last write. Flushed on Fork, Release and whenever caching
@@ -170,12 +215,15 @@ func (m *Memory) SetCaching(on bool) {
 }
 
 // Fork returns a copy-on-write clone of m. Both images share all current
-// pages; each side copies a page when it first writes to it.
+// pages; each side copies a page when it first writes to it. Forking is
+// safe while other images sharing m's pages run on other workers: it
+// only adds references, which can at worst make a concurrent writer copy
+// a page it was about to start sharing anyway.
 func (m *Memory) Fork() *Memory {
 	child := &Memory{pages: make(map[uint32]*page, len(m.pages)), noCache: m.noCache}
 	child.flushTLB()
 	for pn, pg := range m.pages {
-		pg.refs++
+		pg.refs.Add(1)
 		child.pages[pn] = pg
 	}
 	// Every page is now shared: the parent's cached write page must go
@@ -189,7 +237,7 @@ func (m *Memory) Fork() *Memory {
 // accurate so SharedPages stays meaningful for long runs.
 func (m *Memory) Release() {
 	for pn, pg := range m.pages {
-		pg.refs--
+		pg.refs.Add(-1)
 		delete(m.pages, pn)
 	}
 	m.flushTLB()
@@ -203,7 +251,7 @@ func (m *Memory) Pages() int { return len(m.pages) }
 func (m *Memory) SharedPages() int {
 	n := 0
 	for _, pg := range m.pages {
-		if pg.refs > 1 {
+		if pg.refs.Load() > 1 {
 			n++
 		}
 	}
@@ -239,23 +287,26 @@ func (m *Memory) writePage(addr uint32) *page {
 	}
 	if pn == m.wpn {
 		pg := m.wpg
-		pg.code = nil
+		pg.code.Store(nil)
 		return pg
 	}
 	pg := m.pages[pn]
 	switch {
 	case pg == nil:
-		pg = &page{refs: 1}
+		pg = m.arena.alloc()
+		pg.refs.Store(1)
 		m.pages[pn] = pg
 		m.TouchedPages++
-	case pg.refs > 1:
-		cp := &page{data: pg.data, refs: 1}
-		pg.refs--
+	case pg.refs.Load() > 1:
+		cp := m.arena.alloc()
+		cp.data = pg.data
+		cp.refs.Store(1)
+		pg.refs.Add(-1)
 		m.pages[pn] = cp
 		m.CopyEvents++
 		pg = cp
 	}
-	pg.code = nil
+	pg.code.Store(nil)
 	if !m.noCache {
 		// Populate both entries: a store is usually followed by loads
 		// from the same page, and the read entry must not keep serving
@@ -335,10 +386,10 @@ func (m *Memory) fetchSlow(addr uint32) (isa.Inst, error) {
 		return isa.Decode(w)
 	}
 	pg := m.readPage(addr)
-	cp := pg.code
+	cp := pg.code.Load()
 	if cp == nil {
 		cp = predecode(&pg.data)
-		pg.code = cp
+		pg.code.Store(cp)
 	}
 	m.fpn, m.fcp = addr>>PageShift, cp
 	i := (addr & pageMask) >> 2

@@ -1,0 +1,117 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+// TestConcurrentForkImages exercises the parallel-run memory contract:
+// each image is single-owner, but images that share pages through Fork
+// run concurrently on different goroutines, copy-on-write racing against
+// reads of the shared originals. Page refcounts and predecode pointers
+// are atomic, so this must be clean under the race detector and every
+// image must stay isolated.
+func TestConcurrentForkImages(t *testing.T) {
+	parent := New()
+	const pages = 16
+	for pn := uint32(0); pn < pages; pn++ {
+		for off := uint32(0); off < PageSize; off += 64 {
+			parent.StoreWord(pn*PageSize+off, pn*1000+off)
+		}
+	}
+	// A code page every image fetches from: addi r1, r1, 1 repeated.
+	word, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const codeAddr = pages * PageSize
+	for i := uint32(0); i < 64; i++ {
+		parent.StoreWord(codeAddr+i*4, word)
+	}
+
+	const children = 8
+	imgs := make([]*Memory, children)
+	for i := range imgs {
+		imgs[i] = parent.Fork()
+	}
+
+	var wg sync.WaitGroup
+	for i, img := range imgs {
+		wg.Add(1)
+		go func(i int, img *Memory) {
+			defer wg.Done()
+			// Write a child-unique value into every page (forces COW on
+			// all of them), interleaved with reads of untouched pages and
+			// predecoded fetches from the shared code page.
+			for pn := uint32(0); pn < pages; pn++ {
+				if f := img.StoreWord(pn*PageSize, uint32(i)+1); f != nil {
+					t.Errorf("child %d: store fault %v", i, f)
+					return
+				}
+				if v, f := img.LoadWord((pn+1)%pages*PageSize + 64); f != nil || v%1000 != 64 {
+					t.Errorf("child %d: read %d (fault %v)", i, v, f)
+					return
+				}
+				for a := uint32(0); a < 16; a++ {
+					if _, err := img.FetchInst(codeAddr + a*4); err != nil {
+						t.Errorf("child %d: fetch: %v", i, err)
+						return
+					}
+				}
+			}
+		}(i, img)
+	}
+	wg.Wait()
+
+	// Parent never saw any child's writes.
+	for pn := uint32(0); pn < pages; pn++ {
+		if v, _ := parent.LoadWord(pn * PageSize); v != pn*1000 {
+			t.Fatalf("parent page %d corrupted: %d", pn, v)
+		}
+	}
+	// Each child sees exactly its own value on every page.
+	for i, img := range imgs {
+		for pn := uint32(0); pn < pages; pn++ {
+			if v, _ := img.LoadWord(pn * PageSize); v != uint32(i)+1 {
+				t.Fatalf("child %d page %d: %d, want %d", i, pn, v, i+1)
+			}
+		}
+		if img.CopyEvents != pages {
+			t.Fatalf("child %d: %d copy events, want %d", i, img.CopyEvents, pages)
+		}
+	}
+}
+
+// TestConcurrentReleaseKeepsRefcounts drops images from several
+// goroutines at once; the surviving image must end up sole owner of its
+// pages (SharedPages drains to zero).
+func TestConcurrentReleaseKeepsRefcounts(t *testing.T) {
+	parent := New()
+	for pn := uint32(0); pn < 8; pn++ {
+		parent.StoreWord(pn*PageSize, pn)
+	}
+	const children = 8
+	imgs := make([]*Memory, children)
+	for i := range imgs {
+		imgs[i] = parent.Fork()
+	}
+	var wg sync.WaitGroup
+	for _, img := range imgs {
+		wg.Add(1)
+		go func(img *Memory) {
+			defer wg.Done()
+			img.Release()
+		}(img)
+	}
+	wg.Wait()
+	if got := parent.SharedPages(); got != 0 {
+		t.Fatalf("SharedPages = %d after all children released, want 0", got)
+	}
+	for pn := uint32(0); pn < 8; pn++ {
+		if v, _ := parent.LoadWord(pn * PageSize); v != pn {
+			t.Fatalf("page %d corrupted after releases: %d", pn, v)
+		}
+	}
+}

@@ -37,6 +37,9 @@ func (m *Metrics) Add(name string, delta uint64) {
 		return
 	}
 	m.mu.Lock()
+	if m.counters == nil {
+		m.counters = make(map[string]uint64)
+	}
 	m.counters[name] += delta
 	m.mu.Unlock()
 }
@@ -47,6 +50,9 @@ func (m *Metrics) Set(name string, v float64) {
 		return
 	}
 	m.mu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
 	m.gauges[name] = v
 	m.mu.Unlock()
 }

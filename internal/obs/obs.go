@@ -159,6 +159,25 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// DrainTo moves every buffered event into dst in emission order and
+// empties the receiver, keeping its capacity for reuse. It is how the
+// kernel folds a process's privately buffered events into the main
+// tracer at a deterministic point of the quantum walk. No-op on a nil
+// receiver or nil dst.
+func (t *Tracer) DrainTo(dst *Tracer) {
+	if t == nil || dst == nil || t == dst {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) > 0 {
+		dst.mu.Lock()
+		dst.events = append(dst.events, t.events...)
+		dst.mu.Unlock()
+		t.events = t.events[:0]
+	}
+	t.mu.Unlock()
+}
+
 // Events returns a copy of the collected events in emission order.
 // Within one simulation, per-process (and per-CPU-track) timestamps are
 // non-decreasing; the bench smoke runner asserts exactly that.

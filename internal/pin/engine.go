@@ -142,6 +142,15 @@ type Engine struct {
 	// engine's SplitPC are never adopted from the shared cache.
 	Shared *jit.TraceCache
 
+	// SharedBarrier defers publication of locally built translations
+	// until an explicit PublishShared call. SuperPin sets it on every
+	// slice engine and publishes at quantum barriers in slice order, so
+	// shared-cache contents stay a pure function of virtual time no
+	// matter how many host workers execute slices. When false (the
+	// default, for standalone single-goroutine engines) translations
+	// publish immediately, as plain Pin would.
+	SharedBarrier bool
+
 	// InsLimit, when non-zero, pauses execution (StopBudget) once the
 	// process's total InsCount reaches it. SuperPin's deterministic
 	// thread replay uses it to stop a thread's burst at exactly the
@@ -171,6 +180,15 @@ type Engine struct {
 	idx           int
 	stats         Stats
 	trace         *obs.Tracer
+
+	// pendingShared holds translations this engine built but has not yet
+	// published into Shared (map for dedup, slice for build order). The
+	// engine never inserts into the shared cache mid-run: the scheduler
+	// publishes every engine's pending set at the quantum barrier, in
+	// slice order, which makes shared-cache contents a pure function of
+	// virtual time — identical for every host worker count.
+	pendingShared map[uint32]*jit.Trace
+	pendingOrder  []*jit.Trace
 
 	// linkNext is a successor trace resolved by the previous trace exit's
 	// link-cache hit, consumed by the next dispatch in place of the map
@@ -223,6 +241,42 @@ func (e *Engine) AttachObs(t *obs.Tracer, pid int32) {
 	e.trace = t
 	e.cache.Trace = t
 	e.cache.PID = pid
+}
+
+// queueShared records a locally built translation for publication into
+// the shared cache at the next quantum barrier (first build of an
+// address wins, matching TraceCache.Insert). Without SharedBarrier it
+// publishes immediately.
+func (e *Engine) queueShared(tr *jit.Trace) {
+	if !e.SharedBarrier {
+		e.Shared.Insert(tr)
+		return
+	}
+	if e.pendingShared == nil {
+		e.pendingShared = make(map[uint32]*jit.Trace)
+	}
+	if _, dup := e.pendingShared[tr.Addr]; dup {
+		return
+	}
+	e.pendingShared[tr.Addr] = tr
+	e.pendingOrder = append(e.pendingOrder, tr)
+}
+
+// PublishShared moves this engine's pending translations into the shared
+// cache, in build order. The SuperPin core calls it for every slice
+// engine, in slice order, at the quantum barrier — while no engine runs
+// on a pool worker — so publication order and shared-cache contents are
+// identical in serial and parallel runs. No-op without a shared cache or
+// pending translations.
+func (e *Engine) PublishShared() {
+	if e.Shared == nil || len(e.pendingOrder) == 0 {
+		return
+	}
+	e.Shared.Publish(e.pendingOrder)
+	for _, tr := range e.pendingOrder {
+		delete(e.pendingShared, tr.Addr)
+	}
+	e.pendingOrder = e.pendingOrder[:0]
 }
 
 // PublishMetrics publishes the engine's cumulative statistics into m
@@ -341,6 +395,12 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 					sharedHit := false
 					if e.Shared != nil {
 						st, ok := e.Shared.Lookup(p.Regs.PC)
+						if !ok {
+							// A translation this engine built but has not
+							// published yet serves the same way: pay the
+							// weaving cost, not a rebuild.
+							st, ok = e.pendingShared[p.Regs.PC]
+						}
 						e.Shared.RecordLookup(ok)
 						if ok && !st.ContainsBeyondHead(e.SplitPC) {
 							tr = st
@@ -355,7 +415,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 							return used, kernel.StopError
 						}
 						if e.Shared != nil {
-							e.Shared.Insert(tr)
+							e.queueShared(tr)
 						}
 					}
 					ct = jit.Compile(tr)

@@ -4,14 +4,25 @@
 # two PRs' runs.
 #
 #   scripts/benchdiff.sh results/BENCH_3.json results/BENCH_4.json
+#   scripts/benchdiff.sh -gate results/BENCH_4.json results/BENCH_6.json
 #
 # Positive MIPS delta = the new run pushes guest instructions faster.
 # Comparisons are only meaningful between runs of the same scale and
 # experiment set on the same host; the script warns when scales differ.
+#
+# With -gate the script also *fails* (exit 1) when the new run's serial
+# path regressed: guest_mips_min below 80% of the old run's. The 20%
+# margin absorbs host noise on shared machines while still catching a
+# real slowdown of the workers=1 path.
 set -eu
 
+gate=0
+if [ "${1:-}" = "-gate" ]; then
+    gate=1
+    shift
+fi
 if [ $# -ne 2 ]; then
-    echo "usage: $0 <old.json> <new.json>" >&2
+    echo "usage: $0 [-gate] <old.json> <new.json>" >&2
     exit 2
 fi
 old="$1"
@@ -33,14 +44,19 @@ for key in scale elapsed_sec guest_mips_min guest_ins_min suite_runs \
         continue
     fi
     echo "$key $o $n"
-done | awk '
+done | awk -v gate="$gate" '
 {
     key = $1; o = $2 + 0; n = $3 + 0
     delta = (o != 0) ? 100 * (n - o) / o : 0
     printf "%-16s %14g -> %14g  (%+.1f%%)\n", key, o, n, delta
     if (key == "scale" && o != n) warn = 1
+    if (key == "guest_mips_min" && gate && o > 0 && n < 0.8 * o) fail = 1
 }
 END {
     if (warn) print "WARNING: runs used different -scale values; deltas are not comparable" > "/dev/stderr"
+    if (fail) {
+        print "FAIL: guest_mips_min regressed below 80% of the reference run" > "/dev/stderr"
+        exit 1
+    }
 }
 '

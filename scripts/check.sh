@@ -29,8 +29,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (parallel harness + observability) =="
-go test -race ./internal/bench/... ./internal/obs/...
+echo "== go test -race (concurrent engine packages + harness) =="
+go test -race ./internal/kernel/... ./internal/core/... ./internal/jit/... \
+    ./internal/mem/... ./internal/bench/... ./internal/obs/...
 
 echo "== benchmarks compile and run once =="
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -46,5 +47,8 @@ go run ./cmd/spbench -exp profdiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "== static-analysis differential (analysis on vs -nosa) =="
 go run ./cmd/spbench -exp sadiff -scale 0.02 -benchmarks gzip,mgrid
+
+echo "== host-parallelism differential (serial vs 1/2/4/8 workers) =="
+go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "ok"
