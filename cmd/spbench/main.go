@@ -13,10 +13,12 @@
 //	spbench -exp sadiff          # verify the static analysis changes nothing
 //	spbench -exp profdiff        # verify serial and SuperPin profiles match
 //	spbench -exp pardiff         # verify host-parallel runs change nothing
+//	spbench -exp jitdiff         # verify the hot trace tier changes nothing
 //	spbench -workers 4           # execute each run's slices on 4 goroutines
 //	spbench -scaling 1,2,4,8     # measure wall-clock vs per-run workers
 //	spbench -nofastpath          # run with the dispatch fast paths off
 //	spbench -nosa                # run with the load-time static analysis off
+//	spbench -nohottier           # run with the second-tier trace compiler off
 //	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
@@ -79,7 +81,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|scaling")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|jitdiff|scaling")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -92,6 +94,7 @@ func run(args []string) error {
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
 		noSA       = fs.Bool("nosa", false, "disable the load-time static analysis (verifier, liveness elision, shared predecode)")
+		noHotTier  = fs.Bool("nohottier", false, "disable the second-tier trace compiler (profile-guided layout, register caching, spill hoisting)")
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the harness to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
 	)
@@ -100,6 +103,10 @@ func run(args []string) error {
 			return nil
 		}
 		return err
+	}
+
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d (0 consults $SUPERPIN_WORKERS)", *workers)
 	}
 
 	if *cpuProf != "" {
@@ -132,6 +139,7 @@ func run(args []string) error {
 	cfg.TraceDir = *traceDir
 	cfg.NoFastPath = *noFastPath
 	cfg.NoSA = *noSA
+	cfg.NoHotTier = *noHotTier
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -172,6 +180,10 @@ func run(args []string) error {
 			hostTotals.LinkMisses += r.Host.LinkMisses
 			hostTotals.LinkInvalidations += r.Host.LinkInvalidations
 			hostTotals.SuperblockIns += r.Host.SuperblockIns
+			hostTotals.HotPromotions += r.Host.HotPromotions
+			hostTotals.HotIns += r.Host.HotIns
+			hostTotals.HoistedSaves += r.Host.HoistedSaves
+			hostTotals.HotLinkHits += r.Host.HotLinkHits
 		}
 	}
 
@@ -359,6 +371,33 @@ func run(args []string) error {
 		if len(reports) > 0 {
 			fmt.Println("equalities checked:")
 			for _, c := range reports[0].Checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
+	if *exp == "jitdiff" {
+		t := report.New("Hot-tier differential: hot vs -nohottier, identical virtual results",
+			"benchmark", "tool", "ins", "pin cycles", "sp cycles", "promos (pin/sp)", "hot ins", "link hits", "hoisted", "events", "verdict")
+		var checks []string
+		for _, kind := range []bench.ToolKind{bench.Icount1, bench.Icount2} {
+			reports, err := bench.RunJITDiff(cfg, kind)
+			if err != nil {
+				return err
+			}
+			for _, r := range reports {
+				t.Row(r.Name, kind.String(), r.Ins, uint64(r.PinCycles), uint64(r.SPCycles),
+					fmt.Sprintf("%d/%d", r.Promotions, r.SPPromotions),
+					r.HotIns, r.HotLinkHits, r.SPHoistedSaves, r.Events, "ok")
+				checks = r.Checks
+			}
+		}
+		if err := emit("jitdiff", t); err != nil {
+			return err
+		}
+		if len(checks) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range checks {
 				fmt.Println("  -", c)
 			}
 		}

@@ -55,6 +55,34 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestRunNegativeWorkers: a negative -workers must be a clean CLI error
+// (main turns it into stderr + non-zero exit), not a crash deep in a run.
+func TestRunNegativeWorkers(t *testing.T) {
+	if err := run([]string{"-workers", "-2", "-exp", "fig3", "-benchmarks", "gzip"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}
+
+// TestRunJITDiffExperiment: -exp jitdiff runs the hot-tier differential
+// and writes its CSV; -nohottier on a suite run must also be accepted.
+func TestRunJITDiffExperiment(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "jitdiff", "-scale", "0.02", "-benchmarks", "gzip", "-csv", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "jitdiff.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty jitdiff CSV")
+	}
+	if err := run([]string{"-exp", "sigstats", "-scale", "0.02", "-benchmarks", "gzip", "-nohottier"}); err != nil {
+		t.Fatalf("-nohottier suite run: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nosuchflag"}); err == nil {
 		t.Fatal("bad flag accepted")

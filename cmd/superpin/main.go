@@ -84,6 +84,7 @@ func run(args []string) error {
 		ways       = fs.Int("ways", 4, "acache associativity")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching); virtual results are identical")
 		noSA       = fs.Bool("nosa", false, "disable the load-time static analysis (verifier, liveness-guided save/restore elision, shared predecode); virtual results are identical")
+		noHotTier  = fs.Bool("nohottier", false, "disable the second-tier trace compiler (profile-guided layout, register caching, spill hoisting); virtual results are identical")
 		profJSON   = fs.String("profile", "", "write the guest profile (PC + shadow call stack samples) as JSON to this file; enables the profiler")
 		profFold   = fs.String("fold", "", "write the guest profile as folded stacks (flamegraph.pl input) to this file; enables the profiler")
 		profInt    = fs.Uint64("profint", 0, "profiler sampling interval in retired guest instructions (0 = 10007 when -profile/-fold given, else off)")
@@ -107,6 +108,9 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("exactly one application expected, got %d", fs.NArg())
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d (0 consults $SUPERPIN_WORKERS)", *workers)
 	}
 	app := fs.Arg(0)
 
@@ -190,6 +194,7 @@ func run(args []string) error {
 		pcost.MemSurcharge = spec.PinMemCost
 		pcost.NoFastPath = *noFastPath
 		pcost.NoSA = *noSA
+		pcost.NoHotTier = *noHotTier
 		pcfg := kcfg
 		pcfg.Trace = tracer
 		res, err := core.RunPinProf(pcfg, prog, factory, pcost, profInterval)
@@ -225,6 +230,7 @@ func run(args []string) error {
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.PinCost.NoFastPath = *noFastPath
 	opts.PinCost.NoSA = *noSA
+	opts.PinCost.NoHotTier = *noHotTier
 	opts.NativeMemSurcharge = spec.NativeMemCost
 	opts.ProfInterval = profInterval
 	opts.Workers = *workers

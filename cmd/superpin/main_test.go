@@ -20,6 +20,8 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"-t", "acache", "-linebytes", "48", "--", "gzip"},      // line not power of two
 		{"-t", "sampler", "-sampler-budget", "0", "--", "gzip"}, // bad budget
 		{"-t", "acache", "-ways", "0", "--", "gzip"},            // bad associativity
+		{"-workers", "-1", "--", "gzip"},                        // negative worker count
+		{"-workers", "-3", "-sp", "0", "--", "gzip"},            // negative workers, Pin mode
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -41,6 +43,8 @@ func TestRunCatalogBenchmarkBothModes(t *testing.T) {
 		{"-t", "icount2", "-scale", "0.01", "-spmsec", "50", "--", "gzip"},
 		{"-t", "icount1", "-sp", "0", "-scale", "0.01", "--", "gzip"},
 		{"-t", "dcache", "-scale", "0.01", "-spmsec", "50", "--", "mcf"},
+		{"-t", "icount2", "-scale", "0.01", "-spmsec", "50", "-nohottier", "--", "gzip"},
+		{"-t", "icount2", "-sp", "0", "-scale", "0.01", "-nohottier", "--", "gzip"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)

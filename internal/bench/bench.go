@@ -92,6 +92,11 @@ type Config struct {
 	// Virtual-cycle results are identical either way (`-exp sadiff`
 	// proves it).
 	NoSA bool
+	// NoHotTier disables the second-tier trace compiler (profile-guided
+	// hot-successor layout, register-cached superblocks, predicate-spill
+	// hoisting) in every run the harness performs. Virtual-cycle results
+	// are identical either way (`-exp jitdiff` proves it).
+	NoHotTier bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -129,6 +134,9 @@ func (c *Config) normalize() {
 	}
 	if c.NoSA {
 		c.PinCost.NoSA = true
+	}
+	if c.NoHotTier {
+		c.PinCost.NoHotTier = true
 	}
 }
 
@@ -190,6 +198,10 @@ type HostCounters struct {
 	LinkMisses        uint64 `json:"link_misses"`
 	LinkInvalidations uint64 `json:"link_invalidations"`
 	SuperblockIns     uint64 `json:"superblock_ins"`
+	HotPromotions     uint64 `json:"hot_promotions"`
+	HotIns            uint64 `json:"hot_ins"`
+	HoistedSaves      uint64 `json:"hoisted_saves"`
+	HotLinkHits       uint64 `json:"hot_link_hits"`
 }
 
 // hostCounters extracts the fast-path counters from a serial Pin result.
@@ -200,7 +212,18 @@ func hostCounters(res *core.PinResult) HostCounters {
 		LinkMisses:        res.Cache.LinkMisses,
 		LinkInvalidations: res.Cache.LinkInvalidations,
 		SuperblockIns:     res.Engine.SuperblockIns,
+		HotPromotions:     res.Engine.HotPromotions,
+		HotIns:            res.Engine.HotIns,
+		HoistedSaves:      res.Engine.HoistedSaves,
+		HotLinkHits:       res.Engine.HotLinkHits,
 	}
+}
+
+// zeroHotStats clears the hot-tier host counters in a stats copy so the
+// differential experiments can compare everything else exactly (the hot
+// tier exists only in fast-path runs, and only moves host-side work).
+func zeroHotStats(s *pin.Stats) {
+	s.HotPromotions, s.HotIns, s.HoistedSaves, s.HotLinkHits = 0, 0, 0, 0
 }
 
 // RunBenchmark measures one benchmark under native, Pin and SuperPin

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// benchdiffPath locates scripts/benchdiff.sh relative to this source file
+// (repo layout: internal/bench/ -> ../../scripts/).
+func benchdiffPath(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source file")
+	}
+	p := filepath.Join(filepath.Dir(self), "..", "..", "scripts", "benchdiff.sh")
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("benchdiff.sh not found: %v", err)
+	}
+	return p
+}
+
+func writeHostJSON(t *testing.T, dir, name string, mips float64, withMIPS bool) string {
+	t.Helper()
+	body := `{
+  "elapsed_sec": 1.5,
+  "scale": 0.25,
+  "suite_runs": 6,
+  "guest_ins_min": 1000000,
+`
+	if withMIPS {
+		body += fmt.Sprintf("  \"guest_mips_min\": %g,\n", mips)
+	}
+	body += `  "host_counters": {
+    "dispatches": 100,
+    "link_hits": 50,
+    "link_misses": 10,
+    "link_invalidations": 0,
+    "superblock_ins": 900
+  }
+}
+`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runBenchdiff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("sh", args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("benchdiff.sh did not run: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestBenchdiffGate drives scripts/benchdiff.sh end to end: a healthy
+// gate passes, a real regression fails with exit 1, and — the regression
+// this test pins — a reference artifact with a missing or zero
+// guest_mips_min is an explicit usage error (exit 2), not a silent pass.
+func TestBenchdiffGate(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("no sh on PATH")
+	}
+	script := benchdiffPath(t)
+	dir := t.TempDir()
+	good := writeHostJSON(t, dir, "good.json", 50.0, true)
+	fast := writeHostJSON(t, dir, "fast.json", 80.0, true)
+	slow := writeHostJSON(t, dir, "slow.json", 10.0, true)
+	zero := writeHostJSON(t, dir, "zero.json", 0, true)
+	missing := writeHostJSON(t, dir, "missing.json", 0, false)
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"improvement passes", []string{"-gate", good, fast}, 0},
+		{"regression fails", []string{"-gate", good, slow}, 1},
+		{"zero reference is a usage error", []string{"-gate", zero, fast}, 2},
+		{"missing reference key is a usage error", []string{"-gate", missing, fast}, 2},
+		{"missing new key is a usage error", []string{"-gate", good, missing}, 2},
+		{"no gate: zero reference still reports", []string{zero, fast}, 0},
+		{"bad usage", []string{"-gate", good}, 2},
+	}
+	for _, tc := range cases {
+		code, out := runBenchdiff(t, append([]string{script}, tc.args...)...)
+		if code != tc.want {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.want, out)
+		}
+	}
+}

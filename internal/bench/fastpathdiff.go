@@ -121,14 +121,19 @@ func runFastPathDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*FastPat
 
 	// Serial Pin: everything but the host-only counters must match. The
 	// host-only counters live in Engine.SuperblockIns, the SA sealing
-	// counters (superblocks are only sealed in fast mode) and Cache.Link*;
-	// compare normalized copies with those zeroed. PredSaveRegs stays
-	// compared: both modes run the same analysis-call sequence, so it must
-	// be identical.
+	// counters (superblocks are only sealed in fast mode), the hot-tier
+	// counters (the hot tier rides on the fast paths, so the reference
+	// loop never promotes) and Cache.Link*; compare normalized copies
+	// with those zeroed. PredSaveRegs is normalized too, because the hot
+	// tier's spill hoisting suppresses saves in the fast arm only; the
+	// IfCalls/ThenCalls counts it modulates stay compared.
 	fastPin, refPin := *fast.pin, *ref.pin
 	fastPin.Engine.SuperblockIns, refPin.Engine.SuperblockIns = 0, 0
+	fastPin.Engine.PredSaveRegs, refPin.Engine.PredSaveRegs = 0, 0
 	fastPin.Engine.SASharedRuns, refPin.Engine.SASharedRuns = 0, 0
 	fastPin.Engine.SAPrivateRuns, refPin.Engine.SAPrivateRuns = 0, 0
+	zeroHotStats(&fastPin.Engine)
+	zeroHotStats(&refPin.Engine)
 	fastPin.Cache.LinkHits, refPin.Cache.LinkHits = 0, 0
 	fastPin.Cache.LinkMisses, refPin.Cache.LinkMisses = 0, 0
 	fastPin.Cache.LinkInvalidations, refPin.Cache.LinkInvalidations = 0, 0
@@ -138,7 +143,9 @@ func runFastPathDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*FastPat
 	}
 	if ref.pin.Engine.SuperblockIns != 0 || ref.pin.Cache.LinkHits != 0 ||
 		ref.pin.Cache.LinkMisses != 0 || ref.pin.Cache.LinkInvalidations != 0 ||
-		ref.pin.Engine.SASharedRuns != 0 || ref.pin.Engine.SAPrivateRuns != 0 {
+		ref.pin.Engine.SASharedRuns != 0 || ref.pin.Engine.SAPrivateRuns != 0 ||
+		ref.pin.Engine.HotPromotions != 0 || ref.pin.Engine.HotIns != 0 ||
+		ref.pin.Engine.HoistedSaves != 0 || ref.pin.Engine.HotLinkHits != 0 {
 		return nil, fmt.Errorf("fastpathdiff %s: -nofastpath run reported fast-path activity: %+v",
 			spec.Name, hostCounters(ref.pin))
 	}

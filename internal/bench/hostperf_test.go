@@ -12,7 +12,7 @@ import (
 // icount2 tool (per-basic-block calls) is used because it is the paper's
 // low-overhead configuration and leaves block tails free for superblock
 // batching; icount1 (per-instruction calls) isolates trace linking.
-func benchSerialPin(b *testing.B, name string, kind ToolKind, nofast bool) {
+func benchSerialPin(b *testing.B, name string, kind ToolKind, nofast, nohot bool) {
 	b.Helper()
 	spec, ok := workload.ByName(name)
 	if !ok {
@@ -27,6 +27,7 @@ func benchSerialPin(b *testing.B, name string, kind ToolKind, nofast bool) {
 	cost := cfg.PinCost
 	cost.MemSurcharge = spec.PinMemCost
 	cost.NoFastPath = nofast
+	cost.NoHotTier = nohot
 
 	var ins uint64
 	b.ResetTimer()
@@ -41,15 +42,21 @@ func benchSerialPin(b *testing.B, name string, kind ToolKind, nofast bool) {
 	b.ReportMetric(float64(ins)/b.Elapsed().Seconds()/1e6, "guest-MIPS")
 }
 
-func BenchmarkPinGzipIcount2(b *testing.B)       { benchSerialPin(b, "gzip", Icount2, false) }
-func BenchmarkPinGzipIcount2NoFast(b *testing.B) { benchSerialPin(b, "gzip", Icount2, true) }
-func BenchmarkPinGccIcount2(b *testing.B)        { benchSerialPin(b, "gcc", Icount2, false) }
-func BenchmarkPinGccIcount2NoFast(b *testing.B)  { benchSerialPin(b, "gcc", Icount2, true) }
-func BenchmarkPinMgridIcount2(b *testing.B)      { benchSerialPin(b, "mgrid", Icount2, false) }
+func BenchmarkPinGzipIcount2(b *testing.B)       { benchSerialPin(b, "gzip", Icount2, false, false) }
+func BenchmarkPinGzipIcount2NoFast(b *testing.B) { benchSerialPin(b, "gzip", Icount2, true, false) }
+func BenchmarkPinGccIcount2(b *testing.B)        { benchSerialPin(b, "gcc", Icount2, false, false) }
+func BenchmarkPinGccIcount2NoFast(b *testing.B)  { benchSerialPin(b, "gcc", Icount2, true, false) }
+func BenchmarkPinMgridIcount2(b *testing.B)      { benchSerialPin(b, "mgrid", Icount2, false, false) }
 func BenchmarkPinMgridIcount2NoFast(b *testing.B) {
-	benchSerialPin(b, "mgrid", Icount2, true)
+	benchSerialPin(b, "mgrid", Icount2, true, false)
 }
-func BenchmarkPinMgridIcount1(b *testing.B) { benchSerialPin(b, "mgrid", Icount1, false) }
+func BenchmarkPinMgridIcount1(b *testing.B) { benchSerialPin(b, "mgrid", Icount1, false, false) }
 func BenchmarkPinMgridIcount1NoFast(b *testing.B) {
-	benchSerialPin(b, "mgrid", Icount1, true)
+	benchSerialPin(b, "mgrid", Icount1, true, false)
 }
+
+// The NoHot pair of each benchmark isolates the second-tier trace
+// compiler: fast paths on in both arms, hot tier off in the NoHot one.
+func BenchmarkPinGzipIcount2NoHot(b *testing.B)  { benchSerialPin(b, "gzip", Icount2, false, true) }
+func BenchmarkPinGccIcount2NoHot(b *testing.B)   { benchSerialPin(b, "gcc", Icount2, false, true) }
+func BenchmarkPinMgridIcount2NoHot(b *testing.B) { benchSerialPin(b, "mgrid", Icount2, false, true) }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// JITDiffReport is one benchmark's hot-tier differential outcome: the
+// benchmark ran with the second-tier trace compiler enabled and disabled
+// (-nohottier), under serial Pin and under SuperPin at host worker counts
+// 1 and 4, and every virtual-cycle-visible quantity was identical.
+type JITDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// PinCycles and SPCycles are the (mode-independent) serial Pin and
+	// SuperPin runtimes.
+	PinCycles kernel.Cycles
+	SPCycles  kernel.Cycles
+	// Promotions, HotIns and HotLinkHits are the hot serial Pin run's
+	// second-tier counters: traces promoted, instructions executed
+	// register-cached, dispatches resolved through hot-successor links.
+	Promotions  uint64
+	HotIns      uint64
+	HotLinkHits uint64
+	// SPPromotions and SPHoistedSaves aggregate the hot SuperPin run's
+	// slice-engine counters (workers=1); HoistedSaves only materializes
+	// here, because the inlined if/then probes whose spills the hot tier
+	// hoists are SuperPin's slice-boundary detection probes.
+	SPPromotions   uint64
+	SPHoistedSaves uint64
+	// Events is the (identical) SuperPin trace length.
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// jitDiffWorkers are the SuperPin host worker counts the differential
+// runs at: the hot tier lives in per-slice engines, so its promotion
+// points are a pure function of virtual time and must survive parallel
+// slice execution unchanged.
+var jitDiffWorkers = [2]int{1, 4}
+
+// jitDiffChecks are the equalities the differential runner asserts, for
+// human-readable output.
+var jitDiffChecks = []string{
+	"serial Pin result identical (cycles, ins, exit, stdout, stats modulo host-only counters)",
+	"SuperPin result deep-equal at workers 1 and 4 (slices, stats, breakdown, stdout)",
+	"SuperPin trace event streams identical in all four runs",
+	"trace invariants hold in both modes",
+	"-nohottier runs report zero hot-tier activity",
+	"hot runs actually promote on dispatch-heavy benchmarks",
+}
+
+// RunJITDiff runs each configured benchmark twice — second-tier trace
+// compiler on and off — under serial Pin and under SuperPin at host
+// worker counts 1 and 4, and verifies that the hot tier changed nothing
+// the virtual machine can observe: cycle counts, instruction counts,
+// exit codes, stdout, slice schedules and trace event streams must all
+// be byte-identical. Only the host-side counters (promotions,
+// register-cached instructions, hoisted spills, hot link hits, and the
+// first-tier link/spill counters the hot tier displaces) may differ.
+func RunJITDiff(cfg Config, kind ToolKind) ([]*JITDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*JITDiffReport, error) {
+		return runJITDiffOne(cfg, specs[i], kind)
+	})
+}
+
+func runJITDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*JITDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("jitdiff %s: native: %w", spec.Name, err)
+	}
+
+	// Serial Pin, hot tier on and off.
+	var pins [2]*core.PinResult
+	for m, nohot := range []bool{false, true} {
+		pinCost := cfg.PinCost
+		pinCost.MemSurcharge = spec.PinMemCost
+		pinCost.NoHotTier = nohot
+		pinTool := newTool(kind)
+		pinRes, err := core.RunPin(cfg.Kernel, prog, pinTool.Factory(), pinCost)
+		if err != nil {
+			return nil, fmt.Errorf("jitdiff %s: pin (nohottier=%v): %w", spec.Name, nohot, err)
+		}
+		if pinTool.Total() != native.Ins {
+			return nil, fmt.Errorf("jitdiff %s: pin (nohottier=%v) counted %d, native executed %d",
+				spec.Name, nohot, pinTool.Total(), native.Ins)
+		}
+		pins[m] = pinRes
+	}
+	hot, ref := pins[0], pins[1]
+
+	// Everything but the host-only counters must match. The hot tier
+	// displaces first-tier link traffic (hot link hits bypass the link
+	// cache) and predicate spills (hoisting), so Link* and PredSaveRegs
+	// are normalized along with the hot counters themselves. Lookups,
+	// Misses, Compiles, Flushes, Dispatches and SuperblockIns stay
+	// compared: promotion never rebuilds a trace or changes dispatch
+	// structure, so they are identical by construction.
+	hotPin, refPin := *hot, *ref
+	hotPin.Engine.PredSaveRegs, refPin.Engine.PredSaveRegs = 0, 0
+	zeroHotStats(&hotPin.Engine)
+	zeroHotStats(&refPin.Engine)
+	hotPin.Cache.LinkHits, refPin.Cache.LinkHits = 0, 0
+	hotPin.Cache.LinkMisses, refPin.Cache.LinkMisses = 0, 0
+	hotPin.Cache.LinkInvalidations, refPin.Cache.LinkInvalidations = 0, 0
+	if !reflect.DeepEqual(hotPin, refPin) {
+		return nil, fmt.Errorf("jitdiff %s: serial Pin results differ:\nhot:       %+v\nnohottier: %+v",
+			spec.Name, hotPin, refPin)
+	}
+	if ref.Engine.HotPromotions != 0 || ref.Engine.HotIns != 0 ||
+		ref.Engine.HoistedSaves != 0 || ref.Engine.HotLinkHits != 0 {
+		return nil, fmt.Errorf("jitdiff %s: -nohottier run reported hot-tier activity: %+v",
+			spec.Name, hostCounters(ref))
+	}
+	// Promotion is driven by per-trace dispatch counts, so demand it only
+	// when the run dispatched enough to guarantee a hot trace exists
+	// (with the fast path on; the hot tier rides on it).
+	if !cfg.NoFastPath && hot.Engine.Dispatches >= 4096 && hot.Engine.HotPromotions == 0 {
+		return nil, fmt.Errorf("jitdiff %s: %d dispatches but no trace was ever promoted",
+			spec.Name, hot.Engine.Dispatches)
+	}
+
+	// SuperPin at workers 1 and 4, hot tier on and off: all four runs
+	// must produce identical virtual results. core.Result carries no pin
+	// engine stats, so the hot host counters cannot leak in here; the
+	// hot workers=1 run publishes metrics so slice-engine hot activity
+	// is still observable.
+	type spRun struct {
+		res    *core.Result
+		events []obs.Event
+	}
+	var base *spRun
+	var spPromos, spHoisted uint64
+	for _, workers := range jitDiffWorkers {
+		for _, nohot := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.SliceMSec = cfg.TimesliceMSec
+			opts.MaxSlices = cfg.MaxSlices
+			opts.PinCost = cfg.PinCost
+			opts.PinCost.MemSurcharge = spec.SliceMemCost
+			opts.PinCost.NoHotTier = nohot
+			opts.NativeMemSurcharge = spec.NativeMemCost
+			opts.Workers = workers
+			opts.Trace = obs.NewTracer()
+			var metrics *obs.Metrics
+			if !nohot && workers == jitDiffWorkers[0] {
+				metrics = obs.NewMetrics()
+				opts.Metrics = metrics
+			}
+			spTool := newTool(kind)
+			spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("jitdiff %s: superpin (nohottier=%v workers=%d): %w",
+					spec.Name, nohot, workers, err)
+			}
+			if spRes.Err != nil {
+				return nil, fmt.Errorf("jitdiff %s: superpin (nohottier=%v workers=%d): %w",
+					spec.Name, nohot, workers, spRes.Err)
+			}
+			if spTool.Total() != native.Ins {
+				return nil, fmt.Errorf("jitdiff %s: superpin (nohottier=%v workers=%d) counted %d, native executed %d",
+					spec.Name, nohot, workers, spTool.Total(), native.Ins)
+			}
+			events := opts.Trace.Events()
+			if err := VerifyTrace(events, spRes, native.Time); err != nil {
+				return nil, fmt.Errorf("jitdiff %s (nohottier=%v workers=%d): %w",
+					spec.Name, nohot, workers, err)
+			}
+			if metrics != nil {
+				spPromos = metrics.Counter("pin.hot.promotions")
+				spHoisted = metrics.Counter("pin.hot.hoisted_saves")
+			}
+			run := &spRun{res: spRes, events: events}
+			if base == nil {
+				base = run
+				continue
+			}
+			if !reflect.DeepEqual(run.res, base.res) {
+				return nil, fmt.Errorf("jitdiff %s: SuperPin results differ (nohottier=%v workers=%d):\ngot:  %+v\nwant: %+v",
+					spec.Name, nohot, workers, run.res, base.res)
+			}
+			if !reflect.DeepEqual(run.events, base.events) {
+				return nil, fmt.Errorf("jitdiff %s: SuperPin trace streams differ (nohottier=%v workers=%d: %d vs %d events)",
+					spec.Name, nohot, workers, len(run.events), len(base.events))
+			}
+		}
+	}
+
+	return &JITDiffReport{
+		Name:           spec.Name,
+		Ins:            native.Ins,
+		PinCycles:      hot.Time,
+		SPCycles:       base.res.TotalTime,
+		Promotions:     hot.Engine.HotPromotions,
+		HotIns:         hot.Engine.HotIns,
+		HotLinkHits:    hot.Engine.HotLinkHits,
+		SPPromotions:   spPromos,
+		SPHoistedSaves: spHoisted,
+		Events:         len(base.events),
+		Checks:         jitDiffChecks,
+	}, nil
+}

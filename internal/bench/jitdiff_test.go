@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestRunJITDiff is the hot-tier determinism check at the harness level:
+// full Pin and SuperPin runs with the second-tier trace compiler on and
+// off — the SuperPin runs at host worker counts 1 and 4 — must agree on
+// every virtual-cycle-visible quantity, while the hot runs actually
+// exercise the machinery (promotion, register caching, hot links, probe
+// spill hoisting).
+func TestRunJITDiff(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Benchmarks = []string{"gzip", "gcc", "mgrid"}
+	for _, kind := range []ToolKind{Icount1, Icount2} {
+		reports, err := RunJITDiff(cfg, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(reports) != 3 {
+			t.Fatalf("%s: got %d reports", kind, len(reports))
+		}
+		var promos, hotIns, hoisted uint64
+		for _, r := range reports {
+			if r.Ins == 0 || r.PinCycles == 0 || r.SPCycles == 0 || r.Events == 0 {
+				t.Fatalf("%s/%s: empty report %+v", r.Name, kind, r)
+			}
+			promos += r.Promotions + r.SPPromotions
+			hotIns += r.HotIns
+			hoisted += r.SPHoistedSaves
+		}
+		if promos == 0 {
+			t.Errorf("%s: no trace was promoted across the whole suite", kind)
+		}
+		// icount1 instruments every instruction, so there are no
+		// superblocks to register-cache; icount2 leaves call-free block
+		// tails that must get cached once their traces go hot.
+		if kind == Icount2 && hotIns == 0 {
+			t.Errorf("%s: no instructions executed register-cached", kind)
+		}
+		if hoisted == 0 {
+			t.Errorf("%s: no boundary-probe spill was ever hoisted", kind)
+		}
+	}
+}

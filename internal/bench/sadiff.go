@@ -124,11 +124,16 @@ func runSADiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*SADiffReport,
 	// Serial Pin: everything but the SA host-side counters must match.
 	// The dispatch fast-path counters (SuperblockIns, Link*) stay
 	// compared: the analysis may change what backs a superblock's
-	// predecode, never the run structure itself.
+	// predecode, never the run structure itself. HotIns and HoistedSaves
+	// are SA-dependent (register caching and spill hoisting both require
+	// the analysis), so they are normalized; HotPromotions and
+	// HotLinkHits are driven by dispatch counts alone and stay compared.
 	saPin, refPin := *sa.pin, *ref.pin
 	saPin.Engine.PredSaveRegs, refPin.Engine.PredSaveRegs = 0, 0
 	saPin.Engine.SASharedRuns, refPin.Engine.SASharedRuns = 0, 0
 	saPin.Engine.SAPrivateRuns, refPin.Engine.SAPrivateRuns = 0, 0
+	saPin.Engine.HotIns, refPin.Engine.HotIns = 0, 0
+	saPin.Engine.HoistedSaves, refPin.Engine.HoistedSaves = 0, 0
 	if !reflect.DeepEqual(saPin, refPin) {
 		return nil, fmt.Errorf("sadiff %s: serial Pin results differ:\nsa:   %+v\nnosa: %+v",
 			spec.Name, saPin, refPin)

@@ -735,3 +735,15 @@ func TestSliceInfoCoverage(t *testing.T) {
 		t.Fatalf("last slice boundary %q, want exit", last.Boundary)
 	}
 }
+
+// TestRunRejectsNegativeWorkers: a negative host worker count must be a
+// validation error from Run, not a hang or panic in the worker pool.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	prog := buildWorkload(t, 100, 15, kernel.SysRand)
+	factory, _ := newIcount()
+	opts := DefaultOptions()
+	opts.Workers = -1
+	if _, err := Run(testKernelCfg(), prog, factory, opts); err == nil {
+		t.Fatal("Run accepted Workers = -1")
+	}
+}

@@ -185,6 +185,9 @@ func (o *Options) normalize() error {
 	if o.MaxSysRecs < 0 {
 		return fmt.Errorf("core: MaxSysRecs must be non-negative, got %d", o.MaxSysRecs)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d (0 consults $%s)", o.Workers, kernel.WorkersEnv)
+	}
 	if o.ProfInterval > 0 && o.Threads {
 		return fmt.Errorf("core: ProfInterval is incompatible with Threads (the profiler follows a single instruction stream)")
 	}

@@ -1,0 +1,36 @@
+package jit
+
+import "testing"
+
+// TestHotTraceNextEpochContract: a hot-successor link recorded before a
+// cache flush targets evicted code; Next must clear it and report it
+// stale instead of returning it — the same lifecycle as a traceLink.
+func TestHotTraceNextEpochContract(t *testing.T) {
+	cache := NewCodeCache(0)
+	succ := &CompiledTrace{Addr: 0x2000}
+	h := &HotTrace{NextPC: 0x2000}
+
+	if next, stale := h.Next(cache.Epoch()); next != nil || stale {
+		t.Fatalf("empty hot link: next=%v stale=%v", next, stale)
+	}
+	h.SetNext(succ, cache.Epoch())
+	if next, stale := h.Next(cache.Epoch()); next != succ || stale {
+		t.Fatalf("fresh hot link: next=%v stale=%v", next, stale)
+	}
+
+	cache.Flush()
+	if next, stale := h.Next(cache.Epoch()); next != nil || !stale {
+		t.Fatalf("post-flush hot link must be cleared and reported stale: next=%v stale=%v", next, stale)
+	}
+	// The stale link was consumed: asking again is a plain miss.
+	if next, stale := h.Next(cache.Epoch()); next != nil || stale {
+		t.Fatalf("cleared hot link: next=%v stale=%v", next, stale)
+	}
+
+	// Re-resolving at the current epoch works again.
+	succ2 := &CompiledTrace{Addr: 0x2000}
+	h.SetNext(succ2, cache.Epoch())
+	if next, stale := h.Next(cache.Epoch()); next != succ2 || stale {
+		t.Fatalf("re-resolved hot link: next=%v stale=%v", next, stale)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"superpin/internal/isa"
 	"superpin/internal/mem"
 	"superpin/internal/obs"
+	"superpin/internal/prof"
 )
 
 // Limits on trace construction, matching the spirit of Pin's trace
@@ -195,6 +196,20 @@ type CompiledTrace struct {
 	// RunAt is nil when the trace has no runs (or the fast path is off).
 	Sblocks []Superblock
 	RunAt   []int32
+
+	// Execs and SelfLoops count dispatches into this trace (SelfLoops the
+	// subset that re-entered through the self-loop shortcut), and Exits
+	// profiles where the trace's exits transferred to. The pin engine
+	// maintains them until Execs crosses its hotness threshold, then
+	// promotes the trace and stops counting. All three are host-side
+	// tier-up state: they steer execution strategy, never virtual cycles,
+	// and like the trace itself they are private to the owning engine.
+	Execs     uint64
+	SelfLoops uint64
+	Exits     prof.ExitHist
+
+	// Hot is the second-tier compilation artifact; nil until promotion.
+	Hot *HotTrace
 
 	links [numTraceLinks]traceLink
 }

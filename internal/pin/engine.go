@@ -66,6 +66,22 @@ type CostModel struct {
 	// (`spbench -exp sadiff` proves it) — and rides in the cost model
 	// for the same plumbing reason.
 	NoSA bool
+
+	// NoHotTier disables the second-tier trace compiler: no promotion of
+	// hot traces, so no profile-guided hot-successor links, no
+	// register-cached superblock execution and no predicate-spill
+	// hoisting. The hot tier rides on the superblock machinery, so it is
+	// also off whenever NoFastPath is set. Host-side only — virtual
+	// results are byte-identical either way (`spbench -exp jitdiff`
+	// proves it) — and rides in the cost model for the same plumbing
+	// reason as the other two escape hatches.
+	NoHotTier bool
+
+	// HotThreshold is the per-trace dispatch count that triggers
+	// promotion to the second tier (<= 0 means DefaultHotThreshold).
+	// Host-side only: promotion is a pure function of the virtual
+	// execution, so any value yields byte-identical virtual results.
+	HotThreshold int
 }
 
 // DefaultCost returns the calibrated default engine cost model.
@@ -96,6 +112,13 @@ func DefaultCost() CostModel {
 // fell back to a private copy (stale against current guest memory). Both
 // stay zero when no analysis is attached. None of them affect
 // virtual-cycle results.
+// HotPromotions, HotIns, HoistedSaves and HotLinkHits are the hot tier's
+// host-side counters: traces promoted to the second tier, instructions
+// executed through register-cached superblocks (a subset of
+// SuperblockIns), inlined-predicate spills suppressed by the
+// dominator/loop hoisting, and dispatches resolved through a promoted
+// trace's hot-successor link. All zero with the hot tier disabled; none
+// affect virtual-cycle results.
 type Stats struct {
 	ExecIns       uint64
 	AnalysisCalls uint64
@@ -106,6 +129,10 @@ type Stats struct {
 	PredSaveRegs  uint64
 	SASharedRuns  uint64
 	SAPrivateRuns uint64
+	HotPromotions uint64
+	HotIns        uint64
+	HoistedSaves  uint64
+	HotLinkHits   uint64
 }
 
 // SyscallFilter lets a wrapper (SuperPin's slice engine) intercept guest
@@ -161,6 +188,10 @@ type Engine struct {
 	// be toggled directly on the engine before the first Run.
 	NoFastPath bool
 
+	// NoHotTier mirrors CostModel.NoHotTier (see there); it may also be
+	// toggled directly on the engine before the first Run.
+	NoHotTier bool
+
 	// SA, when non-nil, is the load-time static analysis of the guest
 	// program (internal/sa). The engine consumes it in two host-side
 	// ways: per-instruction liveness masks elide dead registers from the
@@ -197,6 +228,12 @@ type Engine struct {
 	// it. At most one of the two is set.
 	linkNext *jit.CompiledTrace
 	linkFrom *jit.CompiledTrace
+
+	// hotTier caches "the hot tier is active this Run" (fast path on and
+	// NoHotTier off); hotThr is the resolved promotion threshold. Both
+	// are recomputed at every Run entry.
+	hotTier bool
+	hotThr  uint64
 }
 
 // NewEngine creates an engine with the given cost model.
@@ -204,6 +241,7 @@ func NewEngine(cost CostModel) *Engine {
 	return &Engine{
 		Cost:       cost,
 		NoFastPath: cost.NoFastPath,
+		NoHotTier:  cost.NoHotTier,
 		cache:      jit.NewCodeCache(cost.CacheCapacity),
 	}
 }
@@ -296,6 +334,10 @@ func (e *Engine) PublishMetrics(m *obs.Metrics, prefix string) {
 	m.Add(prefix+".sa.pred_save_regs", e.stats.PredSaveRegs)
 	m.Add(prefix+".sa.shared_runs", e.stats.SASharedRuns)
 	m.Add(prefix+".sa.private_runs", e.stats.SAPrivateRuns)
+	m.Add(prefix+".hot.promotions", e.stats.HotPromotions)
+	m.Add(prefix+".hot.ins", e.stats.HotIns)
+	m.Add(prefix+".hot.hoisted_saves", e.stats.HoistedSaves)
+	m.Add(prefix+".hot.link_hits", e.stats.HotLinkHits)
 	cs := e.cache.Stats()
 	m.Add(prefix+".cache.lookups", cs.Lookups)
 	m.Add(prefix+".cache.misses", cs.Misses)
@@ -346,10 +388,26 @@ func (e *Engine) FlushCache() {
 //     copy-on-write charges batched per run. The run is cut at the exact
 //     instruction where the reference loop's per-instruction budget or
 //     InsLimit check would stop, so stop points are unchanged.
+//
+// A second tier rides on top of the fast paths (disable with NoHotTier,
+// prove equivalence with `spbench -exp jitdiff`): traces whose dispatch
+// count crosses the hotness threshold are promoted — their superblocks
+// execute on a host-local register file with a static-written-set
+// writeback (cpu.ExecBlockCached), dominator-redundant and loop-invariant
+// predicate spills are suppressed, and the profiled hottest exit becomes
+// a preferred successor link. See promote.go for the policy and DESIGN.md
+// for the soundness argument.
 func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
 	cost := e.Cost
 	kcost := k.Config().Cost
 	fast := !e.NoFastPath
+	e.hotTier = fast && !e.NoHotTier
+	if e.hotTier {
+		e.hotThr = DefaultHotThreshold
+		if cost.HotThreshold > 0 {
+			e.hotThr = uint64(cost.HotThreshold)
+		}
+	}
 	pr := p.Prof
 	ctx := &e.ctx
 	ctx.Regs = &p.Regs
@@ -438,10 +496,17 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 				}
 				if from := e.linkFrom; from != nil {
 					from.SetLink(p.Regs.PC, ct, e.cache.Epoch())
+					if h := from.Hot; h != nil && h.NextPC == p.Regs.PC {
+						// The exiting trace's promoted layout treats this
+						// successor as its fall-through: resolve the hot
+						// link so future exits skip the link cache.
+						h.SetNext(ct, e.cache.Epoch())
+					}
 					e.linkFrom = nil
 				}
 				e.cur, e.idx = ct, 0
 			}
+			e.tickHot(e.cur, false)
 			hasRuns = fast && e.cur.RunAt != nil
 		}
 
@@ -492,9 +557,24 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 				var n int
 				var ev cpu.Event
 				var err error
-				if pr != nil {
+				// Promoted traces run register-cached: a non-zero writeback
+				// mask (the run's static written-set) selects the host-local
+				// register file executor. Entering mid-run (off > 0) keeps
+				// the whole-run mask — a superset writeback writes values
+				// the suffix left untouched, which are the values already
+				// in the architectural file.
+				wb := uint32(0)
+				if h := e.cur.Hot; h != nil && h.WB != nil {
+					wb = h.WB[ri]
+				}
+				switch {
+				case wb != 0 && pr == nil:
+					n, ev, err = cpu.ExecBlockCached(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents, wb)
+				case wb != 0:
+					n, ev, err = cpu.ExecBlockCachedProf(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents, pr, wb)
+				case pr != nil:
 					n, ev, err = cpu.ExecBlockProf(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents, pr)
-				} else {
+				default:
 					n, ev, err = cpu.ExecBlock(&p.Regs, p.Mem, sb.Block[off:], allow, p.Mem.CopyEvents)
 				}
 				if n > 0 {
@@ -503,6 +583,9 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 					p.InsCount += uint64(n)
 					e.stats.ExecIns += uint64(n)
 					e.stats.SuperblockIns += uint64(n)
+					if wb != 0 {
+						e.stats.HotIns += uint64(n)
+					}
 					e.idx += n
 				}
 				if err != nil {
@@ -553,7 +636,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		// the instrumented instruction — the semantics SuperPin's
 		// boundary detection needs.
 		for i := range ci.Before {
-			used += e.runCall(ctx, &ci.Before[i], ci.LiveBefore)
+			used += e.runCall(ctx, &ci.Before[i], ci.LiveBefore, e.hoistedAt(e.idx))
 			if ctx.StopRequested() {
 				e.cur = nil
 				return used, kernel.StopExit
@@ -586,7 +669,7 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 		// cached no-pending-COW flag is dropped.
 		for i := range ci.After {
 			cowClear = false
-			used += e.runCall(ctx, &ci.After[i], ci.LiveAfter)
+			used += e.runCall(ctx, &ci.After[i], ci.LiveAfter, e.hoistedAt(e.idx))
 			if ctx.StopRequested() {
 				e.cur = nil
 				return used, kernel.StopExit
@@ -642,6 +725,7 @@ func (e *Engine) selfLoop(used *kernel.Cycles) {
 	}
 	e.stats.Dispatches++
 	e.cache.RecordLookup(true)
+	e.tickHot(e.cur, true)
 	e.idx = 0
 }
 
@@ -654,6 +738,28 @@ func (e *Engine) selfLoop(used *kernel.Cycles) {
 // virtual-cycle accounting identical with -nofastpath.
 func (e *Engine) leaveTrace(nextPC uint32, fast bool) {
 	if fast {
+		if h := e.cur.Hot; h != nil {
+			if h.NextPC == nextPC {
+				// Promoted layout: this exit is the trace's measured
+				// fall-through. An epoch-valid hot link stages the successor
+				// directly; a stale one was evicted by a flush and is
+				// dropped. The first-tier link counters are left alone —
+				// they keep describing the link cache only (jitdiff
+				// normalizes them; HotLinkHits is the hot tier's own
+				// counter).
+				if next, _ := h.Next(e.cache.Epoch()); next != nil {
+					e.stats.HotLinkHits++
+					e.linkNext = next
+					e.cur = nil
+					return
+				}
+				// Unresolved: fall through to the link cache; its miss path
+				// stages linkFrom, and the next dispatch resolves both the
+				// link-cache entry and the hot link.
+			}
+		} else if e.hotTier {
+			e.cur.Exits.Record(nextPC)
+		}
 		if next, stale := e.cur.Link(nextPC, e.cache.Epoch()); next != nil {
 			e.cache.RecordLink(true)
 			e.linkNext = next
@@ -856,32 +962,51 @@ const allLive = ^uint32(0)
 // virtual results are identical with or without the analysis — only the
 // PredSaveRegs host counter moves. A stale mask (self-modifying code
 // after load) is harmless for the same reason.
-func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call, live uint32) kernel.Cycles {
+//
+// hoisted marks a spill the hot tier proved redundant at promotion
+// (promote.go): the snapshot/restore pair is skipped entirely — sound for
+// the same pure-observer reason the restore is a no-op — and only the
+// HoistedSaves host counter moves. The predicate, its virtual-cycle
+// charge and the then-call are untouched.
+func (e *Engine) runCall(ctx *jit.Ctx, c *jit.Call, live uint32, hoisted bool) kernel.Cycles {
 	cost := e.Cost
 	if c.Fn != nil {
 		e.stats.AnalysisCalls++
 		c.Fn(ctx)
 		return cost.Call
 	}
-	mask := live
-	if mask == 0 {
-		mask = allLive
-	}
-	var buf [isa.NumRegs]uint32
-	pc := ctx.Regs.PC
-	n := cpu.SaveMasked(ctx.Regs, mask, &buf)
 	e.stats.IfCalls++
 	cy := cost.IfCall
-	fire := c.If(ctx)
-	cpu.RestoreMasked(ctx.Regs, mask, &buf)
-	ctx.Regs.PC = pc
-	e.stats.PredSaveRegs += uint64(n)
+	var fire bool
+	if hoisted {
+		e.stats.HoistedSaves++
+		fire = c.If(ctx)
+	} else {
+		mask := live
+		if mask == 0 {
+			mask = allLive
+		}
+		var buf [isa.NumRegs]uint32
+		pc := ctx.Regs.PC
+		n := cpu.SaveMasked(ctx.Regs, mask, &buf)
+		fire = c.If(ctx)
+		cpu.RestoreMasked(ctx.Regs, mask, &buf)
+		ctx.Regs.PC = pc
+		e.stats.PredSaveRegs += uint64(n)
+	}
 	if fire && c.Then != nil {
 		e.stats.ThenCalls++
 		c.Then(ctx)
 		cy += cost.ThenCall
 	}
 	return cy
+}
+
+// hoistedAt reports whether the current trace's promoted layout
+// suppressed the predicate spill at compiled instruction idx.
+func (e *Engine) hoistedAt(idx int) bool {
+	h := e.cur.Hot
+	return h != nil && h.Hoist != nil && h.Hoist[idx]
 }
 
 // chargeCow charges copy-on-write page copies triggered by the last

@@ -17,9 +17,11 @@ import (
 // both ways and compare everything observable.
 
 // normStats zeroes the counters that intentionally differ between modes
-// (they count fast-path activity, which the reference loop has none of).
+// (they count fast-path and hot-tier activity, which the reference loop
+// has none of).
 func normStats(s Stats) Stats {
 	s.SuperblockIns = 0
+	s.HotPromotions, s.HotIns, s.HoistedSaves, s.HotLinkHits = 0, 0, 0, 0
 	return s
 }
 

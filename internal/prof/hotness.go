@@ -1,0 +1,61 @@
+package prof
+
+// NumExitSlots is the size of an ExitHist: trace exits are branch
+// targets, so a handful of direct-mapped slots covers the taken and
+// fall-through destinations of a trace's few exit points.
+const NumExitSlots = 4
+
+// ExitHist is a tiny edge profile: a direct-mapped histogram of control
+// transfer targets, keyed by PC. The Pin engine embeds one per compiled
+// trace to measure which successor a hot trace actually takes, and the
+// second-tier compiler reads it back to lay the hottest successor out as
+// the preferred fall-through (the Technion TC2 pintool's profile-guided
+// trace layout, applied to this repository's dispatch model).
+//
+// Like every prof measurement it ticks on the retired-instruction
+// timeline only — recording is driven by guest control flow, so the
+// counts are a pure function of the program and identical in every
+// execution mode and at every host worker count. The histogram itself is
+// host-visible state (it steers host-side execution strategy, never
+// virtual cycles) and is owned by a single engine, so it needs no
+// synchronization.
+type ExitHist struct {
+	pcs    [NumExitSlots]uint32
+	counts [NumExitSlots]uint64
+}
+
+// slot maps a word-aligned target PC to its direct-mapped slot.
+func exitSlot(pc uint32) int { return int((pc >> 2) % NumExitSlots) }
+
+// Record counts one transfer to pc. A slot conflict evicts the previous
+// target's count — the histogram is a cheap sketch, not an exact profile;
+// the dominant successor of a hot trace survives eviction by volume.
+func (h *ExitHist) Record(pc uint32) {
+	i := exitSlot(pc)
+	if h.pcs[i] != pc {
+		h.pcs[i] = pc
+		h.counts[i] = 0
+	}
+	h.counts[i]++
+}
+
+// Hottest returns the most-recorded target and its count. Count zero
+// means nothing was recorded. Ties resolve to the lowest PC, so the
+// answer is deterministic.
+func (h *ExitHist) Hottest() (pc uint32, count uint64) {
+	for i := range h.pcs {
+		c := h.counts[i]
+		if c > count || (c == count && c > 0 && h.pcs[i] < pc) {
+			pc, count = h.pcs[i], c
+		}
+	}
+	return pc, count
+}
+
+// Count returns the recorded count for pc (zero when pc is not resident).
+func (h *ExitHist) Count(pc uint32) uint64 {
+	if i := exitSlot(pc); h.pcs[i] == pc {
+		return h.counts[i]
+	}
+	return 0
+}

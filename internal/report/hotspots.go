@@ -5,7 +5,13 @@ import "superpin/internal/prof"
 // HotspotTable renders a profile's top-n functions (all of them when
 // n <= 0) as a table: self and inclusive sample counts plus their
 // percentages of the total sample count.
+// A nil or sample-less profile (profiling off, or an interval longer
+// than the run) renders as an empty table rather than panicking or
+// dividing by zero.
 func HotspotTable(title string, p *prof.Profile, t *prof.Symtab, n int) *Table {
+	if p == nil {
+		return New(title, "function", "self", "self%", "total", "total%")
+	}
 	hs := p.Hotspots(t)
 	if n > 0 && len(hs) > n {
 		hs = hs[:n]

@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"superpin/internal/prof"
 )
 
 func TestTableAlignment(t *testing.T) {
@@ -38,5 +40,32 @@ func TestCSV(t *testing.T) {
 	want := "a,b\n\"x,y\",\"q\"\"u\"\nplain,7\n"
 	if csv != want {
 		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+// TestHotspotTableEmptyProfile: a nil profile, an empty profile, and an
+// empty symbol table must all render as a well-formed (rowless) table —
+// no panic, no NaN percentages. This is the profiling-off / sampling
+// interval longer than the run case.
+func TestHotspotTableEmptyProfile(t *testing.T) {
+	symtab := prof.NewSymtab(nil)
+	for name, p := range map[string]*prof.Profile{
+		"nil":   nil,
+		"empty": {Interval: 10007},
+	} {
+		tb := HotspotTable("hotspots", p, symtab, 10)
+		if tb == nil {
+			t.Fatalf("%s profile: nil table", name)
+		}
+		out := tb.String()
+		if out == "" {
+			t.Fatalf("%s profile: empty render", name)
+		}
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Fatalf("%s profile: bad percentage in %q", name, out)
+		}
+		if tb.CSV() == "" {
+			t.Fatalf("%s profile: empty CSV", name)
+		}
 	}
 }

@@ -13,7 +13,9 @@
 # With -gate the script also *fails* (exit 1) when the new run's serial
 # path regressed: guest_mips_min below 80% of the old run's. The 20%
 # margin absorbs host noise on shared machines while still catching a
-# real slowdown of the workers=1 path.
+# real slowdown of the workers=1 path. A gate needs a usable yardstick:
+# a reference artifact whose guest_mips_min is missing or zero is a
+# usage error (exit 2), never a silent pass.
 set -eu
 
 gate=0
@@ -34,6 +36,19 @@ new="$2"
 field() {
     sed -n "s/^ *\"$2\": *\([0-9.eE+-]*\),*$/\1/p" "$1" | head -n 1
 }
+
+if [ "$gate" = 1 ]; then
+    ref_mips=$(field "$old" guest_mips_min)
+    if [ -z "$ref_mips" ] || ! awk -v v="$ref_mips" 'BEGIN { exit (v + 0 > 0) ? 0 : 1 }'; then
+        echo "ERROR: -gate needs a positive guest_mips_min in the reference $old (got '${ref_mips:-missing}')" >&2
+        exit 2
+    fi
+    new_mips=$(field "$new" guest_mips_min)
+    if [ -z "$new_mips" ]; then
+        echo "ERROR: -gate: $new has no guest_mips_min field" >&2
+        exit 2
+    fi
+fi
 
 for key in scale elapsed_sec guest_mips_min guest_ins_min suite_runs \
            dispatches link_hits superblock_ins; do

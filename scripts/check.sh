@@ -51,4 +51,7 @@ go run ./cmd/spbench -exp sadiff -scale 0.02 -benchmarks gzip,mgrid
 echo "== host-parallelism differential (serial vs 1/2/4/8 workers) =="
 go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid
 
+echo "== hot-tier differential (second-tier trace compiler vs -nohottier) =="
+go run ./cmd/spbench -exp jitdiff -scale 0.02 -benchmarks gzip,mgrid
+
 echo "ok"
