@@ -14,6 +14,9 @@
 //	spbench -exp profdiff        # verify serial and SuperPin profiles match
 //	spbench -exp pardiff         # verify host-parallel runs change nothing
 //	spbench -exp jitdiff         # verify the hot trace tier changes nothing
+//	spbench -exp cachediff       # verify the artifact cache changes nothing
+//	spbench -warmstart           # measure cold vs warm vs disk-warm wall-clock
+//	spbench -cachedir dir        # share predecode/SA/hot-seed artifacts across runs
 //	spbench -workers 4           # execute each run's slices on 4 goroutines
 //	spbench -scaling 1,2,4,8     # measure wall-clock vs per-run workers
 //	spbench -nofastpath          # run with the dispatch fast paths off
@@ -39,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"superpin/internal/artifact"
 	"superpin/internal/bench"
 	"superpin/internal/report"
 )
@@ -69,6 +73,11 @@ type hostPerf struct {
 	// pass over the configured benchmarks at each per-run worker count,
 	// with speedup relative to the first point.
 	Scaling []bench.ScalePoint `json:"scaling,omitempty"`
+	// Warmstart is the -warmstart sweep: wall-clock of serial-Pin passes
+	// over the configured benchmarks cold, warm (populated in-process
+	// artifact store) and disk-warm, with the time-to-first-promotion
+	// dispatch totals.
+	Warmstart *bench.WarmstartResult `json:"warmstart,omitempty"`
 }
 
 func main() {
@@ -81,7 +90,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|jitdiff|scaling")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|jitdiff|cachediff|scaling")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -97,6 +106,8 @@ func run(args []string) error {
 		noHotTier  = fs.Bool("nohottier", false, "disable the second-tier trace compiler (profile-guided layout, register caching, spill hoisting)")
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the harness to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
+		cacheDir   = fs.String("cachedir", os.Getenv("SUPERPIN_CACHE"), "persistent artifact cache directory shared by every run (created if missing; default $SUPERPIN_CACHE; virtual results are identical warm or cold)")
+		warmstart  = fs.Bool("warmstart", false, "after the experiments, measure cold vs warm vs disk-warm serial-Pin wall-clock over the configured benchmarks")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -149,6 +160,13 @@ func run(args []string) error {
 	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *cacheDir != "" {
+		store, err := artifact.NewDiskStore(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Artifacts = store
 	}
 
 	emit := func(name string, t *report.Table) error {
@@ -424,6 +442,33 @@ func run(args []string) error {
 		}
 		ran = true
 	}
+	if *exp == "cachediff" {
+		t := report.New("Artifact-cache differential: cold vs warm vs disk-warm, identical virtual results",
+			"benchmark", "tool", "ins", "pin cycles", "sp cycles", "warm promos", "ttfp (cold/warm)", "disk hits", "events", "verdict")
+		var checks []string
+		for _, kind := range []bench.ToolKind{bench.Icount1, bench.Icount2} {
+			reports, err := bench.RunCacheDiff(cfg, kind)
+			if err != nil {
+				return err
+			}
+			for _, r := range reports {
+				t.Row(r.Name, kind.String(), r.Ins, uint64(r.PinCycles), uint64(r.SPCycles),
+					r.WarmPromotions, fmt.Sprintf("%d/%d", r.ColdTTFP, r.WarmTTFP),
+					r.DiskHits, r.Events, "ok")
+				checks = r.Checks
+			}
+		}
+		if err := emit("cachediff", t); err != nil {
+			return err
+		}
+		if len(checks) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
 	if *exp == "scaling" {
 		// Standalone scaling sweep: default to the canonical worker counts.
 		if *scaling == "" {
@@ -457,6 +502,28 @@ func run(args []string) error {
 		}
 	}
 
+	// The warmstart sweep runs after the elapsed snapshot, like -scaling,
+	// so the headline guest-MIPS stays comparable across artifacts that
+	// did and did not request it.
+	var warmRes *bench.WarmstartResult
+	if *warmstart {
+		wr, err := bench.RunWarmstart(cfg)
+		if err != nil {
+			return err
+		}
+		warmRes = wr
+		wt := report.New("Warm-start wall-clock (serial Pin sweep over the configured benchmarks)",
+			"pass", "elapsed (s)", "ttfp dispatches", "warm promos")
+		wt.Row("cold", fmt.Sprintf("%.3f", warmRes.ColdSec), warmRes.ColdTTFP, uint64(0))
+		wt.Row("warm", fmt.Sprintf("%.3f", warmRes.WarmSec), warmRes.WarmTTFP, warmRes.WarmPromotions)
+		wt.Row("disk-warm", fmt.Sprintf("%.3f", warmRes.DiskSec), uint64(0), uint64(0))
+		if err := emit("warmstart", wt); err != nil {
+			return err
+		}
+		fmt.Printf("warm-start speedup: %.2fx (cold %.3fs -> warm %.3fs)\n",
+			warmRes.Speedup, warmRes.ColdSec, warmRes.WarmSec)
+	}
+
 	if *hostJSON != "" {
 		hp := hostPerf{
 			ElapsedSec: elapsed.Seconds(),
@@ -469,6 +536,7 @@ func run(args []string) error {
 			NoFastPath: *noFastPath,
 			Host:       hostTotals,
 			Scaling:    scalePoints,
+			Warmstart:  warmRes,
 		}
 		if hp.ElapsedSec > 0 {
 			hp.GuestMIPS = float64(suiteIns) / (hp.ElapsedSec * 1e6)

@@ -136,3 +136,73 @@ func TestRunUnknownBenchmark(t *testing.T) {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
+
+// TestRunCacheDiffExperiment: -exp cachediff runs the artifact-cache
+// differential and writes its CSV.
+func TestRunCacheDiffExperiment(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "cachediff", "-scale", "0.02", "-benchmarks", "gzip", "-j", "1", "-csv", dir}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "cachediff.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty cachediff CSV")
+	}
+}
+
+// TestRunWarmstartAndCacheDir: -warmstart produces the warm-start block
+// in the host-perf JSON, and -cachedir creates a missing nested
+// directory and persists artifacts into it across the suite.
+func TestRunWarmstartAndCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "deep", "cache")
+	hj := filepath.Join(dir, "host.json")
+	args := []string{"-exp", "fig3", "-scale", "0.02", "-benchmarks", "gzip",
+		"-j", "1", "-warmstart", "-cachedir", cache, "-hostjson", hj}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("cache dir holds %d entries, want predecode+sa+seed", len(ents))
+	}
+	data, err := os.ReadFile(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hp struct {
+		Warmstart *struct {
+			ColdSec float64 `json:"cold_sec"`
+			WarmSec float64 `json:"warm_sec"`
+			DiskSec float64 `json:"disk_sec"`
+		} `json:"warmstart"`
+	}
+	if err := json.Unmarshal(data, &hp); err != nil {
+		t.Fatal(err)
+	}
+	if hp.Warmstart == nil || hp.Warmstart.ColdSec <= 0 || hp.Warmstart.WarmSec <= 0 || hp.Warmstart.DiskSec <= 0 {
+		t.Fatalf("warmstart block = %+v", hp.Warmstart)
+	}
+}
+
+// TestRunCacheDirUnusable: a -cachedir path that runs through a regular
+// file must be a clear non-zero-exit error (MkdirAll fails even for
+// root), before any experiment runs.
+func TestRunCacheDirUnusable(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, cd := range []string{file, filepath.Join(file, "sub")} {
+		if err := run([]string{"-exp", "fig3", "-scale", "0.01", "-benchmarks", "gzip", "-cachedir", cd}); err == nil {
+			t.Errorf("-cachedir %s accepted", cd)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"superpin/internal/artifact"
 	"superpin/internal/asm"
 	"superpin/internal/core"
 	"superpin/internal/kernel"
@@ -91,6 +92,7 @@ func run(args []string) error {
 		profTop    = fs.Int("top", 10, "rows in the profiler hotspot table")
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the simulator to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the simulator to this file")
+		cacheDir   = fs.String("cachedir", os.Getenv("SUPERPIN_CACHE"), "persistent artifact cache directory (predecode, static analysis, hot-trace seeds; created if missing; default $SUPERPIN_CACHE; virtual results are identical warm or cold)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
@@ -178,9 +180,20 @@ func run(args []string) error {
 		metrics = obs.NewMetrics()
 	}
 
+	// The artifact store exists only when a cache directory is given: a
+	// single CLI run has no second execution to share with, so without
+	// persistence the store would be pure overhead.
+	var store *artifact.Store
+	if *cacheDir != "" {
+		store, err = artifact.NewDiskStore(*cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
 	var nativeTime kernel.Cycles
 	if *compare {
-		nres, err := core.RunNative(kcfg, prog, spec.NativeMemCost)
+		nres, err := core.RunNativeCached(kcfg, prog, spec.NativeMemCost, 0, store)
 		if err != nil {
 			return fmt.Errorf("native run: %w", err)
 		}
@@ -197,7 +210,7 @@ func run(args []string) error {
 		pcost.NoHotTier = *noHotTier
 		pcfg := kcfg
 		pcfg.Trace = tracer
-		res, err := core.RunPinProf(pcfg, prog, factory, pcost, profInterval)
+		res, err := core.RunPinCached(pcfg, prog, factory, pcost, profInterval, store)
 		if err != nil {
 			return fmt.Errorf("pin run: %w", err)
 		}
@@ -207,6 +220,7 @@ func run(args []string) error {
 			fmt.Printf("relative: %.1f%% of native\n", 100*float64(res.Time)/float64(nativeTime))
 		}
 		core.PublishPinMetrics(metrics, res)
+		store.PublishMetrics(metrics)
 		if err := writeProfOutputs(res.Profile, prog, *profJSON, *profFold, *profTop); err != nil {
 			return err
 		}
@@ -236,6 +250,7 @@ func run(args []string) error {
 	opts.Workers = *workers
 	opts.Trace = tracer
 	opts.Metrics = metrics
+	opts.Artifacts = store
 	res, err := core.Run(kcfg, prog, factory, opts)
 	if err != nil {
 		return fmt.Errorf("superpin run: %w", err)

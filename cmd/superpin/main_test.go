@@ -177,3 +177,64 @@ func TestRunPinModeTrace(t *testing.T) {
 		t.Fatal("pin trace has no events")
 	}
 }
+
+// TestRunCacheDir: -cachedir creates a missing (nested) directory,
+// persists artifacts into it, and a second run warm-starts from them
+// while publishing artifact metrics.
+func TestRunCacheDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "deep", "cache")
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	args := []string{"-t", "icount1", "-sp", "0", "-scale", "0.01",
+		"-compare=false", "-cachedir", dir, "--", "gzip"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("cache dir holds %d entries, want predecode+sa+seed", len(ents))
+	}
+	if err := run([]string{"-t", "icount1", "-sp", "0", "-scale", "0.01",
+		"-compare=false", "-cachedir", dir, "-metrics", metrics, "--", "gzip"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Gauges["artifact.disk.hits"] == 0 {
+		t.Fatalf("second run read nothing from the cache: %v", m.Gauges)
+	}
+	// Both modes must accept the directory; SuperPin publishes through
+	// the core engine's metrics path.
+	if err := run([]string{"-t", "icount2", "-scale", "0.01", "-spmsec", "50",
+		"-compare=false", "-cachedir", dir, "--", "gzip"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCacheDirUnusable: a path that cannot become a directory (it
+// runs through a regular file, so MkdirAll fails even for root) must be
+// a clear non-zero-exit error, in both modes.
+func TestRunCacheDirUnusable(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-sp", "0", "-scale", "0.01", "-cachedir", filepath.Join(file, "sub"), "--", "gzip"},
+		{"-scale", "0.01", "-cachedir", file, "--", "gzip"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded with an unusable cache dir", args)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package artifact
+
+import (
+	"sync"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/jit"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// buildProg returns a small catalog program.
+func buildProg(t *testing.T, name string) *asm.Program {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("%s missing from catalog", name)
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return prog
+}
+
+func TestKeyOf(t *testing.T) {
+	prog := buildProg(t, "gzip")
+	k1 := KeyOf(prog)
+	if k1 != KeyOf(prog) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+	if k1 == KeyOf(buildProg(t, "mgrid")) {
+		t.Fatal("distinct images share a key")
+	}
+	// Any byte of the image changes the key.
+	mutated := *prog
+	mutated.Segments = append([]asm.Segment{}, prog.Segments...)
+	data := append([]byte{}, mutated.Segments[0].Data...)
+	data[0] ^= 1
+	mutated.Segments[0] = asm.Segment{Addr: prog.Segments[0].Addr, Data: data}
+	if KeyOf(&mutated) == k1 {
+		t.Fatal("mutated image bytes kept the same key")
+	}
+	// Symbols are part of the key (sa roots discovery at them).
+	mutated = *prog
+	mutated.Symbols = map[string]uint32{"extra": 0x1000}
+	for n, a := range prog.Symbols {
+		mutated.Symbols[n] = a
+	}
+	if KeyOf(&mutated) == k1 {
+		t.Fatal("symbol table change kept the same key")
+	}
+	// Line tables are excluded: nothing execution-visible reads them.
+	mutated = *prog
+	mutated.Lines = map[uint32]int{0x1000: 42}
+	if KeyOf(&mutated) != k1 {
+		t.Fatal("line table change altered the key")
+	}
+}
+
+// TestSingleflight hammers one store from many goroutines and asserts
+// the singleflight contract: each artifact computed exactly once, every
+// caller handed the same pointer. Run under -race in check.sh.
+func TestSingleflight(t *testing.T) {
+	prog := buildProg(t, "gzip")
+	key := KeyOf(prog)
+	s := NewStore()
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	pres := make([]any, goroutines)
+	sas := make([]any, goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pres[i] = s.Predecode(key, prog)
+			sas[i] = s.Analysis(key, prog)
+			s.Seed(key)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if pres[i] != pres[0] {
+			t.Fatalf("goroutine %d got a different PredecodeSet pointer", i)
+		}
+		if sas[i] != sas[0] {
+			t.Fatalf("goroutine %d got a different Analysis pointer", i)
+		}
+	}
+	st := s.Stats()
+	if st.PredecodeComputes != 1 || st.SAComputes != 1 {
+		t.Fatalf("computes = %d/%d, want exactly 1 each", st.PredecodeComputes, st.SAComputes)
+	}
+	if st.PredecodeHits != goroutines-1 || st.SAHits != goroutines-1 {
+		t.Fatalf("hits = %d/%d, want %d each", st.PredecodeHits, st.SAHits, goroutines-1)
+	}
+	if st.SeedMisses != goroutines {
+		t.Fatalf("seed misses = %d, want %d (no seed contributed yet)", st.SeedMisses, goroutines)
+	}
+}
+
+// TestSeedMergePublishes: merges publish immutable snapshots; concurrent
+// merges never lose counts.
+func TestSeedMergePublishes(t *testing.T) {
+	prog := buildProg(t, "gzip")
+	key := KeyOf(prog)
+	s := NewStore()
+
+	if s.Seed(key) != nil {
+		t.Fatal("fresh store returned a seed")
+	}
+	d1 := jit.NewWarmSeed()
+	d1.Entries[0x1000] = jit.WarmEntry{Execs: 10, HotExit: 0x2000, HotCount: 5}
+	s.MergeSeed(key, d1)
+	snap := s.Seed(key)
+	if snap.Len() != 1 {
+		t.Fatalf("seed len = %d, want 1", snap.Len())
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := jit.NewWarmSeed()
+			d.Entries[0x1000] = jit.WarmEntry{Execs: 1}
+			s.MergeSeed(key, d)
+		}()
+	}
+	wg.Wait()
+	// The earlier snapshot is untouched.
+	if e := snap.Entries[0x1000]; e.Execs != 10 {
+		t.Fatalf("published snapshot mutated: %+v", e)
+	}
+	got := s.Seed(key).Entries[0x1000]
+	if got.Execs != 10+goroutines {
+		t.Fatalf("merged Execs = %d, want %d", got.Execs, 10+goroutines)
+	}
+	if got.HotExit != 0x2000 || got.HotCount != 5 {
+		t.Fatalf("merge lost the hottest exit: %+v", got)
+	}
+	// Empty deltas are ignored.
+	s.MergeSeed(key, nil)
+	s.MergeSeed(key, jit.NewWarmSeed())
+	if st := s.Stats(); st.SeedMerges != 1+goroutines {
+		t.Fatalf("merges = %d, want %d", st.SeedMerges, 1+goroutines)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	prog := buildProg(t, "gzip")
+	s := NewStore()
+	s.Predecode(KeyOf(prog), prog)
+
+	// Nil registry and nil store are no-ops.
+	s.PublishMetrics(nil)
+	(*Store)(nil).PublishMetrics(nil)
+
+	m := obs.NewMetrics()
+	s.PublishMetrics(m)
+	gauges := m.Snapshot().Gauges
+	if gauges["artifact.predecode.computes"] != 1 {
+		t.Fatalf("artifact.predecode.computes = %v, want 1", gauges["artifact.predecode.computes"])
+	}
+	if _, ok := gauges["artifact.disk.errors"]; !ok {
+		t.Fatal("artifact.disk.errors not published")
+	}
+}
+
+// TestKeyIsolation: distinct images never share artifacts.
+func TestKeyIsolation(t *testing.T) {
+	a := buildProg(t, "gzip")
+	b := buildProg(t, "mgrid")
+	s := NewStore()
+	if s.Predecode(KeyOf(a), a) == s.Predecode(KeyOf(b), b) {
+		t.Fatal("distinct images share a PredecodeSet")
+	}
+	if st := s.Stats(); st.PredecodeComputes != 2 {
+		t.Fatalf("computes = %d, want 2", st.PredecodeComputes)
+	}
+}
+
+// tiny returns a minimal valid program for cheap disk tests.
+func tiny(t *testing.T) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder(0x1000)
+	b.I(isa.OpADDI, isa.RegSys, isa.RegZero, 1)
+	b.I(isa.OpADDI, isa.RegArg0, isa.RegZero, 0)
+	b.Syscall()
+	return b.MustFinish()
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"superpin/internal/artifact"
 	"superpin/internal/core"
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
@@ -97,6 +98,13 @@ type Config struct {
 	// hoisting) in every run the harness performs. Virtual-cycle results
 	// are identical either way (`-exp jitdiff` proves it).
 	NoHotTier bool
+	// Artifacts, when non-nil, is the content-addressed artifact store
+	// every run the harness performs shares: concurrent suite runs of the
+	// same benchmark predecode and analyze each image exactly once, and
+	// later runs warm-start the hot tier from earlier runs' harvests.
+	// Virtual-cycle results are identical with or without a store
+	// (`-exp cachediff` proves it).
+	Artifacts *artifact.Store
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -224,6 +232,7 @@ func hostCounters(res *core.PinResult) HostCounters {
 // tier exists only in fast-path runs, and only moves host-side work).
 func zeroHotStats(s *pin.Stats) {
 	s.HotPromotions, s.HotIns, s.HoistedSaves, s.HotLinkHits = 0, 0, 0, 0
+	s.WarmPromotions, s.FirstPromoDispatch = 0, 0
 }
 
 // RunBenchmark measures one benchmark under native, Pin and SuperPin
@@ -237,7 +246,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 		return nil, err
 	}
 
-	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	native, err := core.RunNativeCached(cfg.Kernel, prog, spec.NativeMemCost, 0, cfg.Artifacts)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: native: %w", spec.Name, err)
 	}
@@ -245,7 +254,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	pinCost := cfg.PinCost
 	pinCost.MemSurcharge = spec.PinMemCost
 	pinTool := newTool(kind)
-	pinRes, err := core.RunPin(cfg.Kernel, prog, pinTool.Factory(), pinCost)
+	pinRes, err := core.RunPinCached(cfg.Kernel, prog, pinTool.Factory(), pinCost, 0, cfg.Artifacts)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: pin: %w", spec.Name, err)
 	}
@@ -261,6 +270,7 @@ func RunBenchmark(cfg Config, spec workload.Spec, kind ToolKind) (*Result, error
 	opts.PinCost.MemSurcharge = spec.SliceMemCost
 	opts.NativeMemSurcharge = spec.NativeMemCost
 	opts.Workers = cfg.SPWorkers
+	opts.Artifacts = cfg.Artifacts
 	if cfg.TraceDir != "" {
 		opts.Trace = obs.NewTracer()
 	}

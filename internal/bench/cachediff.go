@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+
+	"superpin/internal/artifact"
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/workload"
+)
+
+// CacheDiffReport is one benchmark's artifact-cache differential
+// outcome: the benchmark ran cold (no store), warm (second execution on
+// a populated in-process store) and disk-warm (fresh store hydrated
+// from a cache directory), under serial Pin and under SuperPin at host
+// worker counts 1 and 4, and every virtual-cycle-visible quantity was
+// identical.
+type CacheDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// PinCycles and SPCycles are the (mode-independent) serial Pin and
+	// SuperPin runtimes.
+	PinCycles kernel.Cycles
+	SPCycles  kernel.Cycles
+	// WarmPromotions counts the warm serial run's compile-time
+	// promotions from the seed (zero in a cold run by definition).
+	WarmPromotions uint64
+	// ColdTTFP and WarmTTFP are the dispatch counts at the first hot
+	// promotion in the cold and warm serial runs (0 = never promoted):
+	// the time-to-first-promotion quantity the warm start attacks.
+	ColdTTFP uint64
+	WarmTTFP uint64
+	// DiskHits counts the disk-warm store's successful reads.
+	DiskHits uint64
+	// Events is the (identical) SuperPin trace length.
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// cacheDiffWorkers are the SuperPin host worker counts the differential
+// runs at: every slice engine shares the store's seed snapshot, so warm
+// results must survive parallel slice execution unchanged.
+var cacheDiffWorkers = [2]int{1, 4}
+
+// cacheDiffChecks are the equalities the differential runner asserts,
+// for human-readable output.
+var cacheDiffChecks = []string{
+	"serial Pin result identical cold vs warm vs disk-warm (cycles, ins, exit, stdout, stats modulo host-only counters)",
+	"SuperPin result deep-equal cold vs warm at workers 1 and 4",
+	"SuperPin trace event streams identical in all runs",
+	"warm runs hit the store (predecode + analysis) instead of recomputing",
+	"disk-warm runs hydrate from the directory with zero recomputation",
+	"warm runs promote at compile time when the cold run promoted at all",
+}
+
+// normPinCached normalizes a serial Pin result for cold-vs-warm
+// comparison: the warm start moves promotion earlier, which displaces
+// host-side work (superblock batching, first-tier link traffic, hot
+// counters) without touching anything the virtual machine observes.
+func normPinCached(res *core.PinResult) core.PinResult {
+	n := *res
+	zeroHotStats(&n.Engine)
+	n.Engine.SuperblockIns = 0
+	n.Cache.LinkHits, n.Cache.LinkMisses, n.Cache.LinkInvalidations = 0, 0, 0
+	return n
+}
+
+// RunCacheDiff runs each configured benchmark cold, warm and disk-warm
+// under serial Pin, and cold vs warm under SuperPin at host worker
+// counts 1 and 4, verifying that the artifact cache changed nothing the
+// virtual machine can observe — while actually engaging (store hits,
+// compile-time warm promotions, disk reads).
+func RunCacheDiff(cfg Config, kind ToolKind) ([]*CacheDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	return runIndexed(cfg.Workers, len(specs), func(i int) (*CacheDiffReport, error) {
+		return runCacheDiffOne(cfg, specs[i], kind)
+	})
+}
+
+func runCacheDiffOne(cfg Config, spec workload.Spec, kind ToolKind) (*CacheDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("cachediff %s: native: %w", spec.Name, err)
+	}
+
+	pinCost := cfg.PinCost
+	pinCost.MemSurcharge = spec.PinMemCost
+	runPin := func(label string, store *artifact.Store) (*core.PinResult, error) {
+		tool := newTool(kind)
+		res, err := core.RunPinCached(cfg.Kernel, prog, tool.Factory(), pinCost, 0, store)
+		if err != nil {
+			return nil, fmt.Errorf("cachediff %s: pin (%s): %w", spec.Name, label, err)
+		}
+		if tool.Total() != native.Ins {
+			return nil, fmt.Errorf("cachediff %s: pin (%s) counted %d, native executed %d",
+				spec.Name, label, tool.Total(), native.Ins)
+		}
+		return res, nil
+	}
+
+	// Serial Pin: cold, then twice on one in-process store (populate +
+	// warm), then disk-warm on a store hydrated from a directory a prior
+	// store persisted into.
+	cold, err := runPin("cold", nil)
+	if err != nil {
+		return nil, err
+	}
+	store := artifact.NewStore()
+	if _, err := runPin("populate", store); err != nil {
+		return nil, err
+	}
+	warm, err := runPin("warm", store)
+	if err != nil {
+		return nil, err
+	}
+	if st := store.Stats(); st.PredecodeHits == 0 || st.SAHits == 0 {
+		return nil, fmt.Errorf("cachediff %s: warm run recomputed instead of hitting the store: %+v",
+			spec.Name, st)
+	}
+
+	dir, err := os.MkdirTemp("", "cachediff-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	populate, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runPin("disk-populate", populate); err != nil {
+		return nil, err
+	}
+	hydrated, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := runPin("disk-warm", hydrated)
+	if err != nil {
+		return nil, err
+	}
+	dst := hydrated.Stats()
+	if dst.DiskHits == 0 || dst.PredecodeComputes != 0 || dst.SAComputes != 0 {
+		return nil, fmt.Errorf("cachediff %s: disk-warm run recomputed instead of hydrating: %+v",
+			spec.Name, dst)
+	}
+
+	coldN := normPinCached(cold)
+	for label, res := range map[string]*core.PinResult{"warm": warm, "disk-warm": disk} {
+		if n := normPinCached(res); !reflect.DeepEqual(n, coldN) {
+			return nil, fmt.Errorf("cachediff %s: serial Pin results differ (%s):\ncold: %+v\n%s: %+v",
+				spec.Name, label, coldN, label, n)
+		}
+	}
+	// The warm start only matters when the workload is hot enough to
+	// promote at all; when it is, the seed must fire at compile time and
+	// strictly earlier than the cold run earned its first promotion.
+	if cold.Engine.HotPromotions > 0 {
+		if warm.Engine.WarmPromotions == 0 {
+			return nil, fmt.Errorf("cachediff %s: cold run promoted %d traces but the warm run seeded none",
+				spec.Name, cold.Engine.HotPromotions)
+		}
+		if warm.Engine.FirstPromoDispatch >= cold.Engine.FirstPromoDispatch {
+			return nil, fmt.Errorf("cachediff %s: warm first promotion at dispatch %d, cold at %d — no warm start",
+				spec.Name, warm.Engine.FirstPromoDispatch, cold.Engine.FirstPromoDispatch)
+		}
+	}
+
+	// SuperPin: cold vs warm (second run on a shared store), each at
+	// host worker counts 1 and 4 — four runs, one reference result.
+	type spRun struct {
+		res    *core.Result
+		events []obs.Event
+	}
+	var base *spRun
+	spStore := artifact.NewStore()
+	for _, workers := range cacheDiffWorkers {
+		for _, store := range []*artifact.Store{nil, spStore, spStore} {
+			opts := core.DefaultOptions()
+			opts.SliceMSec = cfg.TimesliceMSec
+			opts.MaxSlices = cfg.MaxSlices
+			opts.PinCost = cfg.PinCost
+			opts.PinCost.MemSurcharge = spec.SliceMemCost
+			opts.NativeMemSurcharge = spec.NativeMemCost
+			opts.Workers = workers
+			opts.Artifacts = store
+			opts.Trace = obs.NewTracer()
+			spTool := newTool(kind)
+			spRes, err := core.Run(cfg.Kernel, prog, spTool.Factory(), opts)
+			if err != nil {
+				return nil, fmt.Errorf("cachediff %s: superpin (cached=%v workers=%d): %w",
+					spec.Name, store != nil, workers, err)
+			}
+			if spRes.Err != nil {
+				return nil, fmt.Errorf("cachediff %s: superpin (cached=%v workers=%d): %w",
+					spec.Name, store != nil, workers, spRes.Err)
+			}
+			if spTool.Total() != native.Ins {
+				return nil, fmt.Errorf("cachediff %s: superpin (cached=%v workers=%d) counted %d, native executed %d",
+					spec.Name, store != nil, workers, spTool.Total(), native.Ins)
+			}
+			events := opts.Trace.Events()
+			if err := VerifyTrace(events, spRes, native.Time); err != nil {
+				return nil, fmt.Errorf("cachediff %s (cached=%v workers=%d): %w",
+					spec.Name, store != nil, workers, err)
+			}
+			run := &spRun{res: spRes, events: events}
+			if base == nil {
+				base = run
+				continue
+			}
+			if !reflect.DeepEqual(run.res, base.res) {
+				return nil, fmt.Errorf("cachediff %s: SuperPin results differ (cached=%v workers=%d):\ngot:  %+v\nwant: %+v",
+					spec.Name, store != nil, workers, run.res, base.res)
+			}
+			if !reflect.DeepEqual(run.events, base.events) {
+				return nil, fmt.Errorf("cachediff %s: SuperPin trace streams differ (cached=%v workers=%d: %d vs %d events)",
+					spec.Name, store != nil, workers, len(run.events), len(base.events))
+			}
+		}
+	}
+	if st := spStore.Stats(); st.PredecodeComputes != 1 || st.SAComputes != 1 {
+		return nil, fmt.Errorf("cachediff %s: SuperPin runs recomputed shared artifacts: %+v",
+			spec.Name, st)
+	}
+
+	return &CacheDiffReport{
+		Name:           spec.Name,
+		Ins:            native.Ins,
+		PinCycles:      cold.Time,
+		SPCycles:       base.res.TotalTime,
+		WarmPromotions: warm.Engine.WarmPromotions,
+		ColdTTFP:       cold.Engine.FirstPromoDispatch,
+		WarmTTFP:       warm.Engine.FirstPromoDispatch,
+		DiskHits:       dst.DiskHits,
+		Events:         len(base.events),
+		Checks:         cacheDiffChecks,
+	}, nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+func TestRunCacheDiffSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.Benchmarks = []string{"gzip", "mgrid"}
+	cfg.Workers = 1
+	reports, err := RunCacheDiff(cfg, Icount1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if r.Ins == 0 || r.PinCycles == 0 || r.SPCycles == 0 {
+			t.Fatalf("%s: empty report %+v", r.Name, r)
+		}
+		if r.DiskHits == 0 {
+			t.Fatalf("%s: disk-warm run read nothing", r.Name)
+		}
+	}
+}
+
+func TestRunWarmstartSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.02
+	cfg.Benchmarks = []string{"gzip"}
+	res, err := RunWarmstart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdSec <= 0 || res.WarmSec <= 0 || res.DiskSec <= 0 {
+		t.Fatalf("missing pass timings: %+v", res)
+	}
+	if res.ColdTTFP > 0 && res.WarmTTFP >= res.ColdTTFP {
+		t.Fatalf("warm TTFP %d not below cold %d", res.WarmTTFP, res.ColdTTFP)
+	}
+}

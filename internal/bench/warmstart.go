@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"superpin/internal/artifact"
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+)
+
+// WarmstartResult is the -warmstart sweep's measurement: wall-clock of
+// a serial-Pin pass over the configured benchmarks run cold (no store),
+// warm (second pass on the in-process store the cold pass populated)
+// and disk-warm (fresh store hydrated from a cache directory), plus the
+// time-to-first-promotion each mode achieved. Virtual cycles are
+// asserted identical across all three passes; only host time and
+// host-side promotion timing change.
+type WarmstartResult struct {
+	ColdSec float64 `json:"cold_sec"`
+	WarmSec float64 `json:"warm_sec"`
+	DiskSec float64 `json:"disk_sec"`
+	// Speedup is ColdSec/WarmSec, the in-process warm-start gain.
+	Speedup float64 `json:"speedup"`
+	// WarmPromotions totals the warm pass's compile-time promotions.
+	WarmPromotions uint64 `json:"warm_promotions"`
+	// ColdTTFP and WarmTTFP sum each pass's first-promotion dispatch
+	// counts over the benchmarks that promoted at all — a lower warm sum
+	// means the hot tier engaged earlier.
+	ColdTTFP uint64 `json:"ttfp_cold_dispatches"`
+	WarmTTFP uint64 `json:"ttfp_warm_dispatches"`
+}
+
+// RunWarmstart measures the artifact cache's host-side effect: three
+// timed serial-Pin (icount1) passes over the configured benchmarks —
+// cold, warm on the populated store, disk-warm on a store hydrated from
+// a directory the warm store persisted into. Single-core honest: the
+// passes run back to back with no host fan-out.
+func RunWarmstart(cfg Config) (*WarmstartResult, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]scaleProg, len(specs))
+	for i, spec := range specs {
+		spec = spec.Scaled(cfg.Scale)
+		p, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = scaleProg{spec: spec, prog: p}
+	}
+
+	dir, err := os.MkdirTemp("", "warmstart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	hydrated, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WarmstartResult{}
+	var refCycles kernel.Cycles
+	pass := func(label string, store *artifact.Store, elapsed *float64, ttfp *uint64, promos *uint64) error {
+		var total kernel.Cycles
+		start := time.Now()
+		for _, pr := range progs {
+			cost := cfg.PinCost
+			cost.MemSurcharge = pr.spec.PinMemCost
+			tool := newTool(Icount1)
+			r, err := core.RunPinCached(cfg.Kernel, pr.prog, tool.Factory(), cost, 0, store)
+			if err != nil {
+				return fmt.Errorf("warmstart %s (%s): %w", pr.spec.Name, label, err)
+			}
+			total += r.Time
+			if r.Engine.HotPromotions > 0 && ttfp != nil {
+				*ttfp += r.Engine.FirstPromoDispatch
+			}
+			if promos != nil {
+				*promos += r.Engine.WarmPromotions
+			}
+		}
+		*elapsed = time.Since(start).Seconds()
+		if refCycles == 0 {
+			refCycles = total
+		} else if total != refCycles {
+			return fmt.Errorf("warmstart: virtual cycles diverged in the %s pass: %d vs %d",
+				label, total, refCycles)
+		}
+		return nil
+	}
+
+	// Cold pass runs on the disk store with an empty directory: every
+	// artifact misses, is computed, and persists — so the pass is cold
+	// (nothing to read) while populating both warm paths at once.
+	if err := pass("cold", store, &res.ColdSec, &res.ColdTTFP, nil); err != nil {
+		return nil, err
+	}
+	if err := pass("warm", store, &res.WarmSec, &res.WarmTTFP, &res.WarmPromotions); err != nil {
+		return nil, err
+	}
+	if err := pass("disk-warm", hydrated, &res.DiskSec, nil, nil); err != nil {
+		return nil, err
+	}
+	if res.WarmSec > 0 {
+		res.Speedup = res.ColdSec / res.WarmSec
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"superpin/internal/artifact"
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/kernel"
+	"superpin/internal/pin"
+)
+
+// smcProg builds a self-modifying guest: before entering its hot loop it
+// overwrites the loop body's increment instruction (addi r20, r20, 1 in
+// the image) with addi r20, r20, step loaded from the data section. The
+// exit code therefore proves which instruction actually executed — a
+// run that decoded the stale image (e.g. through an adopted predecode
+// view that survived the store) computes a visibly different sum.
+func smcProg(t *testing.T, iters, step int) *asm.Program {
+	t.Helper()
+	patched, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 20, Rs1: 20, Imm: int32(step)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+	.entry main
+main:
+	la r10, patch
+	la r11, newinst
+	lw r12, (r11)
+	sw r12, (r10)
+	li r20, 0
+	li r21, %d
+	li r22, 0
+	la ra, loop
+	ret
+loop:
+patch:
+	addi r20, r20, 1
+	addi r22, r22, 1
+	blt r22, r21, loop
+	li r1, 1
+	andi r2, r20, 255
+	syscall
+	.org 0x8000
+newinst:
+	.word 0x%08x
+`, iters, patched)
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkPinResult asserts virtual-outcome identity between two serial
+// Pin runs (stats carry host-side cache/warm counters that legitimately
+// differ between cold and warm runs, so only the virtual fields and the
+// guest-visible engine work are compared).
+func checkPinResult(t *testing.T, label string, got, want *PinResult) {
+	t.Helper()
+	if got.ExitCode != want.ExitCode || got.Ins != want.Ins || got.Time != want.Time {
+		t.Fatalf("%s: exit/ins/time = %d/%d/%d, want %d/%d/%d",
+			label, got.ExitCode, got.Ins, got.Time, want.ExitCode, want.Ins, want.Time)
+	}
+	if string(got.Stdout) != string(want.Stdout) {
+		t.Fatalf("%s: stdout %q, want %q", label, got.Stdout, want.Stdout)
+	}
+	if got.Engine.ExecIns != want.Engine.ExecIns || got.Engine.Dispatches != want.Engine.Dispatches {
+		t.Fatalf("%s: execIns/dispatches = %d/%d, want %d/%d",
+			label, got.Engine.ExecIns, got.Engine.Dispatches, want.Engine.ExecIns, want.Engine.Dispatches)
+	}
+}
+
+// TestArtifactSMCInvalidation: a guest that patches its own code must
+// compute the patched result on every path — cold, warm (adopted
+// predecode from a populated in-process store), and disk-warm (fresh
+// store hydrated from a cache directory). The adopted predecode view
+// holds the stale image decode for the patched word; the guest store
+// must invalidate it, never the other way around.
+func TestArtifactSMCInvalidation(t *testing.T) {
+	const iters, step = 100, 5
+	cfg := testKernelCfg()
+	cost := pin.DefaultCost()
+
+	// The patched loop adds `step` per iteration; stale decode adds 1.
+	wantExit := uint32(iters*step) & 255
+
+	factory, _ := newIcount()
+	cold, err := RunPin(cfg, smcProg(t, iters, step), factory, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ExitCode != wantExit {
+		t.Fatalf("cold exit = %d, want %d (patched instruction did not execute)", cold.ExitCode, wantExit)
+	}
+
+	// Warm: second run on the same store adopts the first run's
+	// predecode set, whose cached decode of the patch site is stale the
+	// moment the guest stores over it.
+	store := artifact.NewStore()
+	for i, label := range []string{"populate", "warm"} {
+		f, _ := newIcount()
+		res, err := RunPinCached(cfg, smcProg(t, iters, step), f, cost, 0, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPinResult(t, label, res, cold)
+		if st := store.Stats(); i == 1 && (st.PredecodeHits == 0 || st.SAHits == 0) {
+			t.Fatalf("warm run missed the store: %+v", st)
+		}
+	}
+
+	// Disk-warm: hydrate a fresh store from the directory the first
+	// store persisted into — nothing recomputed, same invalidation.
+	dir := t.TempDir()
+	diskA, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fA, _ := newIcount()
+	if _, err := RunPinCached(cfg, smcProg(t, iters, step), fA, cost, 0, diskA); err != nil {
+		t.Fatal(err)
+	}
+	diskB, err := artifact.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fB, _ := newIcount()
+	res, err := RunPinCached(cfg, smcProg(t, iters, step), fB, cost, 0, diskB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPinResult(t, "disk-warm", res, cold)
+	if st := diskB.Stats(); st.DiskHits == 0 {
+		t.Fatalf("disk-warm run read nothing from disk: %+v", st)
+	}
+}
+
+// TestArtifactSuperPinSMC: the same self-modifying guest under SuperPin
+// with a shared artifact store — slices adopt the store's predecode and
+// warm seed, and the merged result must still match native.
+func TestArtifactSuperPinSMC(t *testing.T) {
+	const iters, step = 2000, 3
+	cfg := testKernelCfg()
+	prog := smcProg(t, iters, step)
+
+	native, err := RunNative(cfg, prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExit := uint32(iters*step) & 255
+	if native.ExitCode != wantExit {
+		t.Fatalf("native exit = %d, want %d", native.ExitCode, wantExit)
+	}
+
+	store := artifact.NewStore()
+	for _, label := range []string{"populate", "warm"} {
+		opts := smallOpts(5)
+		opts.Artifacts = store
+		factory, count := newIcount()
+		res, err := Run(cfg, smcProg(t, iters, step), factory, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != native.ExitCode || count() != native.Ins {
+			t.Fatalf("%s: exit/icount = %d/%d, want %d/%d",
+				label, res.ExitCode, count(), native.ExitCode, native.Ins)
+		}
+	}
+	if st := store.Stats(); st.PredecodeComputes != 1 || st.SAComputes != 1 {
+		t.Fatalf("store recomputed artifacts across runs: %+v", st)
+	}
+	if st := store.Stats(); st.SeedMerges == 0 {
+		t.Fatalf("no hotness harvested back into the store: %+v", st)
+	}
+}
+
+// TestArtifactWarmSeedSharedAcrossRuns: a cached serial run must
+// warm-start from the previous execution's harvest (promotion at
+// compile time) while staying byte-identical to the cold run.
+func TestArtifactWarmSeedSharedAcrossRuns(t *testing.T) {
+	cfg := testKernelCfg()
+	cost := pin.DefaultCost()
+	cost.HotThreshold = 16
+	prog := func() *asm.Program { return buildWorkload(t, 3000, 31, kernel.SysRand) }
+
+	factory, _ := newIcount()
+	cold, err := RunPin(cfg, prog(), factory, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Engine.HotPromotions == 0 {
+		t.Fatal("cold run never promoted; test workload too small")
+	}
+
+	store := artifact.NewStore()
+	f1, _ := newIcount()
+	first, err := RunPinCached(cfg, prog(), f1, cost, 0, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPinResult(t, "first", first, cold)
+	if first.Engine.WarmPromotions != 0 {
+		t.Fatalf("first run warm-promoted from an empty store: %+v", first.Engine)
+	}
+
+	f2, _ := newIcount()
+	second, err := RunPinCached(cfg, prog(), f2, cost, 0, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPinResult(t, "second", second, cold)
+	if second.Engine.WarmPromotions == 0 {
+		t.Fatalf("second run earned no warm promotions: %+v", second.Engine)
+	}
+	if second.Engine.FirstPromoDispatch >= first.Engine.FirstPromoDispatch {
+		t.Fatalf("warm first promotion at dispatch %d, cold at %d — no warm start",
+			second.Engine.FirstPromoDispatch, first.Engine.FirstPromoDispatch)
+	}
+}

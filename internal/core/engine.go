@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"superpin/internal/artifact"
 	"superpin/internal/asm"
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
@@ -120,6 +121,12 @@ type Engine struct {
 	masterRing   *kernel.IPRing  // non-nil with DetectorIPHistory
 	sa           *sa.Analysis    // load-time static analysis (nil with PinCost.NoSA)
 
+	// artKey/warmSeed carry the Options.Artifacts state for the run: the
+	// image's content key and the warm-start seed snapshot taken before
+	// the first fork (nil without a store or on a cold image).
+	artKey   artifact.Key
+	warmSeed *jit.WarmSeed
+
 	// masterProbe (non-nil with Options.ProfInterval) shadows the
 	// master's call stack without recording, so each fork can seed its
 	// slice's recording probe; profSamples accumulates the slices'
@@ -191,11 +198,28 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 			}
 		}
 	}
+	// Artifact cache: resolve the image key once; the analysis,
+	// predecode set and warm seed below all come through the store when
+	// one is attached, shared with every other execution of this image.
+	if opts.Artifacts != nil {
+		e.artKey = artifact.KeyOf(program)
+		// Snapshot the warm seed once, before the first fork: every
+		// slice of this run sees the same immutable snapshot, so
+		// promotion points stay a pure function of this run's virtual
+		// execution no matter what other runs merge concurrently.
+		e.warmSeed = opts.Artifacts.Seed(e.artKey)
+	}
+
 	// Load-time static analysis: verify the image once, then share the
 	// read-only liveness/predecode summaries with every slice engine the
 	// run forks (-nosa skips both).
 	if !opts.PinCost.NoSA {
-		an := sa.Analyze(program)
+		var an *sa.Analysis
+		if opts.Artifacts != nil {
+			an = opts.Artifacts.Analysis(e.artKey, program)
+		} else {
+			an = sa.Analyze(program)
+		}
 		if err := an.Err(); err != nil {
 			return nil, err
 		}
@@ -208,6 +232,11 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	// master, charged per instruction.
 	m := mem.New()
 	program.LoadInto(m)
+	if opts.Artifacts != nil {
+		// Adopt the shared predecoded views onto the freshly loaded
+		// image; slices inherit them through the copy-on-write fork.
+		m.AdoptPredecode(opts.Artifacts.Predecode(e.artKey, program))
+	}
 	regs := cpu.Regs{PC: program.Entry}
 	regs.R[isa.RegSP] = DefaultStackTop
 	runner := kernel.NativeRunner{MemSurcharge: opts.NativeMemSurcharge}
@@ -277,6 +306,18 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	e.armTimer()
 
 	kerr := k.Run()
+
+	// Publish the slices' harvested trace hotness back to the artifact
+	// store as one merged delta, so the next execution of this image
+	// warm-starts its second tier. Per-trace folding is commutative, so
+	// the merged seed is identical at every worker count.
+	if opts.Artifacts != nil {
+		seed := jit.NewWarmSeed()
+		for _, sl := range e.slices {
+			sl.eng.HarvestWarm(seed)
+		}
+		opts.Artifacts.MergeSeed(e.artKey, seed)
+	}
 
 	// Fold the slices' privately accumulated guest-phase counters into
 	// the run statistics in slice order: totals are identical at every
@@ -486,6 +527,9 @@ func (e *Engine) doFork(kind boundaryKind) {
 	// is byte-identical at every worker count (see Run's QuantumHook).
 	sl.eng.SharedBarrier = true
 	sl.eng.SA = e.sa
+	// Slices share (never duplicate) the run's warm-seed snapshot, like
+	// the analysis above: both are immutable.
+	sl.eng.Warm = e.warmSeed
 
 	var runner kernel.Runner = sl.eng
 	var tr *threadedRunner

@@ -76,6 +76,7 @@ func (e *Engine) publishMetrics(res *Result) {
 		m.Set("prof.max_stack_depth", float64(e.profDepth))
 	}
 	e.k.PublishMetrics(m)
+	e.opts.Artifacts.PublishMetrics(m)
 }
 
 // PublishPinMetrics publishes a serial-Pin baseline result into the
@@ -93,6 +94,11 @@ func PublishPinMetrics(m *obs.Metrics, res *PinResult) {
 	m.Add("pin.sa.pred_save_regs", res.Engine.PredSaveRegs)
 	m.Add("pin.sa.shared_runs", res.Engine.SASharedRuns)
 	m.Add("pin.sa.private_runs", res.Engine.SAPrivateRuns)
+	m.Add("pin.hot.promotions", res.Engine.HotPromotions)
+	m.Add("pin.hot.ins", res.Engine.HotIns)
+	m.Add("pin.hot.hoisted_saves", res.Engine.HoistedSaves)
+	m.Add("pin.hot.link_hits", res.Engine.HotLinkHits)
+	m.Add("pin.hot.warm_promotions", res.Engine.WarmPromotions)
 	m.Add("pin.cache.lookups", res.Cache.Lookups)
 	m.Add("pin.cache.misses", res.Cache.Misses)
 	m.Add("pin.cache.compiles", res.Cache.Compiles)

@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 
+	"superpin/internal/artifact"
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
 	"superpin/internal/pin"
@@ -159,6 +160,16 @@ type Options struct {
 	// Metrics, when non-nil, receives the run's statistics (core, pin
 	// engine, code cache, kernel aggregates) at the end of Run.
 	Metrics *obs.Metrics
+
+	// Artifacts, when non-nil, is the content-addressed artifact store
+	// (internal/artifact) the run shares with other executions:
+	// predecoded pages and the static analysis are fetched through it
+	// (computed at most once per image per process), every slice engine
+	// shares the image's hot-trace warm-start seed, and the slices'
+	// harvested hotness merges back at run end. Purely a host-side
+	// accelerator: results are byte-identical with or without a store,
+	// warm or cold (`spbench -exp cachediff`).
+	Artifacts *artifact.Store
 }
 
 // DefaultOptions returns the paper's default switch settings.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"superpin/internal/artifact"
 	"superpin/internal/asm"
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
@@ -34,9 +35,20 @@ func RunNative(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycl
 // profInterval is positive (0 disables profiling). The profiler charges
 // no cycles, so the result's timings are identical either way.
 func RunNativeProf(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycles, profInterval uint64) (*NativeResult, error) {
+	return RunNativeCached(cfg, program, memSurcharge, profInterval, nil)
+}
+
+// RunNativeCached is RunNativeProf sharing predecoded pages through an
+// artifact store (nil runs uncached). A native run has no engine, so the
+// store contributes predecode adoption only — still the dominant
+// per-run decode cost for short executions.
+func RunNativeCached(cfg kernel.Config, program *asm.Program, memSurcharge kernel.Cycles, profInterval uint64, store *artifact.Store) (*NativeResult, error) {
 	k := kernel.New(cfg)
 	m := mem.New()
 	program.LoadInto(m)
+	if store != nil {
+		m.AdoptPredecode(store.Predecode(artifact.KeyOf(program), program))
+	}
 	regs := cpu.Regs{PC: program.Entry}
 	regs.R[isa.RegSP] = DefaultStackTop
 	p := k.Spawn("native", m, regs, kernel.NativeRunner{MemSurcharge: memSurcharge})
@@ -97,9 +109,25 @@ func RunPin(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost p
 // profiled this way; the profiler charges no cycles, so the result's
 // timings are identical either way.
 func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost pin.CostModel, profInterval uint64) (*PinResult, error) {
+	return RunPinCached(cfg, program, factory, cost, profInterval, nil)
+}
+
+// RunPinCached is RunPinProf sharing artifacts through a store (nil runs
+// uncached): predecoded pages adopt onto the fresh image, the static
+// analysis is fetched instead of recomputed, the engine warm-starts its
+// hot tier from the image's seed, and the run's harvested hotness merges
+// back at exit. All host-side: results are byte-identical either way.
+func RunPinCached(cfg kernel.Config, program *asm.Program, factory ToolFactory, cost pin.CostModel, profInterval uint64, store *artifact.Store) (*PinResult, error) {
+	var key artifact.Key
+	if store != nil {
+		key = artifact.KeyOf(program)
+	}
 	k := kernel.New(cfg)
 	m := mem.New()
 	program.LoadInto(m)
+	if store != nil {
+		m.AdoptPredecode(store.Predecode(key, program))
+	}
 	regs := cpu.Regs{PC: program.Entry}
 	regs.R[isa.RegSP] = DefaultStackTop
 
@@ -112,11 +140,20 @@ func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, co
 	// liveness/predecode summaries (-nosa skips both).
 	var an *sa.Analysis
 	if !cost.NoSA {
-		an = sa.Analyze(program)
+		if store != nil {
+			an = store.Analysis(key, program)
+		} else {
+			an = sa.Analyze(program)
+		}
 		if err := an.Err(); err != nil {
 			return nil, err
 		}
 		e.SA = an
+	}
+	var warm *jit.WarmSeed
+	if store != nil {
+		warm = store.Seed(key)
+		e.Warm = warm
 	}
 
 	// Threads each get their own engine (their own code cache and
@@ -125,6 +162,7 @@ func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, co
 	k.ThreadRunner = func(*kernel.Proc) kernel.Runner {
 		te := pin.NewEngine(cost)
 		te.SA = an
+		te.Warm = warm
 		te.AddTraceInstrumenter(tool.Instrument)
 		return te
 	}
@@ -143,6 +181,14 @@ func RunPinProf(cfg kernel.Config, program *asm.Program, factory ToolFactory, co
 	}
 	if fin, ok := tool.(Finisher); ok {
 		fin.Fini(p.ExitCode)
+	}
+	if store != nil {
+		// Publish this run's trace hotness for the next execution's
+		// warm start (the leader engine's cache; thread engines are
+		// short-lived and not harvested).
+		seed := jit.NewWarmSeed()
+		e.HarvestWarm(seed)
+		store.MergeSeed(key, seed)
 	}
 	res := &PinResult{
 		Time:     p.EndTime - p.StartTime,

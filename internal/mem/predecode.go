@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PredecodeSet is an immutable, shareable predecoded view of a program
+// image's initialized pages: for every page the image touches, the raw
+// page bytes plus the decoded form of every word. Building one is a pure
+// function of the image bytes, so a set computed once (per process, or
+// loaded from the on-disk artifact cache) can be adopted by any number of
+// Memory images concurrently — codePage values are never mutated after
+// construction, and the copy-on-write protocol guarantees a page's code
+// view is dropped before its bytes change (self-modifying code).
+type PredecodeSet struct {
+	pages map[uint32]*predecodedPage
+}
+
+type predecodedPage struct {
+	data [PageSize]byte
+	code *codePage
+}
+
+// Span is one contiguous run of initialized image bytes (a load segment).
+type Span struct {
+	Addr uint32
+	Data []byte
+}
+
+// BuildPredecodeSet materializes and predecodes every page covered by the
+// spans. Pages outside the spans read as zeros in a fresh image and are
+// not included. Overlapping spans apply in order, matching LoadInto.
+func BuildPredecodeSet(spans []Span) *PredecodeSet {
+	ps := &PredecodeSet{pages: make(map[uint32]*predecodedPage)}
+	for _, s := range spans {
+		addr, data := s.Addr, s.Data
+		for len(data) > 0 {
+			pn := addr >> PageShift
+			pp := ps.pages[pn]
+			if pp == nil {
+				pp = &predecodedPage{}
+				ps.pages[pn] = pp
+			}
+			off := addr & pageMask
+			n := copy(pp.data[off:], data)
+			data = data[n:]
+			addr += uint32(n)
+		}
+	}
+	for _, pp := range ps.pages {
+		pp.code = predecode(&pp.data)
+	}
+	return ps
+}
+
+// Pages returns the number of pages in the set.
+func (ps *PredecodeSet) Pages() int {
+	if ps == nil {
+		return 0
+	}
+	return len(ps.pages)
+}
+
+// AdoptPredecode installs the set's code views on m's materialized pages,
+// skipping any page whose current bytes differ from the set's (the image
+// may have been written since load). It returns the number of pages that
+// adopted a view. Nil sets and noCache images adopt nothing.
+//
+// Adoption only ever stores a code view that is consistent with the
+// page's bytes at the time of the store, so it preserves the page
+// invariant writePage depends on: a later store to the page clears the
+// view exactly as it clears a locally built one, and copy-on-write
+// duplicates never inherit it.
+func (m *Memory) AdoptPredecode(ps *PredecodeSet) int {
+	if ps == nil || m.noCache {
+		return 0
+	}
+	adopted := 0
+	for pn, pp := range ps.pages {
+		pg := m.pages[pn]
+		if pg == nil || pg.data != pp.data {
+			continue
+		}
+		pg.code.Store(pp.code)
+		adopted++
+	}
+	return adopted
+}
+
+// EncodePredecodeSet serializes the set's raw page bytes. Only the bytes
+// are stored: decoding rebuilds the code views with the running binary's
+// own decoder, so a cached artifact can never carry decode results that
+// disagree with the bytes (or with a newer decoder).
+func EncodePredecodeSet(ps *PredecodeSet) []byte {
+	pns := make([]uint32, 0, len(ps.pages))
+	for pn := range ps.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	var buf bytes.Buffer
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], uint32(len(pns)))
+	buf.Write(w[:])
+	for _, pn := range pns {
+		binary.LittleEndian.PutUint32(w[:], pn)
+		buf.Write(w[:])
+		pp := ps.pages[pn]
+		buf.Write(pp.data[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodePredecodeSet rebuilds a set from EncodePredecodeSet output,
+// re-running predecode on the stored bytes.
+func DecodePredecodeSet(data []byte) (*PredecodeSet, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("predecode set: short header")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	const rec = 4 + PageSize
+	if uint64(len(data)) != uint64(n)*rec {
+		return nil, fmt.Errorf("predecode set: length %d does not match %d pages", len(data), n)
+	}
+	ps := &PredecodeSet{pages: make(map[uint32]*predecodedPage, n)}
+	for i := uint32(0); i < n; i++ {
+		pn := binary.LittleEndian.Uint32(data)
+		if _, dup := ps.pages[pn]; dup {
+			return nil, fmt.Errorf("predecode set: duplicate page %#x", pn)
+		}
+		pp := &predecodedPage{}
+		copy(pp.data[:], data[4:rec])
+		pp.code = predecode(&pp.data)
+		ps.pages[pn] = pp
+		data = data[rec:]
+	}
+	return ps, nil
+}

@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"testing"
+
+	"superpin/internal/isa"
+)
+
+// word assembles a little-endian instruction word.
+func word(b []byte, off int, w uint32) {
+	b[off] = byte(w)
+	b[off+1] = byte(w >> 8)
+	b[off+2] = byte(w >> 16)
+	b[off+3] = byte(w >> 24)
+}
+
+// testImage builds a two-page image: page 0 holds encoded instructions,
+// page 1 holds data.
+func testImage(t *testing.T) []Span {
+	t.Helper()
+	code := make([]byte, 64)
+	for i := 0; i < len(code); i += 4 {
+		w, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 1, Rs1: 1, Imm: int32(i)})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		word(code, i, w)
+	}
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return []Span{{Addr: 0x1000, Data: code}, {Addr: 0x2000, Data: data}}
+}
+
+func loadSpans(m *Memory, spans []Span) {
+	for _, s := range spans {
+		m.WriteBytes(s.Addr, s.Data)
+	}
+}
+
+func TestAdoptPredecodeSharesViews(t *testing.T) {
+	spans := testImage(t)
+	ps := BuildPredecodeSet(spans)
+	if ps.Pages() != 2 {
+		t.Fatalf("Pages() = %d, want 2", ps.Pages())
+	}
+
+	m := New()
+	loadSpans(m, spans)
+	if got := m.AdoptPredecode(ps); got != 2 {
+		t.Fatalf("AdoptPredecode = %d, want 2", got)
+	}
+	// The adopted view must be the set's pointer, not a rebuild.
+	pg := m.pages[0x1000>>PageShift]
+	if pg.code.Load() != ps.pages[0x1000>>PageShift].code {
+		t.Fatalf("adopted code view is not shared with the set")
+	}
+	in, err := m.FetchInst(0x1004)
+	if err != nil {
+		t.Fatalf("FetchInst: %v", err)
+	}
+	if in.Op != isa.OpADDI || in.Imm != 4 {
+		t.Fatalf("FetchInst = %+v, want addi imm=4", in)
+	}
+}
+
+// TestAdoptPredecodeSMCInvalidation is the self-modifying-code regression:
+// a store to an adopted page must drop the shared view and subsequent
+// fetches must see the new bytes.
+func TestAdoptPredecodeSMCInvalidation(t *testing.T) {
+	spans := testImage(t)
+	ps := BuildPredecodeSet(spans)
+	m := New()
+	loadSpans(m, spans)
+	m.AdoptPredecode(ps)
+
+	if _, err := m.FetchInst(0x1000); err != nil {
+		t.Fatalf("warm fetch: %v", err)
+	}
+	w, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 2, Rs1: 2, Imm: 99})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if f := m.StoreWord(0x1000, w); f != nil {
+		t.Fatalf("StoreWord: %v", f)
+	}
+	in, err := m.FetchInst(0x1000)
+	if err != nil {
+		t.Fatalf("fetch after SMC: %v", err)
+	}
+	if in.Rd != 2 || in.Imm != 99 {
+		t.Fatalf("fetch after SMC = %+v, want the overwritten instruction", in)
+	}
+	// The set itself must be untouched: a fresh image adopting it still
+	// sees the original instruction.
+	m2 := New()
+	loadSpans(m2, spans)
+	if got := m2.AdoptPredecode(ps); got != 2 {
+		t.Fatalf("fresh AdoptPredecode = %d, want 2", got)
+	}
+	in2, err := m2.FetchInst(0x1000)
+	if err != nil {
+		t.Fatalf("fresh fetch: %v", err)
+	}
+	if in2.Rd != 1 || in2.Imm != 0 {
+		t.Fatalf("fresh fetch = %+v, want the original instruction", in2)
+	}
+}
+
+// TestAdoptPredecodeSkipsMismatchedPages: adoption must verify page bytes
+// and skip pages the image has since modified (stale cache defense).
+func TestAdoptPredecodeSkipsMismatchedPages(t *testing.T) {
+	spans := testImage(t)
+	ps := BuildPredecodeSet(spans)
+	m := New()
+	loadSpans(m, spans)
+	if f := m.StoreByte(0x2000, 0xFF); f != nil {
+		t.Fatalf("StoreByte: %v", f)
+	}
+	if got := m.AdoptPredecode(ps); got != 1 {
+		t.Fatalf("AdoptPredecode = %d, want 1 (modified page skipped)", got)
+	}
+	// Unmaterialized target image: nothing to adopt onto.
+	if got := New().AdoptPredecode(ps); got != 0 {
+		t.Fatalf("AdoptPredecode on empty image = %d, want 0", got)
+	}
+	// noCache images must not adopt (the fetch path ignores code views).
+	m3 := New()
+	loadSpans(m3, spans)
+	m3.SetCaching(false)
+	if got := m3.AdoptPredecode(ps); got != 0 {
+		t.Fatalf("AdoptPredecode with caching off = %d, want 0", got)
+	}
+}
+
+func TestPredecodeSetEncodeDecode(t *testing.T) {
+	spans := testImage(t)
+	ps := BuildPredecodeSet(spans)
+	blob := EncodePredecodeSet(ps)
+	got, err := DecodePredecodeSet(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Pages() != ps.Pages() {
+		t.Fatalf("decoded pages = %d, want %d", got.Pages(), ps.Pages())
+	}
+	for pn, pp := range ps.pages {
+		dp := got.pages[pn]
+		if dp == nil {
+			t.Fatalf("decoded set missing page %#x", pn)
+		}
+		if dp.data != pp.data {
+			t.Fatalf("page %#x bytes differ after roundtrip", pn)
+		}
+		if *dp.code != *pp.code {
+			t.Fatalf("page %#x code view differs after roundtrip", pn)
+		}
+	}
+
+	// Corrupt payloads must fail loudly, never alias valid pages.
+	for _, tc := range []struct {
+		name string
+		blob []byte
+	}{
+		{"empty", nil},
+		{"truncated header", blob[:3]},
+		{"truncated body", blob[:len(blob)-1]},
+		{"trailing garbage", append(append([]byte{}, blob...), 0)},
+	} {
+		if _, err := DecodePredecodeSet(tc.blob); err == nil {
+			t.Errorf("%s: decode succeeded, want error", tc.name)
+		}
+	}
+}

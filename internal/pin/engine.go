@@ -119,6 +119,13 @@ func DefaultCost() CostModel {
 // dominator/loop hoisting, and dispatches resolved through a promoted
 // trace's hot-successor link. All zero with the hot tier disabled; none
 // affect virtual-cycle results.
+//
+// WarmPromotions counts the subset of HotPromotions triggered at compile
+// time by the artifact cache's warm-start seed rather than earned
+// through this run's own dispatch counting. FirstPromoDispatch records
+// the Dispatches value at the first promotion (zero when nothing
+// promoted) — the time-to-first-promotion measurement the warm-start
+// experiment reports. Host-side like the rest.
 type Stats struct {
 	ExecIns       uint64
 	AnalysisCalls uint64
@@ -133,6 +140,9 @@ type Stats struct {
 	HotIns        uint64
 	HoistedSaves  uint64
 	HotLinkHits   uint64
+
+	WarmPromotions     uint64
+	FirstPromoDispatch uint64
 }
 
 // SyscallFilter lets a wrapper (SuperPin's slice engine) intercept guest
@@ -201,6 +211,15 @@ type Engine struct {
 	// analysis may be shared by every engine of a run (including
 	// SuperPin's concurrently executing slice engines).
 	SA *sa.Analysis
+
+	// Warm, when non-nil, is the hot-trace warm-start seed from the
+	// artifact cache (internal/artifact): per trace PC, the promotion
+	// counters a prior execution of the same image earned. Freshly
+	// compiled traces start from the seeded counters, so proven-hot
+	// traces promote at compile time instead of re-earning the
+	// threshold. Immutable and shareable like SA; set before first Run.
+	// Purely host-side: seeding never changes a virtual result.
+	Warm *jit.WarmSeed
 
 	cache         *jit.CodeCache
 	sealScratch   []runSpan // reused across seal calls to avoid per-compile allocs
@@ -338,6 +357,7 @@ func (e *Engine) PublishMetrics(m *obs.Metrics, prefix string) {
 	m.Add(prefix+".hot.ins", e.stats.HotIns)
 	m.Add(prefix+".hot.hoisted_saves", e.stats.HoistedSaves)
 	m.Add(prefix+".hot.link_hits", e.stats.HotLinkHits)
+	m.Add(prefix+".hot.warm_promotions", e.stats.WarmPromotions)
 	cs := e.cache.Stats()
 	m.Add(prefix+".cache.lookups", cs.Lookups)
 	m.Add(prefix+".cache.misses", cs.Misses)
@@ -488,6 +508,9 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 						e.seal(ct)
 					}
 					e.cache.Insert(ct)
+					if e.hotTier && e.Warm != nil {
+						e.applyWarm(ct)
+					}
 					if sharedHit {
 						used += kernel.Cycles(ct.NumIns()) * cost.WeavePerIns
 					} else {

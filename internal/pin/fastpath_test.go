@@ -22,6 +22,7 @@ import (
 func normStats(s Stats) Stats {
 	s.SuperblockIns = 0
 	s.HotPromotions, s.HotIns, s.HoistedSaves, s.HotLinkHits = 0, 0, 0, 0
+	s.WarmPromotions, s.FirstPromoDispatch = 0, 0
 	return s
 }
 

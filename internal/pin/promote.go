@@ -94,7 +94,39 @@ func (e *Engine) promote(ct *jit.CompiledTrace) {
 		h.Hoist = e.hoistFlags(ct, hotExit, exitCount > 0)
 	}
 	ct.Hot = h
+	if e.stats.HotPromotions == 0 {
+		e.stats.FirstPromoDispatch = e.stats.Dispatches
+	}
 	e.stats.HotPromotions++
+}
+
+// applyWarm seeds a freshly compiled trace's hotness counters from the
+// warm-start artifact and promotes immediately when a prior execution
+// already proved the trace hot. Applied once per compile, right after
+// cache insertion, so a warm run reaches its second-tier layout at the
+// first dispatch instead of after HotThreshold of them. The seed only
+// moves the promotion point earlier on the host timeline; the virtual
+// timeline never observes it (cachediff proves byte-identity).
+func (e *Engine) applyWarm(ct *jit.CompiledTrace) {
+	w, ok := e.Warm.Lookup(ct.Addr)
+	if !ok {
+		return
+	}
+	ct.Execs = w.Execs
+	ct.SelfLoops = w.SelfLoops
+	ct.Exits.Seed(w.HotExit, w.HotCount)
+	if ct.Execs >= e.hotThr {
+		e.promote(ct)
+		e.stats.WarmPromotions++
+	}
+}
+
+// HarvestWarm folds the hotness counters of every trace resident in the
+// engine's code cache into seed, for publication back to the artifact
+// store at run end. Traces evicted by cache flushes before harvest are
+// simply not counted — the seed is an accelerator, not a ledger.
+func (e *Engine) HarvestWarm(seed *jit.WarmSeed) {
+	seed.Harvest(e.cache)
 }
 
 // writtenMask returns the static written-register set of a compiled

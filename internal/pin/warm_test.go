@@ -1,0 +1,92 @@
+package pin
+
+import (
+	"testing"
+
+	"superpin/internal/jit"
+	"superpin/internal/kernel"
+)
+
+// warmLoopSrc is a simple hot loop that promotes well past any
+// reasonable threshold plus an exit tail.
+const warmLoopSrc = `
+	li r10, 0
+	li r11, 500
+loop:
+	addi r10, r10, 1
+	add r12, r12, r10
+	xor r13, r13, r12
+	blt r10, r11, loop
+	li r1, 1
+	andi r2, r12, 255
+	syscall
+`
+
+func runWarmMode(t *testing.T, warm *jit.WarmSeed) fastModeState {
+	t.Helper()
+	kcfg := kernel.DefaultConfig()
+	kcfg.MaxCycles = 2_000_000_000
+	cost := DefaultCost()
+	cost.HotThreshold = 16
+	s := setupMode(t, warmLoopSrc, kcfg, cost, func(e *Engine) { e.Warm = warm })
+	if err := s.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestWarmSeedPromotesAtCompile: a second run seeded with the first
+// run's harvest must promote the hot loop at compile time (warm
+// promotion, first promotion at a dispatch count the cold run cannot
+// reach) while staying byte-identical on the virtual timeline.
+func TestWarmSeedPromotesAtCompile(t *testing.T) {
+	cold := runWarmMode(t, nil)
+	cs := cold.e.Stats()
+	if cs.HotPromotions == 0 || cs.WarmPromotions != 0 {
+		t.Fatalf("cold run: promotions=%d warm=%d, want earned promotions only",
+			cs.HotPromotions, cs.WarmPromotions)
+	}
+	if cs.FirstPromoDispatch < 16 {
+		t.Fatalf("cold first promotion at dispatch %d, want >= threshold", cs.FirstPromoDispatch)
+	}
+
+	seed := jit.NewWarmSeed()
+	cold.e.HarvestWarm(seed)
+	if seed.Len() == 0 {
+		t.Fatal("harvest produced an empty seed")
+	}
+
+	warm := runWarmMode(t, seed)
+	ws := warm.e.Stats()
+	if ws.WarmPromotions == 0 {
+		t.Fatalf("warm run earned no warm promotions: %+v", ws)
+	}
+	if ws.FirstPromoDispatch >= cs.FirstPromoDispatch {
+		t.Fatalf("warm first promotion at dispatch %d, cold at %d — no speedup",
+			ws.FirstPromoDispatch, cs.FirstPromoDispatch)
+	}
+	// Byte-identical virtual outcome.
+	compareModes(t, warm, cold)
+}
+
+// TestWarmSeedIgnoredWithoutHotTier: -nohottier must neutralize the
+// seed entirely.
+func TestWarmSeedIgnoredWithoutHotTier(t *testing.T) {
+	cold := runWarmMode(t, nil)
+	seed := jit.NewWarmSeed()
+	cold.e.HarvestWarm(seed)
+
+	kcfg := kernel.DefaultConfig()
+	kcfg.MaxCycles = 2_000_000_000
+	cost := DefaultCost()
+	cost.HotThreshold = 16
+	cost.NoHotTier = true
+	s := setupMode(t, warmLoopSrc, kcfg, cost, func(e *Engine) { e.Warm = seed })
+	if err := s.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.e.Stats(); st.HotPromotions != 0 || st.WarmPromotions != 0 {
+		t.Fatalf("seed promoted with the hot tier off: %+v", st)
+	}
+	compareModes(t, s, cold)
+}

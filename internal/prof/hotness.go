@@ -52,6 +52,19 @@ func (h *ExitHist) Hottest() (pc uint32, count uint64) {
 	return pc, count
 }
 
+// Seed presets pc's slot to count, as if count transfers to pc had been
+// recorded. The artifact cache's warm-start path uses it to restore a
+// prior run's hottest-exit measurement into a freshly compiled trace.
+// Seeding with count zero is a no-op (an empty histogram stays empty).
+func (h *ExitHist) Seed(pc uint32, count uint64) {
+	if count == 0 {
+		return
+	}
+	i := exitSlot(pc)
+	h.pcs[i] = pc
+	h.counts[i] = count
+}
+
 // Count returns the recorded count for pc (zero when pc is not resident).
 func (h *ExitHist) Count(pc uint32) uint64 {
 	if i := exitSlot(pc); h.pcs[i] == pc {

@@ -1,0 +1,112 @@
+package sa
+
+import (
+	"reflect"
+	"testing"
+
+	"superpin/internal/asm"
+	"superpin/internal/isa"
+	"superpin/internal/workload"
+)
+
+// stripProg returns a shallow copy of a with the prog pointer cleared, so
+// DeepEqual compares only the derived tables (Decode is handed the same
+// *Program value in production but tests may rebuild it).
+func stripProg(a *Analysis) Analysis {
+	c := *a
+	c.prog = nil
+	return c
+}
+
+func TestSerialRoundtripCatalog(t *testing.T) {
+	for _, spec := range workload.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prog, err := spec.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			want := Analyze(prog)
+			got, err := Decode(want.Encode(), prog)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(stripProg(want), stripProg(got)) {
+				t.Fatalf("roundtrip is not identical")
+			}
+		})
+	}
+}
+
+// TestSerialRoundtripDiagnostics covers an image with verifier findings:
+// the diagnostics must survive the roundtrip so a cached analysis fails
+// Err() exactly like a fresh one.
+func TestSerialRoundtripDiagnostics(t *testing.T) {
+	b := asm.NewBuilder(0x1000)
+	b.I(isa.OpADDI, 10, 11, 0) // reads r11, never written: uninit-read warning
+	b.Word(0xFFFFFFFF)         // undecodable word on the fall-through path
+	prog := b.MustFinish()
+	want := Analyze(prog)
+	if len(want.diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	got, err := Decode(want.Encode(), prog)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(stripProg(want), stripProg(got)) {
+		t.Fatalf("roundtrip is not identical")
+	}
+	if (want.Err() == nil) != (got.Err() == nil) {
+		t.Fatalf("Err() disagrees after roundtrip: %v vs %v", want.Err(), got.Err())
+	}
+}
+
+// TestSerialDecodeRejectsCorrupt seeds one corruption per entry, corpus
+// style: every corrupted payload must produce a decode error (cold-path
+// fallback), never a panic or a silently wrong Analysis.
+func TestSerialDecodeRejectsCorrupt(t *testing.T) {
+	spec, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip missing from catalog")
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	blob := Analyze(prog).Encode()
+
+	other := asm.NewBuilder(0x1000)
+	other.I(isa.OpADDI, isa.RegSys, isa.RegZero, 1)
+	other.Syscall()
+	otherProg := other.MustFinish()
+
+	mutate := func(off int, v byte) []byte {
+		c := append([]byte{}, blob...)
+		c[off] = v
+		return c
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		prog *asm.Program
+	}{
+		{"empty", nil, prog},
+		{"truncated header", blob[:2], prog},
+		{"truncated mid-payload", blob[:len(blob)/2], prog},
+		{"trailing garbage", append(append([]byte{}, blob...), 0xAA), prog},
+		{"region count corrupted", mutate(0, 0xFF), prog},
+		{"region addr corrupted", mutate(4, ^blob[4]), prog},
+		{"wrong program", blob, otherProg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.blob, tc.prog); err == nil {
+				t.Fatalf("decode accepted a corrupt payload")
+			}
+		})
+	}
+	if _, err := Decode(blob, nil); err == nil {
+		t.Fatal("decode accepted a nil program")
+	}
+}

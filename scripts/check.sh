@@ -21,7 +21,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== obsguard (obs zero-cost nil-guard invariant) =="
-go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core
+go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core internal/artifact
 
 echo "== go build =="
 go build ./...
@@ -31,7 +31,7 @@ go test ./...
 
 echo "== go test -race (concurrent engine packages + harness) =="
 go test -race ./internal/kernel/... ./internal/core/... ./internal/jit/... \
-    ./internal/mem/... ./internal/bench/... ./internal/obs/...
+    ./internal/mem/... ./internal/bench/... ./internal/obs/... ./internal/artifact/...
 
 echo "== benchmarks compile and run once =="
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -53,5 +53,8 @@ go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "== hot-tier differential (second-tier trace compiler vs -nohottier) =="
 go run ./cmd/spbench -exp jitdiff -scale 0.02 -benchmarks gzip,mgrid
+
+echo "== artifact-cache differential (cold vs warm vs disk-warm) =="
+go run ./cmd/spbench -exp cachediff -scale 0.02 -benchmarks gzip,mgrid
 
 echo "ok"
