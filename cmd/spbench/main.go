@@ -23,6 +23,9 @@
 //	spbench -nosa                # run with the load-time static analysis off
 //	spbench -nohottier           # run with the second-tier trace compiler off
 //	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
+//	spbench -serve 127.0.0.1:8080  # live /metrics /status /trace HTTP plane
+//	spbench -lastgasp crash.json   # dump the flight recorder on panic/SIGTERM
+//	spbench -flightcap 65536       # flight-recorder ring capacity (events)
 //
 // Independent benchmark runs fan out over a bounded worker pool; -j 0
 // (the default) uses the SPBENCH_J environment variable when set, else
@@ -45,6 +48,7 @@ import (
 	"superpin/internal/artifact"
 	"superpin/internal/bench"
 	"superpin/internal/report"
+	"superpin/internal/telemetry"
 )
 
 // hostPerf is the BENCH_host.json artifact: host-side performance of one
@@ -108,6 +112,9 @@ func run(args []string) error {
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
 		cacheDir   = fs.String("cachedir", os.Getenv("SUPERPIN_CACHE"), "persistent artifact cache directory shared by every run (created if missing; default $SUPERPIN_CACHE; virtual results are identical warm or cold)")
 		warmstart  = fs.Bool("warmstart", false, "after the experiments, measure cold vs warm vs disk-warm serial-Pin wall-clock over the configured benchmarks")
+		serveAddr  = fs.String("serve", os.Getenv("SUPERPIN_SERVE"), "serve live telemetry over HTTP on this address while the harness runs (/metrics, /metrics.json, /status, /trace, /healthz, /debug/pprof/; default $SUPERPIN_SERVE; empty = off)")
+		flightCap  = fs.Int("flightcap", telemetry.DefaultFlightCap, "flight-recorder ring capacity in events for -serve/-lastgasp")
+		lastGasp   = fs.String("lastgasp", os.Getenv("SUPERPIN_LASTGASP"), "write a Perfetto trace snapshot of the flight recorder to this file on SIGTERM/SIGINT or panic (default $SUPERPIN_LASTGASP; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -168,6 +175,23 @@ func run(args []string) error {
 		}
 		cfg.Artifacts = store
 	}
+
+	// Live telemetry plane (-serve / -lastgasp): one registry and one
+	// flight-recorder ring shared by every run the harness performs, so
+	// /status shows the whole invocation's progress. Inert when both
+	// flags are off — the harness then runs registry- and tracer-free.
+	plane, err := telemetry.StartPlane(telemetry.PlaneOptions{
+		ServeAddr: *serveAddr,
+		LastGasp:  *lastGasp,
+		FlightCap: *flightCap,
+	})
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+	defer plane.Recorder.DumpOnPanic(plane.LastGasp)
+	cfg.Metrics = plane.Metrics
+	cfg.LiveTrace = plane.Tracer
 
 	emit := func(name string, t *report.Table) error {
 		fmt.Println(t)

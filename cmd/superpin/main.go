@@ -17,7 +17,15 @@
 // as Chrome trace-format JSON (loadable in Perfetto; any other file
 // extension gets the plain-text log), and -metrics out.json writes the
 // run's metrics registry snapshot. Both are off by default and cost
-// nothing when off.
+// nothing when off. -trace buffers through a bounded ring (-tracecap
+// events, oldest dropped first).
+//
+// Live telemetry: -serve ADDR (or $SUPERPIN_SERVE) starts an HTTP
+// server with /metrics (Prometheus text), /metrics.json, /status (live
+// guest-MIPS and slice states), /trace (the flight recorder as Chrome
+// trace JSON), /healthz and /debug/pprof/. -lastgasp FILE (or
+// $SUPERPIN_LASTGASP) dumps the flight recorder's last -flightcap
+// events on panic or SIGTERM/SIGINT. See DESIGN.md section 10.
 //
 // Profiling: -profile prof.json and/or -fold prof.folded attach the
 // virtual-time guest profiler (sampling interval -profint, in retired
@@ -49,6 +57,7 @@ import (
 	"superpin/internal/pin"
 	"superpin/internal/prof"
 	"superpin/internal/report"
+	"superpin/internal/telemetry"
 	"superpin/internal/tools"
 	"superpin/internal/workload"
 )
@@ -93,6 +102,10 @@ func run(args []string) error {
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the simulator to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the simulator to this file")
 		cacheDir   = fs.String("cachedir", os.Getenv("SUPERPIN_CACHE"), "persistent artifact cache directory (predecode, static analysis, hot-trace seeds; created if missing; default $SUPERPIN_CACHE; virtual results are identical warm or cold)")
+		serveAddr  = fs.String("serve", os.Getenv("SUPERPIN_SERVE"), "serve live telemetry over HTTP on this address (/metrics, /metrics.json, /status, /trace, /healthz, /debug/pprof/; default $SUPERPIN_SERVE; empty = off)")
+		traceCap   = fs.Int("tracecap", 1<<20, "max events held by the -trace tracer (drop-oldest ring; <= 0 = unbounded)")
+		flightCap  = fs.Int("flightcap", telemetry.DefaultFlightCap, "flight-recorder ring capacity in events when -serve/-lastgasp create their own tracer")
+		lastGasp   = fs.String("lastgasp", os.Getenv("SUPERPIN_LASTGASP"), "write a Perfetto trace snapshot of the flight recorder to this file on SIGTERM/SIGINT or panic (default $SUPERPIN_LASTGASP; empty = off)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: superpin [flags] -- <benchmark|file.svasm>")
@@ -173,12 +186,31 @@ func run(args []string) error {
 	// be incoherent).
 	var tracer *obs.Tracer
 	if *tracePath != "" {
-		tracer = obs.NewTracer()
+		tracer = obs.NewRingTracer(*traceCap)
 	}
 	var metrics *obs.Metrics
 	if *metricsOut != "" {
 		metrics = obs.NewMetrics()
 	}
+
+	// The telemetry plane (-serve, -lastgasp) rides on the same registry
+	// and tracer; when neither -metrics nor -trace asked for them, the
+	// plane creates its own (registry + flight-recorder ring). Inert —
+	// nothing allocated, nothing attached — when both flags are off.
+	plane, err := telemetry.StartPlane(telemetry.PlaneOptions{
+		ServeAddr: *serveAddr,
+		LastGasp:  *lastGasp,
+		FlightCap: *flightCap,
+		Metrics:   metrics,
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+	defer plane.Recorder.DumpOnPanic(plane.LastGasp)
+	tracer = plane.Tracer
+	metrics = plane.Metrics
 
 	// The artifact store exists only when a cache directory is given: a
 	// single CLI run has no second execution to share with, so without
@@ -210,6 +242,7 @@ func run(args []string) error {
 		pcost.NoHotTier = *noHotTier
 		pcfg := kcfg
 		pcfg.Trace = tracer
+		pcfg.Metrics = metrics
 		res, err := core.RunPinCached(pcfg, prog, factory, pcost, profInterval, store)
 		if err != nil {
 			return fmt.Errorf("pin run: %w", err)

@@ -137,6 +137,20 @@ type Store struct {
 	diskWrites        atomic.Uint64
 	diskBytesRead     atomic.Uint64
 	diskBytesWritten  atomic.Uint64
+
+	// fetchHist, when non-nil, observes the wall-clock latency of every
+	// disk-layer fetch attempt (hit, miss, or error) in nanoseconds.
+	// Attached via AttachMetrics; nil keeps the fetch path clock-free.
+	fetchHist *obs.Hist
+}
+
+// AttachMetrics resolves the store's latency histogram from the registry
+// ("artifact.fetch_ns"). Safe to call with a nil registry (detaches).
+func (s *Store) AttachMetrics(m *obs.Metrics) {
+	if s == nil {
+		return
+	}
+	s.fetchHist = m.Hist("artifact.fetch_ns")
 }
 
 // NewStore returns an in-process-only store (no disk layer).

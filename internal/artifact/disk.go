@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // On-disk entry format, little-endian:
@@ -88,6 +89,10 @@ func (s *Store) entryPath(k Key, kd kind) string {
 func (s *Store) readDisk(k Key, kd kind) (payload []byte, ok bool) {
 	if s.dir == "" {
 		return nil, false
+	}
+	if s.fetchHist != nil {
+		fetchStart := time.Now()
+		defer func() { s.fetchHist.Observe(uint64(time.Since(fetchStart))) }()
 	}
 	data, err := os.ReadFile(s.entryPath(k, kd))
 	if err != nil {

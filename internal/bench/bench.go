@@ -105,6 +105,17 @@ type Config struct {
 	// Virtual-cycle results are identical with or without a store
 	// (`-exp cachediff` proves it).
 	Artifacts *artifact.Store
+	// Metrics, when non-nil, is the live telemetry registry every run the
+	// harness performs reports into: kernel live counters and pool-phase
+	// histograms, engine dispatch/compile telemetry, and the core run
+	// statistics. Host-side only — virtual-cycle results are identical
+	// with or without it.
+	Metrics *obs.Metrics
+	// LiveTrace, when non-nil, is a long-lived tracer (typically a ring,
+	// serving as the flight recorder) attached to every run the harness
+	// performs. TraceDir takes precedence inside a SuperPin run: those
+	// runs use a private per-run tracer for their trace files.
+	LiveTrace *obs.Tracer
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -145,6 +156,15 @@ func (c *Config) normalize() {
 	}
 	if c.NoHotTier {
 		c.PinCost.NoHotTier = true
+	}
+	// Thread the telemetry plane through the kernel config so every run
+	// the harness performs — native, Pin baseline, SuperPin, and all the
+	// differential experiments — inherits it without per-harness wiring.
+	if c.Metrics != nil && c.Kernel.Metrics == nil {
+		c.Kernel.Metrics = c.Metrics
+	}
+	if c.LiveTrace != nil && c.Kernel.Trace == nil {
+		c.Kernel.Trace = c.LiveTrace
 	}
 }
 

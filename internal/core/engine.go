@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"superpin/internal/artifact"
 	"superpin/internal/asm"
@@ -179,6 +180,14 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	} else {
 		cfg.Trace = opts.Trace
 	}
+	// Same reconciliation for the metrics registry, so kernel-side live
+	// telemetry (retired-ins counter, pool-phase histograms) and core-side
+	// run statistics land in one registry.
+	if opts.Metrics == nil {
+		opts.Metrics = cfg.Metrics
+	} else {
+		cfg.Metrics = opts.Metrics
+	}
 	if opts.Workers != 0 {
 		cfg.Workers = opts.Workers
 	}
@@ -202,6 +211,8 @@ func Run(cfg kernel.Config, program *asm.Program, factory ToolFactory, opts Opti
 	// predecode set and warm seed below all come through the store when
 	// one is attached, shared with every other execution of this image.
 	if opts.Artifacts != nil {
+		// Disk-fetch latency lands in the run's registry (nil detaches).
+		opts.Artifacts.AttachMetrics(opts.Metrics)
 		e.artKey = artifact.KeyOf(program)
 		// Snapshot the warm seed once, before the first fork: every
 		// slice of this run sees the same immutable snapshot, so
@@ -564,6 +575,11 @@ func (e *Engine) doFork(kind boundaryKind) {
 			sl.eng.AttachObs(e.opts.Trace, int32(sl.proc.PID))
 		}
 	}
+	if m := e.opts.Metrics; m != nil {
+		sl.eng.AttachMetrics(m)
+		sl.hostStart = time.Now()
+		m.Set(telLiveSlicesSpawned, float64(len(e.slices)+1))
+	}
 	e.emit(obs.EvSliceSpawn, sl.proc.PID, uint64(num), 0, kind.String())
 	cost := e.k.Config().Cost
 	if kind == boundaryTimeout {
@@ -657,6 +673,9 @@ func (e *Engine) finishLastSlice() {
 func (e *Engine) wakeSlice(sl *slice) {
 	sl.running = true
 	e.runningCount++
+	if m := e.opts.Metrics; m != nil {
+		m.Set(telLiveSlicesRunning, float64(e.runningCount))
+	}
 	e.k.Wake(sl.proc)
 }
 
@@ -668,6 +687,12 @@ func (e *Engine) onSliceDone(sl *slice) {
 	if sl.running {
 		sl.running = false
 		e.runningCount--
+	}
+	if m := e.opts.Metrics; m != nil {
+		m.Set(telLiveSlicesRunning, float64(e.runningCount))
+		if !sl.hostStart.IsZero() {
+			m.Observe(telSliceWallNS, uint64(time.Since(sl.hostStart)))
+		}
 	}
 	if sl.proc.Err != nil {
 		e.errs = append(e.errs, fmt.Errorf("core: slice %d faulted: %w", sl.num, sl.proc.Err))
@@ -691,6 +716,9 @@ func (e *Engine) onSliceDone(sl *slice) {
 		e.mergedThrough++
 		e.endTime = e.k.Now
 		e.emit(obs.EvSliceMerge, s.proc.PID, uint64(s.num), 0, "")
+	}
+	if m := e.opts.Metrics; m != nil {
+		m.Set(telLiveSlicesMerged, float64(e.mergedThrough))
 	}
 
 	if e.pendingFork && e.runningCount < e.opts.MaxSlices && !e.masterExited {

@@ -5,6 +5,17 @@ import (
 	"superpin/internal/obs"
 )
 
+// Live telemetry names the engine keeps current during a run. The gauge
+// names are mirrored by internal/telemetry's /status endpoint (which
+// must not be imported from here — core stays HTTP-free); the histogram
+// records each slice's fork-to-exit host wall time.
+const (
+	telLiveSlicesSpawned = "core.live.slices_spawned"
+	telLiveSlicesRunning = "core.live.slices_running"
+	telLiveSlicesMerged  = "core.live.slices_merged"
+	telSliceWallNS       = "core.slice_wall_ns"
+)
+
 // emit records an instant event for the SuperPin run at the current
 // virtual time. No-op unless a tracer is attached.
 func (e *Engine) emit(kind obs.Kind, pid kernel.PID, arg, arg2 uint64, name string) {
@@ -74,6 +85,12 @@ func (e *Engine) publishMetrics(res *Result) {
 		m.Set("prof.interval", float64(res.Profile.Interval))
 		m.Add("prof.samples", uint64(len(res.Profile.Samples)))
 		m.Set("prof.max_stack_depth", float64(e.profDepth))
+	}
+	// Published as an idempotent gauge (like the artifact counters): a
+	// ring tracer outlives individual runs when the CLI serves telemetry,
+	// and Dropped is its running total.
+	if tr := e.opts.Trace; tr != nil {
+		m.Set("obs.tracer.dropped", float64(tr.Dropped()))
 	}
 	e.k.PublishMetrics(m)
 	e.opts.Artifacts.PublishMetrics(m)

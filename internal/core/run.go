@@ -176,6 +176,10 @@ func RunPinCached(cfg kernel.Config, program *asm.Program, factory ToolFactory, 
 	if cfg.Trace != nil {
 		e.AttachObs(cfg.Trace, int32(p.PID))
 	}
+	if cfg.Metrics != nil {
+		e.AttachMetrics(cfg.Metrics)
+		store.AttachMetrics(cfg.Metrics)
+	}
 	if err := k.Run(); err != nil {
 		return nil, err
 	}

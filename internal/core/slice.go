@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"superpin/internal/kernel"
 	"superpin/internal/obs"
@@ -101,6 +102,11 @@ type slice struct {
 
 	// bursts is the schedule log bounding this slice in threaded mode.
 	bursts []burst
+
+	// hostStart is the host wall-clock at fork, feeding the
+	// "core.slice_wall_ns" telemetry histogram; zero when no metrics
+	// registry is attached (the fork path then never reads the clock).
+	hostStart time.Time
 
 	running     bool
 	done        bool

@@ -424,6 +424,11 @@ type CodeCache struct {
 	PID   int32
 	Now   uint64
 
+	// SizeHist, when non-nil, observes the compiled size (in guest
+	// instructions) of every inserted trace. It is attached by the
+	// owning engine when telemetry is enabled.
+	SizeHist *obs.Hist
+
 	traces   map[uint32]*CompiledTrace
 	resident int
 	epoch    uint64
@@ -498,6 +503,9 @@ func (c *CodeCache) Insert(ct *CompiledTrace) {
 	}
 	c.stats.Compiles++
 	c.stats.CompiledIns += uint64(n)
+	if c.SizeHist != nil {
+		c.SizeHist.Observe(uint64(n))
+	}
 	if c.Trace != nil {
 		c.Trace.Emit(obs.Event{
 			Kind: obs.EvCompile, Time: c.Now, PID: c.PID, CPU: -1,

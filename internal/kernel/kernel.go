@@ -27,6 +27,8 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
@@ -52,6 +54,13 @@ type Config struct {
 	// lifecycle transition, syscall stop and (coalesced) CPU-occupancy
 	// interval. Nil — the default — costs one pointer check per site.
 	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live host-side telemetry: a
+	// retired-instruction counter updated every quantum and wall-clock
+	// histograms for quantum execution and pool phases. Purely host-side
+	// observation of the run in flight — virtual results are identical
+	// with or without it. Nil — the default — costs one pointer check
+	// per quantum.
+	Metrics *obs.Metrics
 	// Workers is the host worker-pool size for executing guest phases of
 	// independent processes concurrently within a quantum. Values <= 0
 	// resolve through $SUPERPIN_WORKERS, defaulting to 1 (serial). Every
@@ -130,7 +139,27 @@ type Kernel struct {
 	// tracer: one EvSchedule span is emitted per contiguous interval a
 	// process occupies a context, not one per quantum.
 	cpuSlots []cpuSlot
+
+	// Live telemetry handles, pre-resolved from cfg.Metrics at New so
+	// the per-quantum cost is a nil check, an atomic add, and (for the
+	// sampled wall-time histogram) two clock reads every 16th quantum.
+	// All nil when cfg.Metrics is nil.
+	liveRetired *obs.Counter // kernel.live.retired_ins
+	quantumHist *obs.Hist    // kernel.quantum_wall_ns, sampled
+	stallHist   *obs.Hist    // kernel.pool.merge_stall_ns
+	stealHist   *obs.Hist    // kernel.pool.steal_ns
+	parkHist    *obs.Hist    // kernel.pool.park_ns
+	runHist     *obs.Hist    // kernel.pool.run_ns, sampled
+	qseq        uint64       // quanta since Run started (sampling phase)
+	lastLiveIns uint64       // retired-ins total at the last quantum
+	taskSeq     atomic.Uint64
 }
+
+// quantumSampleMask samples every 16th quantum (and pool task) for the
+// wall-time histograms: dense enough for stable p50/p99 over a run,
+// sparse enough that the clock reads stay invisible next to a quantum's
+// guest work.
+const quantumSampleMask = 15
 
 // cpuSlot is the current occupant of one CPU context (tracing only).
 type cpuSlot struct {
@@ -162,7 +191,16 @@ func New(cfg Config) *Kernel {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Kernel{cfg: cfg, nextPID: 1, randState: seed}
+	k := &Kernel{cfg: cfg, nextPID: 1, randState: seed}
+	if m := cfg.Metrics; m != nil {
+		k.liveRetired = m.LiveCounter("kernel.live.retired_ins")
+		k.quantumHist = m.Hist("kernel.quantum_wall_ns")
+		k.stallHist = m.Hist("kernel.pool.merge_stall_ns")
+		k.stealHist = m.Hist("kernel.pool.steal_ns")
+		k.parkHist = m.Hist("kernel.pool.park_ns")
+		k.runHist = m.Hist("kernel.pool.run_ns")
+	}
+	return k
 }
 
 // Config returns the kernel's configuration.
@@ -485,8 +523,32 @@ func (k *Kernel) fireTimers() {
 	}
 }
 
-// runQuantum schedules up to Contexts() processes for one quantum.
+// runQuantum schedules one quantum and maintains the live telemetry:
+// every 16th quantum's wall time feeds the kernel.quantum_wall_ns
+// histogram, and the retired-instruction delta feeds the live counter
+// /status derives guest-MIPS from. Telemetry off (cfg.Metrics nil)
+// costs two nil checks.
 func (k *Kernel) runQuantum(quantum Cycles) {
+	k.qseq++
+	if k.quantumHist != nil && k.qseq&quantumSampleMask == 0 {
+		t0 := time.Now()
+		k.runQuantumInner(quantum)
+		k.quantumHist.Observe(uint64(time.Since(t0)))
+	} else {
+		k.runQuantumInner(quantum)
+	}
+	if k.liveRetired != nil {
+		var total uint64
+		for _, p := range k.procs {
+			total += p.InsCount
+		}
+		k.liveRetired.Add(total - k.lastLiveIns)
+		k.lastLiveIns = total
+	}
+}
+
+// runQuantumInner schedules up to Contexts() processes for one quantum.
+func (k *Kernel) runQuantumInner(quantum Cycles) {
 	ctxs := k.Contexts()
 	n := len(k.runq)
 	if n > ctxs {

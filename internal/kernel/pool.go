@@ -3,6 +3,7 @@ package kernel
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Parallel quantum execution.
@@ -69,8 +70,18 @@ func (k *Kernel) parSafe(p *Proc) bool {
 	return p.memShare == nil && p.BurstHook == nil
 }
 
-// runTask executes t's guest phase and publishes the results.
+// runTask executes t's guest phase and publishes the results. Every
+// 16th task's wall time feeds the kernel.pool.run_ns histogram when
+// live telemetry is attached (tasks run concurrently, so the sampling
+// phase is an atomic counter).
 func (k *Kernel) runTask(t *parTask) {
+	if k.runHist != nil && k.taskSeq.Add(1)&quantumSampleMask == 0 {
+		t0 := time.Now()
+		t.left, t.stop = k.runGuestPhase(t.proc, t.budget)
+		k.runHist.Observe(uint64(time.Since(t0)))
+		t.state.Store(taskDone)
+		return
+	}
 	t.left, t.stop = k.runGuestPhase(t.proc, t.budget)
 	t.state.Store(taskDone)
 }
@@ -146,6 +157,10 @@ func (k *Kernel) waitTask(t *parTask, tasks []parTask, next int) {
 		return
 	}
 	k.poolStats.mergeStalls++
+	var stallStart time.Time
+	if k.stallHist != nil {
+		stallStart = time.Now()
+	}
 	hot := 0
 	if k.pool.multicore {
 		hot = 128
@@ -156,7 +171,13 @@ func (k *Kernel) waitTask(t *parTask, tasks []parTask, next int) {
 		for j := next; j < len(tasks); j++ {
 			s := &tasks[j]
 			if s.proc != nil && s.state.CompareAndSwap(taskUnclaimed, taskClaimed) {
-				k.runTask(s)
+				if k.stealHist != nil {
+					t0 := time.Now()
+					k.runTask(s)
+					k.stealHist.Observe(uint64(time.Since(t0)))
+				} else {
+					k.runTask(s)
+				}
 				k.poolStats.mainSteals++
 				stole = true
 				break
@@ -168,6 +189,11 @@ func (k *Kernel) waitTask(t *parTask, tasks []parTask, next int) {
 				runtime.Gosched()
 			}
 		}
+	}
+	if k.stallHist != nil {
+		// The stall span includes time spent stealing — it is the wall
+		// clock this walk position cost the merge, whatever filled it.
+		k.stallHist.Observe(uint64(time.Since(stallStart)))
 	}
 }
 
@@ -349,7 +375,13 @@ func (wp *workerPool) work() {
 			// spurious but never lost.
 			wp.parked.Add(1)
 			if wp.gen.Load() == last && !wp.quit.Load() {
-				<-wp.wake
+				if wp.k.parkHist != nil {
+					t0 := time.Now()
+					<-wp.wake
+					wp.k.parkHist.Observe(uint64(time.Since(t0)))
+				} else {
+					<-wp.wake
+				}
 			}
 			wp.parked.Add(-1)
 			idle = 0

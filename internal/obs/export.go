@@ -30,11 +30,6 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
-}
-
 // WriteChromeTrace writes events as Chrome trace-format JSON, loadable
 // in Perfetto (ui.perfetto.dev) or chrome://tracing. The export builds:
 //
@@ -46,11 +41,36 @@ type chromeTrace struct {
 //
 // Events must come from one simulation (one virtual clock); they are
 // written in emission order, which is time-ordered per track.
+//
+// The export streams: each entry is encoded and written as it is
+// produced, so peak memory is one event, not a second full-trace slice
+// — the flight recorder snapshots multi-hundred-thousand-event rings
+// through this path while the run is still emitting.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	var out []chromeEvent
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	var werr error
+	emit := func(ce chromeEvent) {
+		if werr != nil {
+			return
+		}
+		data, err := json.Marshal(ce)
+		if err != nil {
+			werr = err
+			return
+		}
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		_, werr = bw.Write(data)
+	}
 
 	meta := func(pid, tid int, key, value string) {
-		out = append(out, chromeEvent{
+		emit(chromeEvent{
 			Name: key, Ph: "M", PID: pid, TID: tid,
 			Args: map[string]any{"name": value},
 		})
@@ -76,7 +96,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				meta(ChromePIDCPUs, int(ev.CPU), "thread_name",
 					fmt.Sprintf("cpu%d", ev.CPU))
 			}
-			out = append(out, chromeEvent{
+			emit(chromeEvent{
 				Name: ev.Name, Ph: "X", Ts: ev.Time, Dur: ev.Dur,
 				PID: ChromePIDCPUs, TID: int(ev.CPU),
 				Args: map[string]any{"pid": ev.PID},
@@ -90,20 +110,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if ev.Kind == EvFork {
 				ce.Args = map[string]any{"parent": ev.Arg}
 			}
-			out = append(out, ce)
+			emit(ce)
 		case EvProcExit:
-			out = append(out, chromeEvent{
+			emit(chromeEvent{
 				Name: "exit", Ph: "E", Ts: ev.Time,
 				PID: ChromePIDGuest, TID: int(ev.PID),
 				Args: map[string]any{"code": ev.Arg},
 			})
 		case EvSleep:
-			out = append(out, chromeEvent{
+			emit(chromeEvent{
 				Name: "sleep", Ph: "B", Ts: ev.Time,
 				PID: ChromePIDGuest, TID: int(ev.PID),
 			})
 		case EvWake:
-			out = append(out, chromeEvent{
+			emit(chromeEvent{
 				Name: "sleep", Ph: "E", Ts: ev.Time,
 				PID: ChromePIDGuest, TID: int(ev.PID),
 			})
@@ -131,15 +151,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if len(args) == 0 {
 				args = nil
 			}
-			out = append(out, chromeEvent{
+			emit(chromeEvent{
 				Name: name, Ph: "i", S: "t", Ts: ev.Time,
 				PID: ChromePIDGuest, TID: int(ev.PID), Args: args,
 			})
 		}
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+	if werr != nil {
+		return werr
+	}
+	if _, err := bw.WriteString("],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // WriteText writes events as a plain one-line-per-event log, the

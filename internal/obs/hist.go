@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds the values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 holds exactly v == 0), so bucket i's inclusive upper bound
+// is 2^i - 1. 44 buckets cover nanosecond durations up to ~2.4 hours
+// and instruction counts up to ~8.8e12 before the overflow bucket.
+const HistBuckets = 44
+
+// HistBucket returns the bucket index for value v.
+func HistBucket(v uint64) int {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// histUpper returns bucket i's inclusive upper bound as a float64
+// (+Inf for the overflow bucket).
+func histUpper(i int) float64 {
+	if i >= HistBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i) - 1)
+}
+
+// Hist is a race-safe fixed-bucket histogram of uint64 samples
+// (durations in nanoseconds, batch sizes in instructions). Buckets are
+// powers of two, so Observe is one bits.Len64 plus a short critical
+// section — cheap enough for sampled hot paths. A nil *Hist is a valid
+// no-op histogram, mirroring *Tracer and *Metrics.
+type Hist struct {
+	mu     sync.Mutex
+	counts [HistBuckets]uint64
+	sum    uint64
+	n      uint64
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Hist) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := HistBucket(v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Merge folds locally accumulated buckets into the histogram in one
+// critical section — the flush path for engine-local accumulation on
+// hot paths too frequent for per-sample locking. counts must be indexed
+// by HistBucket. No-op on a nil receiver.
+func (h *Hist) Merge(counts []uint64, sum, n uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		if i >= HistBuckets {
+			break
+		}
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.n += n
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram with extracted
+// quantiles. Quantiles are bucket upper bounds, so they overestimate by
+// at most 2x (the bucket width).
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	// Buckets is the raw per-bucket counts (see HistBucket); consumed
+	// by the Prometheus exposition, elided from JSON.
+	Buckets [HistBuckets]uint64 `json:"-"`
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as a bucket upper bound,
+// 0 for an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return histUpper(i)
+		}
+	}
+	return histUpper(HistBuckets - 1)
+}
+
+// Snapshot copies the histogram and extracts p50/p90/p99. Returns a
+// zero snapshot on a nil receiver.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	h.mu.Lock()
+	s.Buckets = h.counts
+	s.Sum = h.sum
+	s.Count = h.n
+	h.mu.Unlock()
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Counter is a pre-resolved atomic counter handle for hot paths where
+// the map lookup and mutex of Metrics.Add would cost too much. Resolve
+// once with Metrics.LiveCounter; a nil *Counter is a valid no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter. No-op on a nil receiver.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Span is a host wall-clock measurement in flight: a start timestamp
+// captured by Metrics.StartSpan and closed by Metrics.EndSpan, which
+// records the elapsed nanoseconds into a named histogram. The zero Span
+// (from a nil registry) is inert and EndSpan ignores it, so span pairs
+// cost nothing when telemetry is off — not even a time.Now call.
+type Span struct {
+	t time.Time
+}
+
+// StartSpan opens a wall-clock span. On a nil receiver it returns the
+// inert zero Span without reading the clock.
+func (m *Metrics) StartSpan() Span {
+	if m == nil {
+		return Span{}
+	}
+	return Span{t: time.Now()}
+}
+
+// EndSpan closes a span, observing the elapsed host nanoseconds into
+// the named histogram. No-op on a nil receiver or an inert span.
+func (m *Metrics) EndSpan(name string, s Span) {
+	if m == nil || s.t.IsZero() {
+		return
+	}
+	m.Hist(name).Observe(uint64(time.Since(s.t)))
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 42, 43}, {1<<43 - 1, 43}, {1 << 43, 43}, {math.MaxUint64, 43},
+	}
+	for _, c := range cases {
+		if got := HistBucket(c.v); got != c.want {
+			t.Errorf("HistBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{}
+	// 90 small samples, 9 medium, 1 large: p50 lands in the small
+	// bucket, p90 at its edge, p99 in the medium bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(3) // bucket 2, upper bound 3
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(100) // bucket 7, upper bound 127
+	}
+	h.Observe(1000) // bucket 10, upper bound 1023
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 90*3+9*100+1000 {
+		t.Fatalf("Count/Sum = %d/%d", s.Count, s.Sum)
+	}
+	if s.P50 != 3 || s.P90 != 3 || s.P99 != 127 {
+		t.Errorf("quantiles p50=%v p90=%v p99=%v, want 3/3/127", s.P50, s.P90, s.P99)
+	}
+	if q := s.Quantile(1.0); q != 1023 {
+		t.Errorf("Quantile(1.0) = %v, want 1023", q)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	h := &Hist{}
+	h.Observe(5)
+	var local [HistBuckets]uint64
+	var sum, n uint64
+	for _, v := range []uint64{1, 2, 1024} {
+		local[HistBucket(v)]++
+		sum += v
+		n++
+	}
+	h.Merge(local[:], sum, n)
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 5+1+2+1024 {
+		t.Fatalf("after merge: Count=%d Sum=%d", s.Count, s.Sum)
+	}
+	if s.Buckets[HistBucket(1024)] != 1 {
+		t.Errorf("merged bucket missing")
+	}
+}
+
+func TestHistNilSafe(t *testing.T) {
+	var h *Hist
+	h.Observe(1)
+	h.Merge(nil, 0, 0)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("nil Hist snapshot non-empty")
+	}
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Errorf("nil Counter loaded non-zero")
+	}
+	var m *Metrics
+	m.Observe("x", 1)
+	if m.Hist("x") != nil || m.LiveCounter("x") != nil {
+		t.Errorf("nil Metrics returned non-nil handles")
+	}
+	sp := m.StartSpan()
+	if !sp.t.IsZero() {
+		t.Errorf("nil Metrics StartSpan read the clock")
+	}
+	m.EndSpan("x", sp)
+}
+
+func TestMetricsSpan(t *testing.T) {
+	m := NewMetrics()
+	sp := m.StartSpan()
+	time.Sleep(time.Millisecond)
+	m.EndSpan("test.span_ns", sp)
+	s := m.Hist("test.span_ns").Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("span not recorded: Count = %d", s.Count)
+	}
+	if s.Sum < uint64(time.Millisecond/2) {
+		t.Errorf("span duration %dns implausibly small", s.Sum)
+	}
+	// An inert span (zero value) must not record.
+	m.EndSpan("test.span_ns", Span{})
+	if got := m.Hist("test.span_ns").Snapshot().Count; got != 1 {
+		t.Errorf("inert span recorded: Count = %d", got)
+	}
+}
+
+func TestLiveCounterFolding(t *testing.T) {
+	m := NewMetrics()
+	m.Add("k", 10)
+	c := m.LiveCounter("k")
+	c.Add(5)
+	c.Inc()
+	if got := m.Counter("k"); got != 16 {
+		t.Fatalf("Counter = %d, want mutex+live folded 16", got)
+	}
+	if got := m.Snapshot().Counters["k"]; got != 16 {
+		t.Fatalf("Snapshot counter = %d, want 16", got)
+	}
+	if m.LiveCounter("k") != c {
+		t.Errorf("LiveCounter not stable across calls")
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.Hist("conc")
+			c := m.LiveCounter("conc.n")
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(i))
+				c.Inc()
+				if i%100 == 0 {
+					m.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Hist("conc").Snapshot().Count; got != 4000 {
+		t.Fatalf("Count = %d, want 4000", got)
+	}
+	if got := m.Counter("conc.n"); got != 4000 {
+		t.Fatalf("live counter = %d, want 4000", got)
+	}
+}

@@ -18,6 +18,8 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]uint64
 	gauges   map[string]float64
+	hists    map[string]*Hist
+	lives    map[string]*Counter
 }
 
 // NewMetrics returns an empty registry.
@@ -57,15 +59,68 @@ func (m *Metrics) Set(name string, v float64) {
 	m.mu.Unlock()
 }
 
+// Observe records one sample into the named histogram, creating it on
+// first use. No-op on a nil receiver. Hot paths should resolve the
+// histogram once via Hist instead.
+func (m *Metrics) Observe(name string, v uint64) {
+	if m == nil {
+		return
+	}
+	m.Hist(name).Observe(v)
+}
+
+// Hist returns the named histogram handle, creating it on first use.
+// Returns nil on a nil receiver, and a nil *Hist is a valid no-op, so
+// callers may resolve once and observe unconditionally behind a nil
+// check.
+func (m *Metrics) Hist(name string) *Hist {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hists == nil {
+		m.hists = make(map[string]*Hist)
+	}
+	h := m.hists[name]
+	if h == nil {
+		h = &Hist{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// LiveCounter returns the named pre-resolved atomic counter, creating
+// it on first use. Returns nil on a nil receiver (a nil *Counter is a
+// valid no-op). Live counters fold into Counter and Snapshot alongside
+// the mutex-guarded counters; the two namespaces are summed on read.
+func (m *Metrics) LiveCounter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lives == nil {
+		m.lives = make(map[string]*Counter)
+	}
+	c := m.lives[name]
+	if c == nil {
+		c = &Counter{}
+		m.lives[name] = c
+	}
+	return c
+}
+
 // Counter returns the named counter's current value (0 when absent or
-// on a nil receiver).
+// on a nil receiver), including any live atomic counter of the same
+// name.
 func (m *Metrics) Counter(name string) uint64 {
 	if m == nil {
 		return 0
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.counters[name]
+	return m.counters[name] + m.lives[name].Load()
 }
 
 // Gauge returns the named gauge's current value (0 when absent or on a
@@ -79,10 +134,14 @@ func (m *Metrics) Gauge(name string) float64 {
 	return m.gauges[name]
 }
 
-// Snapshot is a point-in-time copy of the registry.
+// Snapshot is a point-in-time copy of the registry. Live atomic
+// counters are folded into Counters (summed with any mutex-guarded
+// counter of the same name); histograms appear with quantiles
+// extracted.
 type Snapshot struct {
-	Counters map[string]uint64  `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters map[string]uint64       `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
 }
 
 // Snapshot copies the registry's current contents.
@@ -92,12 +151,29 @@ func (m *Metrics) Snapshot() Snapshot {
 		return s
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for k, v := range m.counters {
 		s.Counters[k] = v
 	}
+	for k, c := range m.lives {
+		s.Counters[k] += c.Load()
+	}
 	for k, v := range m.gauges {
 		s.Gauges[k] = v
+	}
+	hists := make([]*Hist, 0, len(m.hists))
+	names := make([]string, 0, len(m.hists))
+	for k, h := range m.hists {
+		names = append(names, k)
+		hists = append(hists, h)
+	}
+	m.mu.Unlock()
+	// Histograms carry their own mutex; snapshot them outside the
+	// registry lock so hot-path Observe calls never wait on a reader.
+	if len(hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(hists))
+		for i, h := range hists {
+			s.Hists[names[i]] = h.Snapshot()
+		}
 	}
 	return s
 }

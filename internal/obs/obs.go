@@ -99,14 +99,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one timestamped occurrence. Time (and Dur, for EvSchedule
-// spans) are in virtual cycles.
+// Event is one timestamped occurrence. Time and Dur are in virtual
+// cycles (the kernel's deterministic simulated clock, kernel.Cycles) —
+// never host wall-clock time — so identical runs produce identical
+// event streams. The Chrome-trace export writes virtual cycles into the
+// format's microsecond field unconverted; host wall-clock attribution
+// lives in the Metrics histograms (obs.Span), not in events.
 type Event struct {
 	Kind Kind
-	// Time is the virtual timestamp. For EvSchedule it is the interval
-	// start; all other kinds are instants.
+	// Time is the virtual-cycle timestamp. For EvSchedule it is the
+	// interval start; all other kinds are instants.
 	Time uint64
-	// Dur is the interval length of an EvSchedule span (0 otherwise).
+	// Dur is the interval length of an EvSchedule span in virtual
+	// cycles (0 otherwise).
 	Dur uint64
 	// PID is the guest process the event concerns (0 = none/idle).
 	PID int32
@@ -124,20 +129,55 @@ type Event struct {
 // that drops everything, so callers hold a possibly-nil pointer and emit
 // unconditionally; the default (tracing off) costs one nil check.
 //
+// A tracer may be bounded (NewRingTracer): once full it becomes a ring
+// buffer that overwrites the oldest event, counting each overwrite in
+// Dropped, so long runs and the always-on flight recorder hold memory
+// constant. Drop-oldest on the main stream preserves determinism: the
+// folded event order is deterministic (PR 6), so which events survive a
+// given capacity is too.
+//
 // Emission from a single simulation is single-threaded (the
 // discrete-event kernel serializes everything), but the experiment
 // harness runs many simulations concurrently, so a Tracer shared across
 // runs must be safe; a mutex keeps Emit race-free.
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int    // 0 = unbounded
+	start   int    // ring read index (oldest event) once len == cap
+	dropped uint64 // events overwritten since creation
 }
 
-// NewTracer returns an empty tracer.
+// NewTracer returns an empty unbounded tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// NewRingTracer returns an empty tracer bounded to capacity events;
+// once full, each emission overwrites the oldest buffered event.
+// capacity <= 0 means unbounded.
+func NewRingTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return &Tracer{}
+	}
+	return &Tracer{cap: capacity}
+}
 
 // Enabled reports whether events are being collected.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// appendLocked adds one event under t.mu, overwriting the oldest event
+// when the tracer is bounded and full.
+func (t *Tracer) appendLocked(ev Event) {
+	if t.cap > 0 && len(t.events) == t.cap {
+		t.events[t.start] = ev
+		t.start++
+		if t.start == t.cap {
+			t.start = 0
+		}
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
 
 // Emit appends one event. Safe (and a no-op) on a nil receiver.
 func (t *Tracer) Emit(ev Event) {
@@ -145,11 +185,11 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	t.appendLocked(ev)
 	t.mu.Unlock()
 }
 
-// Len returns the number of collected events (0 on a nil receiver).
+// Len returns the number of buffered events (0 on a nil receiver).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
@@ -159,11 +199,23 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// Dropped returns how many events a bounded tracer has overwritten
+// (0 on a nil or unbounded receiver).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // DrainTo moves every buffered event into dst in emission order and
 // empties the receiver, keeping its capacity for reuse. It is how the
 // kernel folds a process's privately buffered events into the main
-// tracer at a deterministic point of the quantum walk. No-op on a nil
-// receiver or nil dst.
+// tracer at a deterministic point of the quantum walk. Events that
+// overflow a bounded dst drop its oldest, counted in dst.Dropped.
+// No-op on a nil receiver or nil dst.
 func (t *Tracer) DrainTo(dst *Tracer) {
 	if t == nil || dst == nil || t == dst {
 		return
@@ -171,15 +223,26 @@ func (t *Tracer) DrainTo(dst *Tracer) {
 	t.mu.Lock()
 	if len(t.events) > 0 {
 		dst.mu.Lock()
-		dst.events = append(dst.events, t.events...)
+		if dst.cap == 0 && t.start == 0 {
+			dst.events = append(dst.events, t.events...)
+		} else {
+			for _, ev := range t.events[t.start:] {
+				dst.appendLocked(ev)
+			}
+			for _, ev := range t.events[:t.start] {
+				dst.appendLocked(ev)
+			}
+		}
 		dst.mu.Unlock()
 		t.events = t.events[:0]
+		t.start = 0
 	}
 	t.mu.Unlock()
 }
 
-// Events returns a copy of the collected events in emission order.
-// Within one simulation, per-process (and per-CPU-track) timestamps are
+// Events returns a copy of the buffered events in emission order
+// (oldest surviving event first for a bounded tracer). Within one
+// simulation, per-process (and per-CPU-track) timestamps are
 // non-decreasing; the bench smoke runner asserts exactly that.
 func (t *Tracer) Events() []Event {
 	if t == nil {
@@ -188,6 +251,7 @@ func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	n := copy(out, t.events[t.start:])
+	copy(out[n:], t.events[:t.start])
 	return out
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// SanitizeMetricName maps a dotted registry name ("kernel.pool.rounds")
+// onto the Prometheus metric-name charset: every rune outside
+// [a-z0-9_:] becomes '_' (uppercase is lowercased first), and a leading
+// digit gains a '_' prefix. The result always matches
+// ^[a-z_:][a-z0-9_:]*$ for non-empty input.
+func SanitizeMetricName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			c += 'a' - 'A'
+		case c >= 'a' && c <= 'z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+		default:
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// promFloat formats a float the way Prometheus text exposition expects
+// (+Inf/-Inf/NaN spelled out, shortest round-trip decimal otherwise).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry snapshot in Prometheus text exposition
+// format (version 0.0.4): counters (live atomic counters folded in),
+// gauges, and histograms with cumulative le-labeled buckets plus _sum
+// and _count series. Names are passed through SanitizeMetricName;
+// output is sorted by name, so it is deterministic for a given
+// snapshot. Safe on a nil receiver (writes nothing).
+func (m *Metrics) WriteProm(w io.Writer) error {
+	s := m.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := SanitizeMetricName(k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := SanitizeMetricName(k)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[k]))
+	}
+
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := SanitizeMetricName(k)
+		h := s.Hists[k]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		// Emit cumulative buckets up to the last non-empty one, then
+		// the mandatory +Inf bucket.
+		last := -1
+		for i, c := range h.Buckets {
+			if c > 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last && i < HistBuckets-1; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", n, promFloat(histUpper(i)), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+
+	return bw.Flush()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// promNameRe is the Prometheus metric-name grammar (lowercased; the
+// sanitizer never emits uppercase).
+var promNameRe = regexp.MustCompile(`^[a-z_:][a-z0-9_:]*$`)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"kernel.pool.rounds": "kernel_pool_rounds",
+		"pin.hot.link_hits":  "pin_hot_link_hits",
+		"Weird-Name.1":       "weird_name_1",
+		"9lives":             "_9lives",
+		"a:b":                "a:b",
+		"sliceΔ":             "slice__", // multi-byte rune: one '_' per byte
+	}
+	for in, want := range cases {
+		got := SanitizeMetricName(in)
+		if got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+		if !promNameRe.MatchString(got) {
+			t.Errorf("SanitizeMetricName(%q) = %q violates the Prometheus name grammar", in, got)
+		}
+	}
+}
+
+func goldenMetrics() *Metrics {
+	m := NewMetrics()
+	m.Add("kernel.quanta", 128)
+	m.Add("pin.hot.promotions", 7)
+	m.Set("core.live.slices_running", 3)
+	m.Set("bench.scale", 0.25)
+	m.LiveCounter("kernel.live.retired_ins").Add(1 << 20)
+	h := m.Hist("kernel.quantum_wall_ns")
+	for _, v := range []uint64{0, 1, 3, 3, 900, 1500, 1 << 20} {
+		h.Observe(v)
+	}
+	return m
+}
+
+// TestPromGolden pins the Prometheus text exposition byte-for-byte,
+// alongside the Chrome-trace goldens: scrapers parse this format by
+// line shape, which parsed-JSON assertions would not catch drifting.
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenMetrics().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.metrics.prom", buf.Bytes())
+}
+
+// TestPromNameLint walks every series the exposition writer emits and
+// asserts the sanitized names obey the [a-z_:] Prometheus rules —
+// including the _bucket/_sum/_count suffixes and the le label lines.
+func TestPromNameLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenMetrics().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lineRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$`)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		mm := lineRe.FindStringSubmatch(line)
+		if mm == nil {
+			t.Errorf("malformed exposition line: %q", line)
+			continue
+		}
+		if !promNameRe.MatchString(mm[1]) {
+			t.Errorf("series name %q violates the Prometheus name grammar", mm[1])
+		}
+	}
+}
+
+// TestPromNilSafe ensures a nil registry writes nothing and errors
+// never.
+func TestPromNilSafe(t *testing.T) {
+	var m *Metrics
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}

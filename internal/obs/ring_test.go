@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"testing"
+)
+
+func seqEvent(i int) Event {
+	return Event{Kind: EvSyscall, Time: uint64(i), PID: 1, CPU: -1, Arg: uint64(i)}
+}
+
+// TestRingTracerDropOldest pins the drop accounting: a bounded tracer
+// overwrites exactly the oldest events and counts every overwrite.
+func TestRingTracerDropOldest(t *testing.T) {
+	tr := NewRingTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(seqEvent(i))
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Time != want {
+			t.Errorf("event %d: Time = %d, want %d (oldest surviving first)", i, ev.Time, want)
+		}
+	}
+}
+
+// TestRingTracerUnbounded confirms NewTracer and NewRingTracer(0) never
+// drop.
+func TestRingTracerUnbounded(t *testing.T) {
+	for _, tr := range []*Tracer{NewTracer(), NewRingTracer(0)} {
+		for i := 0; i < 100; i++ {
+			tr.Emit(seqEvent(i))
+		}
+		if tr.Len() != 100 || tr.Dropped() != 0 {
+			t.Fatalf("unbounded tracer: Len=%d Dropped=%d, want 100/0", tr.Len(), tr.Dropped())
+		}
+	}
+}
+
+// TestRingTracerDrainTo covers both drain directions: a wrapped ring
+// draining into an unbounded tracer must emit in ring order, and an
+// unbounded buffer draining into a full ring must account the drops on
+// the destination.
+func TestRingTracerDrainTo(t *testing.T) {
+	// Wrapped ring -> unbounded: order preserved.
+	src := NewRingTracer(4)
+	for i := 0; i < 7; i++ {
+		src.Emit(seqEvent(i))
+	}
+	dst := NewTracer()
+	src.DrainTo(dst)
+	if src.Len() != 0 {
+		t.Fatalf("source not emptied: Len = %d", src.Len())
+	}
+	evs := dst.Events()
+	if len(evs) != 4 {
+		t.Fatalf("dst Len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(3 + i); ev.Time != want {
+			t.Errorf("drained event %d: Time = %d, want %d", i, ev.Time, want)
+		}
+	}
+
+	// Unbounded -> small ring: drops accounted on the destination.
+	big := NewTracer()
+	for i := 0; i < 10; i++ {
+		big.Emit(seqEvent(i))
+	}
+	ring := NewRingTracer(3)
+	big.DrainTo(ring)
+	if got := ring.Dropped(); got != 7 {
+		t.Fatalf("ring.Dropped = %d, want 7", got)
+	}
+	evs = ring.Events()
+	if len(evs) != 3 || evs[0].Time != 7 || evs[2].Time != 9 {
+		t.Fatalf("ring kept %v, want events 7..9", evs)
+	}
+
+	// A drained ring resets its read index: refilling after DrainTo
+	// starts a fresh window.
+	src.Emit(seqEvent(42))
+	if evs := src.Events(); len(evs) != 1 || evs[0].Time != 42 {
+		t.Fatalf("reuse after drain: got %v", evs)
+	}
+}
+
+// TestRingTracerSnapshotConcurrent exercises snapshotting a live ring
+// under emission — the flight-recorder /trace path — under the race
+// detector.
+func TestRingTracerSnapshotConcurrent(t *testing.T) {
+	tr := NewRingTracer(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			tr.Emit(seqEvent(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		evs := tr.Events()
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Time != evs[j-1].Time+1 {
+				t.Fatalf("snapshot out of order at %d: %d after %d", j, evs[j].Time, evs[j-1].Time)
+			}
+		}
+		_ = tr.Dropped()
+	}
+	<-done
+}

@@ -1,6 +1,8 @@
 package pin
 
 import (
+	"time"
+
 	"superpin/internal/cpu"
 	"superpin/internal/isa"
 	"superpin/internal/jit"
@@ -231,6 +233,23 @@ type Engine struct {
 	stats         Stats
 	trace         *obs.Tracer
 
+	// Live telemetry (AttachMetrics): pre-resolved handles plus
+	// engine-local accumulators flushed once per Run call, so the hot
+	// dispatch loop never takes the registry's locks. All nil/zero when
+	// no registry is attached — the default costs one nil check per
+	// Run call and per superblock batch.
+	metrics     *obs.Metrics
+	mBatch      *obs.Hist    // pin.dispatch_batch_ins
+	mCompile    *obs.Hist    // pin.compile_ns
+	mPromote    *obs.Hist    // pin.promote_ns
+	mExecIns    *obs.Counter // pin.live.exec_ins
+	mDispatch   *obs.Counter // pin.live.dispatches
+	mPromotions *obs.Counter // pin.live.promotions
+	locBatch    [obs.HistBuckets]uint64
+	locBatchSum uint64
+	locBatchN   uint64
+	lastFlushed Stats
+
 	// pendingShared holds translations this engine built but has not yet
 	// published into Shared (map for dedup, slice for build order). The
 	// engine never inserts into the shared cache mid-run: the scheduler
@@ -298,6 +317,51 @@ func (e *Engine) AttachObs(t *obs.Tracer, pid int32) {
 	e.trace = t
 	e.cache.Trace = t
 	e.cache.PID = pid
+}
+
+// AttachMetrics connects the engine to a live metrics registry: compile
+// and promote wall-time histograms, the dispatch batch-size histogram,
+// and live counters (pin.live.*) that track the engine's progress while
+// it runs. Handles are resolved once here; the dispatch loop
+// accumulates locally and flushes at each Run exit. Purely host-side —
+// virtual results are byte-identical with or without a registry.
+// Passing nil detaches.
+func (e *Engine) AttachMetrics(m *obs.Metrics) {
+	e.metrics = m
+	if m == nil {
+		e.mBatch, e.mCompile, e.mPromote = nil, nil, nil
+		e.mExecIns, e.mDispatch, e.mPromotions = nil, nil, nil
+		return
+	}
+	e.mBatch = m.Hist("pin.dispatch_batch_ins")
+	e.mCompile = m.Hist("pin.compile_ns")
+	e.mPromote = m.Hist("pin.promote_ns")
+	e.mExecIns = m.LiveCounter("pin.live.exec_ins")
+	e.mDispatch = m.LiveCounter("pin.live.dispatches")
+	e.mPromotions = m.LiveCounter("pin.live.promotions")
+	e.cache.SizeHist = m.Hist("jit.trace_ins")
+}
+
+// flushTelemetry folds the Run call's locally accumulated telemetry
+// into the shared registry: the batch-size histogram in one merge, and
+// the live counters by stats delta. Called once per Run exit, only with
+// a registry attached.
+func (e *Engine) flushTelemetry() {
+	if e.mBatch != nil && e.locBatchN > 0 {
+		e.mBatch.Merge(e.locBatch[:], e.locBatchSum, e.locBatchN)
+		e.locBatch = [obs.HistBuckets]uint64{}
+		e.locBatchSum, e.locBatchN = 0, 0
+	}
+	if e.mExecIns != nil {
+		e.mExecIns.Add(e.stats.ExecIns - e.lastFlushed.ExecIns)
+	}
+	if e.mDispatch != nil {
+		e.mDispatch.Add(e.stats.Dispatches - e.lastFlushed.Dispatches)
+	}
+	if e.mPromotions != nil {
+		e.mPromotions.Add(e.stats.HotPromotions - e.lastFlushed.HotPromotions)
+	}
+	e.lastFlushed = e.stats
 }
 
 // queueShared records a locally built translation for publication into
@@ -418,6 +482,15 @@ func (e *Engine) FlushCache() {
 // a preferred successor link. See promote.go for the policy and DESIGN.md
 // for the soundness argument.
 func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
+	used, stop := e.run(k, p, budget)
+	if e.metrics != nil {
+		e.flushTelemetry()
+	}
+	return used, stop
+}
+
+// run is the dispatch loop behind Run; see Run for the contract.
+func (e *Engine) run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (kernel.Cycles, kernel.StopReason) {
 	cost := e.Cost
 	kcost := k.Config().Cost
 	fast := !e.NoFastPath
@@ -469,6 +542,10 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 				ct := e.cache.Lookup(p.Regs.PC)
 				e.cache.RecordLookup(ct != nil)
 				if ct == nil {
+					var compileStart time.Time
+					if e.mCompile != nil {
+						compileStart = time.Now()
+					}
 					var tr *jit.Trace
 					sharedHit := false
 					if e.Shared != nil {
@@ -510,6 +587,9 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 					e.cache.Insert(ct)
 					if e.hotTier && e.Warm != nil {
 						e.applyWarm(ct)
+					}
+					if e.mCompile != nil {
+						e.mCompile.Observe(uint64(time.Since(compileStart)))
 					}
 					if sharedHit {
 						used += kernel.Cycles(ct.NumIns()) * cost.WeavePerIns
@@ -606,6 +686,13 @@ func (e *Engine) Run(k *kernel.Kernel, p *kernel.Proc, budget kernel.Cycles) (ke
 					p.InsCount += uint64(n)
 					e.stats.ExecIns += uint64(n)
 					e.stats.SuperblockIns += uint64(n)
+					if e.mBatch != nil {
+						// Engine-local batch-size accounting; merged into
+						// the shared histogram once per Run call.
+						e.locBatch[obs.HistBucket(uint64(n))]++
+						e.locBatchSum += uint64(n)
+						e.locBatchN++
+					}
 					if wb != 0 {
 						e.stats.HotIns += uint64(n)
 					}

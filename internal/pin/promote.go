@@ -1,6 +1,8 @@
 package pin
 
 import (
+	"time"
+
 	"superpin/internal/jit"
 )
 
@@ -68,6 +70,10 @@ func (e *Engine) tickHot(ct *jit.CompiledTrace, self bool) {
 //     dominator-redundant or loop-invariant are suppressed (see
 //     hoistFlags).
 func (e *Engine) promote(ct *jit.CompiledTrace) {
+	var promoteStart time.Time
+	if e.mPromote != nil {
+		promoteStart = time.Now()
+	}
 	h := &jit.HotTrace{}
 	hotExit, exitCount := ct.Exits.Hottest()
 	if exitCount > 0 {
@@ -98,6 +104,9 @@ func (e *Engine) promote(ct *jit.CompiledTrace) {
 		e.stats.FirstPromoDispatch = e.stats.Dispatches
 	}
 	e.stats.HotPromotions++
+	if e.mPromote != nil {
+		e.mPromote.Observe(uint64(time.Since(promoteStart)))
+	}
 }
 
 // applyWarm seeds a freshly compiled trace's hotness counters from the

@@ -21,7 +21,7 @@ echo "== go vet =="
 go vet ./...
 
 echo "== obsguard (obs zero-cost nil-guard invariant) =="
-go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core internal/artifact
+go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core internal/artifact internal/jit internal/telemetry
 
 echo "== go build =="
 go build ./...
@@ -31,7 +31,8 @@ go test ./...
 
 echo "== go test -race (concurrent engine packages + harness) =="
 go test -race ./internal/kernel/... ./internal/core/... ./internal/jit/... \
-    ./internal/mem/... ./internal/bench/... ./internal/obs/... ./internal/artifact/...
+    ./internal/mem/... ./internal/bench/... ./internal/obs/... ./internal/artifact/... \
+    ./internal/telemetry/...
 
 echo "== benchmarks compile and run once =="
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -48,13 +49,22 @@ go run ./cmd/spbench -exp profdiff -scale 0.02 -benchmarks gzip,mgrid
 echo "== static-analysis differential (analysis on vs -nosa) =="
 go run ./cmd/spbench -exp sadiff -scale 0.02 -benchmarks gzip,mgrid
 
-echo "== host-parallelism differential (serial vs 1/2/4/8 workers) =="
-go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid
+echo "== host-parallelism differential (serial vs 1/2/4/8 workers, telemetry on) =="
+go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid -serve 127.0.0.1:0
 
-echo "== hot-tier differential (second-tier trace compiler vs -nohottier) =="
-go run ./cmd/spbench -exp jitdiff -scale 0.02 -benchmarks gzip,mgrid
+echo "== hot-tier differential (second-tier trace compiler vs -nohottier, telemetry on) =="
+go run ./cmd/spbench -exp jitdiff -scale 0.02 -benchmarks gzip,mgrid -serve 127.0.0.1:0
 
-echo "== artifact-cache differential (cold vs warm vs disk-warm) =="
-go run ./cmd/spbench -exp cachediff -scale 0.02 -benchmarks gzip,mgrid
+echo "== artifact-cache differential (cold vs warm vs disk-warm, telemetry on) =="
+go run ./cmd/spbench -exp cachediff -scale 0.02 -benchmarks gzip,mgrid -serve 127.0.0.1:0
+
+echo "== live telemetry smoke (mid-run /healthz /metrics /status /trace) =="
+go run ./tools/cmd/telsmoke -- \
+    go run ./cmd/spbench -exp fig3 -scale 1 -benchmarks gzip,gcc,mgrid -serve 127.0.0.1:0
+
+echo "== telemetry overhead gate (serial guest-MIPS with -serve vs BENCH_8) =="
+go run ./cmd/spbench -exp fig3 -scale 0.1 -j 1 -scaling 1,2,4,8 -warmstart \
+    -serve 127.0.0.1:0 -hostjson results/BENCH_9.json
+scripts/benchdiff.sh -gate -pct 95 results/BENCH_8.json results/BENCH_9.json
 
 echo "ok"

@@ -12,8 +12,9 @@
 //
 // obsguard parses and type-checks a package (stdlib go/types with the
 // source importer — no external dependencies) and reports every call to
-// (*obs.Tracer).Emit, (*obs.Metrics).Add or (*obs.Metrics).Set that is
-// not visibly guarded. A call is guarded when either:
+// a guarded emission method — (*obs.Tracer).Emit, (*obs.Metrics).Add/
+// Set/Observe/EndSpan, (*obs.Hist).Observe/Merge, (*obs.Counter).Add/
+// Inc — that is not visibly guarded. A call is guarded when either:
 //
 //   - an enclosing if (or else-branch) establishes the receiver is
 //     non-nil: `if x != nil { ... x.Emit(e) ... }`, conjunctions
@@ -49,7 +50,9 @@ const obsPath = "superpin/internal/obs"
 // names whose call sites must be nil-guarded.
 var guardedMethods = map[string][]string{
 	"Tracer":  {"Emit"},
-	"Metrics": {"Add", "Set"},
+	"Metrics": {"Add", "Set", "Observe", "EndSpan"},
+	"Hist":    {"Observe", "Merge"},
+	"Counter": {"Add", "Inc"},
 }
 
 // Finding is one unguarded emission site.
