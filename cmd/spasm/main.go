@@ -89,9 +89,9 @@ func runLint(file string, prog *asm.Program) error {
 	diags := an.Diags()
 	for _, d := range diags {
 		if line, ok := prog.Lines[d.Addr]; ok {
-			fmt.Printf("%s:%d: %s: %s (at %#08x)\n", file, line, d.Sev, d.Msg, d.Addr)
+			fmt.Printf("%s:%d: %s: %s: %s (at %#08x)\n", file, line, d.Sev, d.Code, d.Msg, d.Addr)
 		} else {
-			fmt.Printf("%s: %s: %s at %#08x\n", file, d.Sev, d.Msg, d.Addr)
+			fmt.Printf("%s: %s: %s: %s at %#08x\n", file, d.Sev, d.Code, d.Msg, d.Addr)
 		}
 	}
 	errs := an.Errors()

@@ -11,6 +11,7 @@
 //	spbench -exp obssmoke        # verify trace invariants end to end
 //	spbench -exp fastpathdiff    # verify engine fast paths change nothing
 //	spbench -exp sadiff          # verify the static analysis changes nothing
+//	spbench -exp ipdiff          # verify the interprocedural tier changes nothing
 //	spbench -exp profdiff        # verify serial and SuperPin profiles match
 //	spbench -exp pardiff         # verify host-parallel runs change nothing
 //	spbench -exp jitdiff         # verify the hot trace tier changes nothing
@@ -21,6 +22,7 @@
 //	spbench -scaling 1,2,4,8     # measure wall-clock vs per-run workers
 //	spbench -nofastpath          # run with the dispatch fast paths off
 //	spbench -nosa                # run with the load-time static analysis off
+//	spbench -saintra             # run with only the intraprocedural analysis tier
 //	spbench -nohottier           # run with the second-tier trace compiler off
 //	spbench -cpuprofile cpu.pprof  # host CPU profile of the harness itself
 //	spbench -serve 127.0.0.1:8080  # live /metrics /status /trace HTTP plane
@@ -94,7 +96,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|profdiff|pardiff|jitdiff|cachediff|scaling")
+		exp        = fs.String("exp", "all", "experiment: all|fig3|fig4|fig5|fig6|fig7|sigstats|ablations|obssmoke|fastpathdiff|sadiff|ipdiff|profdiff|pardiff|jitdiff|cachediff|scaling")
 		scale      = fs.Float64("scale", 0.25, "workload scale (1.0 = full size)")
 		msec       = fs.Float64("msec", 0, "timeslice interval in virtual ms (0 = scale-proportional default)")
 		maxSlices  = fs.Int("spmp", 8, "maximum running slices for suite runs")
@@ -107,6 +109,7 @@ func run(args []string) error {
 		traceDir   = fs.String("trace-dir", "", "directory to write per-benchmark Chrome trace JSON files into")
 		noFastPath = fs.Bool("nofastpath", false, "disable the engine's dispatch fast paths (trace linking, superblock batching)")
 		noSA       = fs.Bool("nosa", false, "disable the load-time static analysis (verifier, liveness elision, shared predecode)")
+		saIntra    = fs.Bool("saintra", false, "restrict the static analysis to its intraprocedural tier (no call graph, cross-call liveness or value folding)")
 		noHotTier  = fs.Bool("nohottier", false, "disable the second-tier trace compiler (profile-guided layout, register caching, spill hoisting)")
 		cpuProf    = fs.String("cpuprofile", "", "write a host CPU profile (runtime/pprof) of the harness to this file")
 		memProf    = fs.String("memprofile", "", "write a host heap profile of the harness to this file")
@@ -158,6 +161,7 @@ func run(args []string) error {
 	cfg.NoFastPath = *noFastPath
 	cfg.NoSA = *noSA
 	cfg.NoHotTier = *noHotTier
+	cfg.SAIntra = *saIntra
 	if *msec > 0 {
 		cfg.TimesliceMSec = *msec
 	} else {
@@ -371,6 +375,29 @@ func run(args []string) error {
 		if len(checks) > 0 {
 			fmt.Println("equalities checked:")
 			for _, c := range checks {
+				fmt.Println("  -", c)
+			}
+		}
+		ran = true
+	}
+	if *exp == "ipdiff" {
+		reports, err := bench.RunIPDiff(cfg)
+		if err != nil {
+			return err
+		}
+		t := report.New("Interprocedural-analysis differential: full vs -saintra vs -nosa, identical virtual results",
+			"benchmark", "ins", "pin cycles", "sp cycles", "saved regs (full/intra/nosa)", "folded sites", "folded preds", "hits", "events", "verdict")
+		for _, r := range reports {
+			t.Row(r.Name, r.Ins, uint64(r.PinCycles), uint64(r.SPCycles),
+				fmt.Sprintf("%d/%d/%d", r.SavedRegsFull, r.SavedRegsIntra, r.SavedRegsRef),
+				r.FoldedSites, r.FoldedPreds, r.Hits, r.Events, "ok")
+		}
+		if err := emit("ipdiff", t); err != nil {
+			return err
+		}
+		if len(reports) > 0 {
+			fmt.Println("equalities checked:")
+			for _, c := range reports[0].Checks {
 				fmt.Println("  -", c)
 			}
 		}

@@ -201,6 +201,41 @@ func TestDiskCorruptCorpus(t *testing.T) {
 // TestDiskSAWrongImage: an sa entry copied under another image's key (or
 // an image rebuilt differently at the same path) is rejected by the
 // structural validation, not silently adopted.
+// TestDiskSAStaleVersion: an SA entry written by an older encoding
+// version (simulated by stripping the v2 magic/version header, which is
+// exactly what a v1 payload looks like) must fall back to a cold
+// analysis — counted as a disk error, never a decode panic or a wrong
+// Analysis.
+func TestDiskSAStaleVersion(t *testing.T) {
+	dir := t.TempDir()
+	prog := tiny(t)
+	key := KeyOf(prog)
+
+	w, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := sa.Analyze(prog).Encode()[8:] // v1 payloads carried no header
+	w.writeDisk(key, kindSA, stale)
+
+	v, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := v.Analysis(key, prog)
+	ref := sa.Analyze(prog)
+	if an.NumBlocks() != ref.NumBlocks() || an.LiveIn(0x1000) != ref.LiveIn(0x1000) ||
+		an.IPStats() != ref.IPStats() {
+		t.Fatal("stale-version fallback differs from a cold compute")
+	}
+	if st := v.Stats(); st.DiskErrors == 0 {
+		t.Fatalf("stale version not counted as a disk error: %+v", st)
+	}
+	if st := v.Stats(); st.SAComputes == 0 {
+		t.Fatalf("stale version did not trigger a cold compute: %+v", st)
+	}
+}
+
 func TestDiskSAWrongImage(t *testing.T) {
 	dir := t.TempDir()
 	prog := tiny(t)

@@ -1,0 +1,313 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"superpin/internal/core"
+	"superpin/internal/kernel"
+	"superpin/internal/obs"
+	"superpin/internal/tools"
+	"superpin/internal/workload"
+)
+
+// IPDiffReport is one benchmark's interprocedural-analysis differential
+// outcome: the benchmark ran with the full analysis tier, the
+// intraprocedural tier (-saintra) and no analysis (-nosa), under four
+// tools serially and three tools under SuperPin at 1 and 4 workers, and
+// every virtual-cycle-visible quantity was identical.
+type IPDiffReport struct {
+	Name string
+	// Ins is the benchmark's guest instruction count.
+	Ins uint64
+	// PinCycles and SPCycles are the (tier-independent) serial Pin and
+	// SuperPin runtimes under the icount1 tool.
+	PinCycles kernel.Cycles
+	SPCycles  kernel.Cycles
+	// SavedRegsFull/Intra/Ref are the registers spilled around the
+	// opaque watchpoint's predicates under the full tier, the
+	// intraprocedural tier, and no analysis. The interprocedural
+	// liveness shows up as Full <= Intra <= Ref, strictly somewhere in
+	// the suite.
+	SavedRegsFull  uint64
+	SavedRegsIntra uint64
+	SavedRegsRef   uint64
+	// FoldedSites and FoldedPreds are the declared watchpoint's
+	// compile-time-decided predicate sites and the run-time predicate
+	// evaluations they eliminated, under the full tier.
+	FoldedSites uint64
+	FoldedPreds uint64
+	// Hits is the (tier-independent) watchpoint hit count.
+	Hits uint64
+	// Events is the (identical) SuperPin trace length.
+	Events int
+	// Checks lists the equalities verified, for human-readable output.
+	Checks []string
+}
+
+// ipDiffChecks are the equalities the differential runner asserts, for
+// human-readable output.
+var ipDiffChecks = []string{
+	"serial Pin results identical across full/intra/nosa for all four tools (modulo host-only counters)",
+	"tool observables (instruction counts, watchpoint hits) identical across tiers",
+	"predicate save/restore set never widens: full <= intra <= nosa",
+	"intra and nosa tiers report zero fold activity",
+	"SuperPin results and trace streams identical across {full,nosa} x workers {1,4}",
+	"trace invariants hold in every mode",
+}
+
+// ipDiffModes are the analysis tiers the differential compares, in
+// decreasing precision: the full interprocedural tier, the
+// intraprocedural tier, and no analysis.
+var ipDiffModes = [3]struct {
+	name  string
+	intra bool
+	nosa  bool
+}{
+	{name: "full"},
+	{name: "intra", intra: true},
+	{name: "nosa", nosa: true},
+}
+
+// RunIPDiff runs each configured benchmark under the three analysis
+// tiers and verifies that the interprocedural tier changed nothing the
+// virtual machine can observe: cycle counts, instruction counts, exit
+// codes, stdout, profiles, watchpoint hits, slice schedules and trace
+// event streams are all byte-identical; only host-side counters (spill
+// masks, fold counts) move. It then asserts the tier actually earned
+// its keep somewhere in the suite: at least one benchmark's save mask
+// is strictly narrower than the intraprocedural tier's, and at least
+// one benchmark folded predicates at compile time.
+func RunIPDiff(cfg Config) ([]*IPDiffReport, error) {
+	cfg.normalize()
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	reports, err := runIndexed(cfg.Workers, len(specs), func(i int) (*IPDiffReport, error) {
+		return runIPDiffOne(cfg, specs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	narrowed, folded := false, false
+	for _, r := range reports {
+		if r.SavedRegsFull < r.SavedRegsIntra {
+			narrowed = true
+		}
+		if r.FoldedPreds > 0 {
+			folded = true
+		}
+	}
+	if !narrowed {
+		return nil, fmt.Errorf("ipdiff: interprocedural liveness never narrowed a save mask below the intraprocedural tier on any benchmark")
+	}
+	if !folded {
+		return nil, fmt.Errorf("ipdiff: value analysis never folded a declared predicate on any benchmark")
+	}
+	return reports, nil
+}
+
+// ipSerialLeg is one serial Pin run's result plus the tool's observable
+// output (instruction count or watchpoint hits) — the quantity that
+// must not move when the analysis tier changes.
+type ipSerialLeg struct {
+	res *core.PinResult
+	obs uint64
+}
+
+// normalizeIPStats returns a copy of the result with every analysis- and
+// hot-tier-dependent host counter zeroed, leaving only quantities that
+// must be identical across analysis tiers.
+func normalizeIPStats(r core.PinResult) core.PinResult {
+	r.Engine.PredSaveRegs = 0
+	r.Engine.SASharedRuns = 0
+	r.Engine.SAPrivateRuns = 0
+	r.Engine.HotIns = 0
+	r.Engine.HoistedSaves = 0
+	r.Engine.FoldedSites = 0
+	r.Engine.FoldedPreds = 0
+	r.Engine.IPHoists = 0
+	return r
+}
+
+func runIPDiffOne(cfg Config, spec workload.Spec) (*IPDiffReport, error) {
+	spec = spec.Scaled(cfg.Scale)
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.RunNative(cfg.Kernel, prog, spec.NativeMemCost)
+	if err != nil {
+		return nil, fmt.Errorf("ipdiff %s: native: %w", spec.Name, err)
+	}
+	report := &IPDiffReport{Name: spec.Name, Ins: native.Ins, Checks: ipDiffChecks}
+
+	// Serial Pin: four tools x three tiers. icount2 runs under the
+	// profiler so the tier comparison covers profile streams; the two
+	// watch variants split the tier's two host-side effects — the
+	// declared watch folds (measuring FoldedPreds), the opaque watch
+	// cannot fold, so its PredSaveRegs isolates pure mask narrowing.
+	for _, tn := range []string{"icount1", "icount2", "watch", "watch-opaque"} {
+		var legs [3]ipSerialLeg
+		for mi, mode := range ipDiffModes {
+			cost := cfg.PinCost
+			cost.MemSurcharge = spec.PinMemCost
+			cost.SAIntra = mode.intra
+			cost.NoSA = mode.nosa
+			var res *core.PinResult
+			var count uint64
+			wantIns := true
+			switch tn {
+			case "icount1":
+				t := newTool(Icount1)
+				res, err = core.RunPin(cfg.Kernel, prog, t.Factory(), cost)
+				count = t.Total()
+			case "icount2":
+				t := newTool(Icount2)
+				res, err = core.RunPinProf(cfg.Kernel, prog, t.Factory(), cost, 997)
+				count = t.Total()
+			default:
+				w := tools.NewWatch(nil, workload.DataReg, workload.DataBase)
+				if tn == "watch-opaque" {
+					w = tools.NewWatchOpaque(nil, workload.DataReg, workload.DataBase)
+				}
+				res, err = core.RunPin(cfg.Kernel, prog, w.Factory(), cost)
+				count = w.Hits()
+				wantIns = false
+			}
+			if err != nil {
+				return nil, fmt.Errorf("ipdiff %s: pin (%s, %s): %w", spec.Name, tn, mode.name, err)
+			}
+			if wantIns && count != native.Ins {
+				return nil, fmt.Errorf("ipdiff %s: pin (%s, %s) counted %d, native executed %d",
+					spec.Name, tn, mode.name, count, native.Ins)
+			}
+			legs[mi] = ipSerialLeg{res: res, obs: count}
+		}
+
+		full, intra, nosa := legs[0], legs[1], legs[2]
+		for mi := 1; mi < len(legs); mi++ {
+			a, b := normalizeIPStats(*full.res), normalizeIPStats(*legs[mi].res)
+			if !reflect.DeepEqual(a, b) {
+				return nil, fmt.Errorf("ipdiff %s (%s): serial Pin results differ full vs %s:\nfull: %+v\n%s: %+v",
+					spec.Name, tn, ipDiffModes[mi].name, a, ipDiffModes[mi].name, b)
+			}
+			if legs[mi].obs != full.obs {
+				return nil, fmt.Errorf("ipdiff %s (%s): tool output differs full=%d %s=%d",
+					spec.Name, tn, full.obs, ipDiffModes[mi].name, legs[mi].obs)
+			}
+		}
+		fp, ip, np := full.res.Engine.PredSaveRegs, intra.res.Engine.PredSaveRegs, nosa.res.Engine.PredSaveRegs
+		if fp > ip || ip > np {
+			return nil, fmt.Errorf("ipdiff %s (%s): save mask widened across tiers: full=%d intra=%d nosa=%d",
+				spec.Name, tn, fp, ip, np)
+		}
+		for mi := 1; mi < len(legs); mi++ {
+			e := legs[mi].res.Engine
+			if e.FoldedSites != 0 || e.FoldedPreds != 0 || e.IPHoists != 0 {
+				return nil, fmt.Errorf("ipdiff %s (%s, %s): fold activity without the value tier: sites=%d preds=%d hoists=%d",
+					spec.Name, tn, ipDiffModes[mi].name, e.FoldedSites, e.FoldedPreds, e.IPHoists)
+			}
+		}
+		switch tn {
+		case "icount1":
+			report.PinCycles = full.res.Time
+		case "watch":
+			report.FoldedSites = full.res.Engine.FoldedSites
+			report.FoldedPreds = full.res.Engine.FoldedPreds
+			report.Hits = full.obs
+		case "watch-opaque":
+			report.SavedRegsFull = fp
+			report.SavedRegsIntra = ip
+			report.SavedRegsRef = np
+			if full.obs != report.Hits {
+				return nil, fmt.Errorf("ipdiff %s: watch variants disagree: declared=%d opaque=%d",
+					spec.Name, report.Hits, full.obs)
+			}
+		}
+	}
+
+	// SuperPin: three tools x {full,nosa} x workers {1,4}. Every leg of
+	// a tool must be deep-equal to the first — core.Result carries no
+	// engine host counters, so nothing needs normalizing. icount1 runs
+	// the profiler across slices, icount2 the shared code cache, per
+	// the pardiff stress split.
+	for _, tn := range []string{"icount1", "icount2", "watch"} {
+		var ref parRun
+		var refHits uint64
+		first := true
+		for _, nosa := range []bool{false, true} {
+			for _, w := range []int{1, 4} {
+				opts := core.DefaultOptions()
+				opts.SliceMSec = cfg.TimesliceMSec
+				opts.MaxSlices = cfg.MaxSlices
+				opts.PinCost = cfg.PinCost
+				opts.PinCost.MemSurcharge = spec.SliceMemCost
+				opts.PinCost.NoSA = nosa
+				opts.NativeMemSurcharge = spec.NativeMemCost
+				opts.Workers = w
+				opts.Trace = obs.NewTracer()
+				var factory core.ToolFactory
+				var count func() uint64
+				wantIns := true
+				switch tn {
+				case "icount1":
+					t := newTool(Icount1)
+					factory, count = t.Factory(), t.Total
+					opts.ProfInterval = 997
+				case "icount2":
+					t := newTool(Icount2)
+					factory, count = t.Factory(), t.Total
+					opts.SharedCodeCache = true
+				default:
+					wt := tools.NewWatch(nil, workload.DataReg, workload.DataBase)
+					factory, count = wt.Factory(), wt.Hits
+					wantIns = false
+				}
+				spRes, err := core.Run(cfg.Kernel, prog, factory, opts)
+				if err != nil {
+					return nil, fmt.Errorf("ipdiff %s: superpin (%s, nosa=%v, workers=%d): %w", spec.Name, tn, nosa, w, err)
+				}
+				if spRes.Err != nil {
+					return nil, fmt.Errorf("ipdiff %s: superpin (%s, nosa=%v, workers=%d): %w", spec.Name, tn, nosa, w, spRes.Err)
+				}
+				if wantIns && count() != native.Ins {
+					return nil, fmt.Errorf("ipdiff %s: superpin (%s, nosa=%v, workers=%d) counted %d, native executed %d",
+						spec.Name, tn, nosa, w, count(), native.Ins)
+				}
+				events := opts.Trace.Events()
+				if err := VerifyTrace(events, spRes, native.Time); err != nil {
+					return nil, fmt.Errorf("ipdiff %s (%s, nosa=%v, workers=%d): %w", spec.Name, tn, nosa, w, err)
+				}
+				if first {
+					ref, refHits, first = parRun{sp: spRes, events: events}, count(), false
+					continue
+				}
+				if !reflect.DeepEqual(spRes, ref.sp) {
+					return nil, fmt.Errorf("ipdiff %s (%s): SuperPin results differ at nosa=%v workers=%d:\nref: %+v\ngot: %+v",
+						spec.Name, tn, nosa, w, ref.sp, spRes)
+				}
+				if !reflect.DeepEqual(events, ref.events) {
+					return nil, fmt.Errorf("ipdiff %s (%s): trace streams differ at nosa=%v workers=%d (%d vs %d events)",
+						spec.Name, tn, nosa, w, len(ref.events), len(events))
+				}
+				if count() != refHits {
+					return nil, fmt.Errorf("ipdiff %s (%s): tool output differs at nosa=%v workers=%d: ref=%d got=%d",
+						spec.Name, tn, nosa, w, refHits, count())
+				}
+			}
+		}
+		switch tn {
+		case "icount1":
+			report.SPCycles = ref.sp.TotalTime
+			report.Events = len(ref.events)
+		case "watch":
+			if refHits != report.Hits {
+				return nil, fmt.Errorf("ipdiff %s: SuperPin watch hits %d != serial watch hits %d",
+					spec.Name, refHits, report.Hits)
+			}
+		}
+	}
+	return report, nil
+}

@@ -89,7 +89,7 @@ func (w *WarmSeed) Merge(other *WarmSeed) {
 	if other == nil {
 		return
 	}
-	for pc, e := range other.Entries {
+	for pc, e := range other.Entries { //detguard:ok per-pc merge is commutative
 		w.record(pc, e)
 	}
 }
@@ -102,7 +102,7 @@ const warmRec = 4 + 8 + 8 + 4 + 8
 func EncodeWarmSeed(w *WarmSeed) []byte {
 	pcs := make([]uint32, 0, w.Len())
 	if w != nil {
-		for pc := range w.Entries {
+		for pc := range w.Entries { //detguard:ok keys sorted below
 			pcs = append(pcs, pc)
 		}
 	}

@@ -182,6 +182,16 @@ type Memory struct {
 	// noCache disables the TLBs and the predecode cache (SetCaching).
 	noCache bool
 
+	// codeRanges lists the address ranges holding analyzed code
+	// (MarkCode), and codeWritten latches once any store touches a page
+	// overlapping one. Instrumentation engines consult CodeWritten to
+	// retract static-analysis conclusions when the program self-modifies.
+	// Detection is page-granular and sticky, checked only on the
+	// write-TLB miss path (every page's first store goes through it), so
+	// the store fast path is unaffected.
+	codeRanges  []codeRange
+	codeWritten bool
+
 	// CopyEvents counts copy-on-write page copies performed through this
 	// image since creation. The kernel samples deltas of this counter to
 	// charge page-copy cost to the faulting process.
@@ -214,6 +224,46 @@ func (m *Memory) SetCaching(on bool) {
 	m.flushTLB()
 }
 
+// codeRange is one half-open address range registered via MarkCode.
+type codeRange struct{ lo, hi uint32 }
+
+// MarkCode registers [addr, addr+size) as code whose static analysis
+// the owning engine relies on. Subsequent stores into any page
+// overlapping a marked range latch CodeWritten. Ranges accumulate;
+// marking is expected once per loaded segment.
+func (m *Memory) MarkCode(addr, size uint32) {
+	if size == 0 {
+		return
+	}
+	m.codeRanges = append(m.codeRanges, codeRange{lo: addr, hi: addr + size - 1})
+	// Drop the cached write page: the miss path is where overlap is
+	// checked, and a page cached before this range existed would
+	// otherwise bypass it.
+	m.wpn, m.wpg = invalidPN, nil
+}
+
+// CodeWritten reports whether any store has touched a page overlapping
+// a MarkCode range — conservatively, whether the analyzed code may have
+// been modified since loading.
+func (m *Memory) CodeWritten() bool { return m.codeWritten }
+
+// noteWrite latches codeWritten when page pn overlaps a marked code
+// range. Called only on write-TLB misses; a hit means this page already
+// passed through here since the ranges were registered.
+func (m *Memory) noteWrite(pn uint32) {
+	if m.codeWritten || len(m.codeRanges) == 0 {
+		return
+	}
+	lo := pn << PageShift
+	hi := lo + PageSize - 1
+	for _, r := range m.codeRanges {
+		if r.lo <= hi && r.hi >= lo {
+			m.codeWritten = true
+			return
+		}
+	}
+}
+
 // Fork returns a copy-on-write clone of m. Both images share all current
 // pages; each side copies a page when it first writes to it. Forking is
 // safe while other images sharing m's pages run on other workers: it
@@ -221,8 +271,13 @@ func (m *Memory) SetCaching(on bool) {
 // a page it was about to start sharing anyway.
 func (m *Memory) Fork() *Memory {
 	child := &Memory{pages: make(map[uint32]*page, len(m.pages)), noCache: m.noCache}
+	// The child watches the same code ranges and inherits the latch
+	// (its image contains the modified bytes too). The slice is copied:
+	// both sides may keep appending independently.
+	child.codeRanges = append([]codeRange(nil), m.codeRanges...)
+	child.codeWritten = m.codeWritten
 	child.flushTLB()
-	for pn, pg := range m.pages {
+	for pn, pg := range m.pages { //detguard:ok per-page refcounts, order-free
 		pg.refs.Add(1)
 		child.pages[pn] = pg
 	}
@@ -236,7 +291,7 @@ func (m *Memory) Fork() *Memory {
 // be used. Calling Release when a process exits keeps shared refcounts
 // accurate so SharedPages stays meaningful for long runs.
 func (m *Memory) Release() {
-	for pn, pg := range m.pages {
+	for pn, pg := range m.pages { //detguard:ok per-page refcounts, order-free
 		pg.refs.Add(-1)
 		delete(m.pages, pn)
 	}
@@ -250,7 +305,7 @@ func (m *Memory) Pages() int { return len(m.pages) }
 // with at least one other image.
 func (m *Memory) SharedPages() int {
 	n := 0
-	for _, pg := range m.pages {
+	for _, pg := range m.pages { //detguard:ok commutative count
 		if pg.refs.Load() > 1 {
 			n++
 		}
@@ -290,6 +345,7 @@ func (m *Memory) writePage(addr uint32) *page {
 		pg.code.Store(nil)
 		return pg
 	}
+	m.noteWrite(pn)
 	pg := m.pages[pn]
 	switch {
 	case pg == nil:

@@ -50,7 +50,7 @@ func BuildPredecodeSet(spans []Span) *PredecodeSet {
 			addr += uint32(n)
 		}
 	}
-	for _, pp := range ps.pages {
+	for _, pp := range ps.pages { //detguard:ok pages decoded independently
 		pp.code = predecode(&pp.data)
 	}
 	return ps
@@ -79,7 +79,7 @@ func (m *Memory) AdoptPredecode(ps *PredecodeSet) int {
 		return 0
 	}
 	adopted := 0
-	for pn, pp := range ps.pages {
+	for pn, pp := range ps.pages { //detguard:ok pages adopted independently
 		pg := m.pages[pn]
 		if pg == nil || pg.data != pp.data {
 			continue
@@ -96,7 +96,7 @@ func (m *Memory) AdoptPredecode(ps *PredecodeSet) int {
 // disagree with the bytes (or with a newer decoder).
 func EncodePredecodeSet(ps *PredecodeSet) []byte {
 	pns := make([]uint32, 0, len(ps.pages))
-	for pn := range ps.pages {
+	for pn := range ps.pages { //detguard:ok keys sorted below
 		pns = append(pns, pn)
 	}
 	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })

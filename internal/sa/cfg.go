@@ -155,7 +155,7 @@ func (a *Analysis) discover() {
 	// so the symbol table recovers them for liveness. Sorted for
 	// determinism.
 	syms := make([]uint32, 0, len(a.prog.Symbols))
-	for _, addr := range a.prog.Symbols {
+	for _, addr := range a.prog.Symbols { //detguard:ok sorted below
 		syms = append(syms, addr)
 	}
 	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })

@@ -3,6 +3,7 @@ package sa
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"superpin/internal/isa"
 )
@@ -17,6 +18,154 @@ func (a *Analysis) verify() {
 	a.verifyUninitReads()
 	a.verifySMCStores()
 	a.verifyUnreachable()
+}
+
+// verifyInterproc runs the call-graph-aware checks of the
+// interprocedural tier (full Analyze only): functions nothing calls,
+// and functions that provably return with a shifted stack pointer.
+// (The third interprocedural diagnostic, CodeIndirectData, is emitted
+// during indirect-target resolution where the provable-but-bad target
+// set is in hand.)
+func (a *Analysis) verifyInterproc() {
+	if a.ip == nil {
+		return
+	}
+	a.verifyUnreachableFns()
+	a.verifyCallBalance()
+}
+
+// verifyUnreachableFns warns about symbol-labeled, function-shaped
+// bodies (they contain a return) that no resolved call edge targets
+// and that the entry cannot reach. Suppressed for wild programs, where
+// an unresolved transfer could reach anything.
+func (a *Analysis) verifyUnreachableFns() {
+	if a.ip.wild || a.entryBlock < 0 {
+		return
+	}
+	// Blocks reachable from the entry over any edge kind.
+	reach := make([]bool, len(a.blocks))
+	stack := []int{a.entryBlock}
+	reach[a.entryBlock] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range a.blocks[id].succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	called := make(map[int]bool)
+	for _, b := range a.blocks {
+		for i, s := range b.succs {
+			if b.kinds[i] == edgeCall {
+				called[s] = true
+			}
+		}
+	}
+	// Symbol names sorted for deterministic diagnostic order.
+	names := make([]string, 0, len(a.prog.Symbols))
+	for name := range a.prog.Symbols { //detguard:ok sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		addr := a.prog.Symbols[name]
+		sb := a.blockAt(addr)
+		if sb == nil || a.regions[sb.ri].wordAddr(sb.start) != addr {
+			continue
+		}
+		id := int(a.regions[sb.ri].blockOf[sb.start])
+		if id == a.entryBlock || called[id] || reach[id] {
+			continue
+		}
+		if len(a.ip.retBlks[id]) == 0 {
+			continue // not function shaped (data that decodes, a raw loop)
+		}
+		a.diags = append(a.diags, Diag{Sev: SevWarn, Code: CodeUnreachableFn, Addr: addr,
+			Msg: fmt.Sprintf("function %q is never called and unreachable from the entry", name)})
+	}
+}
+
+// verifyCallBalance runs the per-function stack-delta dataflow: from
+// depth 0 at the function entry, `addi sp, sp, imm` moves the depth,
+// any other sp write poisons it, and resolved calls are assumed
+// balanced. A canonical return reached with a provably nonzero delta
+// means callers resume with a shifted stack.
+func (a *Analysis) verifyCallBalance() {
+	for _, f := range a.ip.fns {
+		if a.ip.wildFn[f] {
+			continue
+		}
+		depth := make(map[int]int32, len(a.ip.body[f]))
+		for _, id := range a.ip.body[f] {
+			depth[id] = depthUnset
+		}
+		depth[f] = 0
+		work := []int{f}
+		for len(work) > 0 {
+			id := work[len(work)-1]
+			work = work[:len(work)-1]
+			b := a.blocks[id]
+			r := a.regions[b.ri]
+			out := depth[id]
+			for i := b.start; i < b.end; i++ {
+				ins := r.ins[i]
+				if ins.Op == isa.OpADDI && ins.Rd == isa.RegSP && ins.Rs1 == isa.RegSP {
+					if out > depthConflict {
+						out -= ins.Imm
+					}
+				} else if ins.DstReg() == isa.RegSP {
+					out = depthConflict
+				}
+			}
+			for i, s := range b.succs {
+				if b.kinds[i] == edgeCall {
+					continue
+				}
+				cur, inBody := depth[s]
+				if !inBody {
+					continue
+				}
+				switch {
+				case cur == depthUnset:
+					depth[s] = out
+					work = append(work, s)
+				case cur == out || cur == depthConflict:
+				default:
+					depth[s] = depthConflict
+					work = append(work, s)
+				}
+			}
+		}
+		for _, id := range a.ip.retBlks[f] {
+			d, ok := depth[id]
+			if !ok || d == depthUnset || d == depthConflict {
+				continue
+			}
+			b := a.blocks[id]
+			r := a.regions[b.ri]
+			net := d
+			for i := b.start; i < b.end; i++ {
+				ins := r.ins[i]
+				if ins.Op == isa.OpADDI && ins.Rd == isa.RegSP && ins.Rs1 == isa.RegSP {
+					if net > depthConflict {
+						net -= ins.Imm
+					}
+				} else if ins.DstReg() == isa.RegSP {
+					net = depthConflict
+				}
+			}
+			if net != 0 && net > depthConflict {
+				fb := a.blocks[f]
+				a.diags = append(a.diags, Diag{Sev: SevWarn, Code: CodeCallImbalance,
+					Addr: r.wordAddr(b.end - 1),
+					Msg: fmt.Sprintf("function at %#08x returns with net stack delta %d",
+						a.regions[fb.ri].wordAddr(fb.start), net)})
+			}
+		}
+	}
 }
 
 // Stack-depth lattice values beyond a known depth.

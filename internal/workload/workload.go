@@ -108,6 +108,16 @@ const (
 	dirtyBase = 0x0060_0000
 )
 
+// DataBase is the data-region base address of every generated program,
+// exported for tools that fence guest data accesses (tools.Watch).
+const DataBase uint32 = dataBase
+
+// DataReg is the register every generated program keeps pointed at the
+// data-region base (r12 in the generator's register allocation). A
+// watchpoint on DataReg < DataBase is the canonical provably-dead
+// probe: the generator never moves the register.
+const DataReg uint8 = 12
+
 // rng is a tiny deterministic generator for code-shape decisions.
 type rng struct{ s uint64 }
 

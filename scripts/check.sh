@@ -23,6 +23,9 @@ go vet ./...
 echo "== obsguard (obs zero-cost nil-guard invariant) =="
 go run ./tools/analyzers/cmd/obsguard internal/pin internal/cpu internal/kernel internal/core internal/artifact internal/jit internal/telemetry
 
+echo "== detguard (engine determinism: map ranges, time.Now, math/rand) =="
+go run ./tools/analyzers/cmd/detguard internal/cpu internal/mem internal/pin internal/jit internal/core internal/sa
+
 echo "== go build =="
 go build ./...
 
@@ -32,7 +35,7 @@ go test ./...
 echo "== go test -race (concurrent engine packages + harness) =="
 go test -race ./internal/kernel/... ./internal/core/... ./internal/jit/... \
     ./internal/mem/... ./internal/bench/... ./internal/obs/... ./internal/artifact/... \
-    ./internal/telemetry/...
+    ./internal/telemetry/... ./internal/sa/...
 
 echo "== benchmarks compile and run once =="
 go test -run='^$' -bench=. -benchtime=1x ./...
@@ -49,6 +52,9 @@ go run ./cmd/spbench -exp profdiff -scale 0.02 -benchmarks gzip,mgrid
 echo "== static-analysis differential (analysis on vs -nosa) =="
 go run ./cmd/spbench -exp sadiff -scale 0.02 -benchmarks gzip,mgrid
 
+echo "== interprocedural differential (full vs -saintra vs -nosa, full catalog) =="
+go run ./cmd/spbench -exp ipdiff -scale 0.02
+
 echo "== host-parallelism differential (serial vs 1/2/4/8 workers, telemetry on) =="
 go run ./cmd/spbench -exp pardiff -scale 0.02 -benchmarks gzip,mgrid -serve 127.0.0.1:0
 
@@ -62,9 +68,9 @@ echo "== live telemetry smoke (mid-run /healthz /metrics /status /trace) =="
 go run ./tools/cmd/telsmoke -- \
     go run ./cmd/spbench -exp fig3 -scale 1 -benchmarks gzip,gcc,mgrid -serve 127.0.0.1:0
 
-echo "== telemetry overhead gate (serial guest-MIPS with -serve vs BENCH_8) =="
+echo "== interprocedural overhead gate (serial guest-MIPS vs BENCH_9) =="
 go run ./cmd/spbench -exp fig3 -scale 0.1 -j 1 -scaling 1,2,4,8 -warmstart \
-    -serve 127.0.0.1:0 -hostjson results/BENCH_9.json
-scripts/benchdiff.sh -gate -pct 95 results/BENCH_8.json results/BENCH_9.json
+    -serve 127.0.0.1:0 -hostjson results/BENCH_10.json
+scripts/benchdiff.sh -gate -pct 80 results/BENCH_9.json results/BENCH_10.json
 
 echo "ok"

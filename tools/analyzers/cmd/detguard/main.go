@@ -1,0 +1,36 @@
+// Command detguard runs the repository's determinism vet pass over
+// package directories:
+//
+//	go run ./tools/analyzers/cmd/detguard internal/cpu internal/mem internal/pin internal/jit internal/core internal/sa
+//
+// It prints one line per determinism hazard — unannotated map ranges,
+// unguarded time.Now calls, math/rand imports — and exits non-zero when
+// any are found. See tools/analyzers/detguard for the contract.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"superpin/tools/analyzers/detguard"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detguard <package-dir> ...")
+		os.Exit(2)
+	}
+	findings, err := detguard.CheckDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detguard:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detguard: %d determinism hazard(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package detguard
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDetCases runs the analyzer over the annotated corpus and demands
+// an exact match: a finding on every `// want` line and nothing
+// anywhere else.
+func TestDetCases(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "detcases")
+	findings, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantLines(t, filepath.Join(dir, "detcases.go"))
+	got := make(map[int]bool)
+	for _, f := range findings {
+		if got[f.Pos.Line] {
+			t.Errorf("line %d: duplicate finding", f.Pos.Line)
+		}
+		got[f.Pos.Line] = true
+		if !want[f.Pos.Line] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("line %d: expected a finding, got none", line)
+		}
+	}
+}
+
+// wantLines returns the line numbers carrying a `// want` marker.
+func wantLines(t *testing.T, path string) map[int]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := make(map[int]bool)
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		if strings.Contains(sc.Text(), "// want") {
+			want[line] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestEnginePackagesClean pins the determinism contract over the
+// packages whose outputs must be byte-identical across runs: any
+// unannotated map range, unguarded time.Now or math/rand import added
+// there turns this red (and scripts/check.sh runs the same gate via
+// the CLI).
+func TestEnginePackagesClean(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	for _, pkg := range []string{"internal/cpu", "internal/mem", "internal/pin", "internal/jit", "internal/core", "internal/sa"} {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			findings, err := CheckDir(filepath.Join(root, pkg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range findings {
+				t.Errorf("%s", f)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Package detcases is the detguard analyzer's annotated corpus: every
+// line carrying a want marker must produce exactly one finding, and no
+// other line may produce any.
+package detcases
+
+import (
+	"math/rand" // want: host randomness is banned
+	"sort"
+	"time"
+)
+
+// counters stands in for any result-bearing map.
+var counters = map[string]uint64{}
+
+// sink defeats "unused" noise.
+var sink any
+
+// mapRanges exercises the map-iteration rule.
+func mapRanges(xs []int) {
+	for k, v := range counters { // want: unannotated map range
+		sink = k
+		sink = v
+	}
+	for k := range counters { //detguard:ok membership only
+		sink = k
+	}
+	//detguard:ok keys sorted below
+	for k := range counters {
+		keys := []string{k}
+		sort.Strings(keys)
+	}
+	for i, x := range xs { // slices are ordered: no finding
+		sink = i
+		sink = x
+	}
+}
+
+// metrics stands in for a nil-able telemetry sink.
+var metrics *struct{ on bool }
+
+// timeNow exercises the wall-clock rule.
+func timeNow() {
+	t0 := time.Now() // want: unguarded wall clock
+	sink = t0
+	if metrics != nil {
+		sink = time.Now() // guarded: telemetry idiom
+	}
+	if metrics == nil {
+		return
+	}
+	sink = time.Now() // dominated by the bail-out above
+}
+
+// timeNowAnnotated exercises the escape hatch.
+func timeNowAnnotated() {
+	sink = time.Now() //detguard:ok cold path, host-side log only
+}
+
+// useRand keeps the math/rand import referenced; the import line above
+// is the finding, not the call sites.
+func useRand() int { return rand.Int() }
